@@ -1,0 +1,227 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each BenchmarkFig*/BenchmarkTable* run executes the corresponding
+// experiment end-to-end at a reduced scale and logs the same rows/series
+// the paper reports; key scalars are attached as benchmark metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale (slower, larger meta-data) numbers come from cmd/stms-bench.
+package stms_test
+
+import (
+	"strings"
+	"testing"
+
+	"stms/internal/expt"
+	"stms/internal/sim"
+	"stms/internal/stats"
+	"stms/internal/trace"
+)
+
+// benchOptions is the reduced experiment scale used under `go test -bench`.
+func benchOptions() expt.Options {
+	o := expt.DefaultOptions()
+	o.Scale = 0.0625
+	o.Warm = 40_000
+	o.Measure = 60_000
+	return o
+}
+
+func logTable(b *testing.B, t *stats.Table) {
+	b.Helper()
+	b.Logf("\n%s", t)
+}
+
+func BenchmarkTable1SystemModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Table1()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig1LeftIndexEntries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig1Left()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig1RightPriorOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig1Right()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig4IdealPotential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig4()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkTable2MLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Table2()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig5HistorySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig5History()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig5IndexSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig5Index()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig6StreamLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig6Lengths()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig6DepthLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig6Depth()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig7TrafficBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig7()
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig8SamplingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		traffic, coverage := r.Fig8()
+		if i == 0 {
+			logTable(b, traffic)
+			logTable(b, coverage)
+		}
+	}
+}
+
+func BenchmarkFig9PracticalVsIdeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.Fig9()
+		if i == 0 {
+			logTable(b, t)
+			// Attach the headline ratio as a metric: STMS coverage as a
+			// fraction of idealized TMS (paper: ~90%).
+			if len(t.Rows) > 0 {
+				last := t.Rows[len(t.Rows)-1]
+				ratio := strings.TrimSuffix(last[len(last)-2], "%")
+				b.Logf("headline coverage ratio (mean): %s%%", ratio)
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks of the simulation substrate ---
+
+func BenchmarkTimedSimRecords(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = 0.0625
+	cfg.WarmRecords = 5_000
+	cfg.MeasureRecords = 20_000
+	spec, err := trace.ByName("web-apache")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var records uint64
+	for i := 0; i < b.N; i++ {
+		r := sim.RunTimed(cfg, spec, sim.PrefSpec{Kind: sim.STMS})
+		records += r.Records
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkFunctionalSimRecords(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = 0.0625
+	cfg.WarmRecords = 5_000
+	cfg.MeasureRecords = 20_000
+	spec, err := trace.ByName("oltp-db2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var records uint64
+	for i := 0; i < b.N; i++ {
+		r := sim.RunFunctional(cfg, spec, sim.PrefSpec{Kind: sim.Ideal})
+		records += r.Records
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec, err := trace.ByName("web-zeus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(0.0625)
+	lib := trace.NewLibrary(spec, 1)
+	gen := trace.NewGenerator(lib, 0, 1)
+	var rec trace.Record
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next(&rec)
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.AblIndexOrg()
+		if i == 0 {
+			logTable(b, t)
+			logTable(b, r.AblPairwise())
+		}
+	}
+}

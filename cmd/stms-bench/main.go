@@ -1,0 +1,62 @@
+// Command stms-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	stms-bench [-run all|table1|table2|fig1l|fig1r|fig4|fig5l|fig5r|fig6l|fig6r|fig7|fig8|fig9]
+//	           [-scale 0.125] [-seed 42] [-warm 80000] [-measure 120000]
+//	           [-out results.txt]
+//
+// Sizes are scaled together (caches, meta-data tables, workload
+// footprints), preserving the paper's size relationships; -scale 1 runs
+// paper-scale meta-data (needs long traces to warm: raise -warm and
+// -measure accordingly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stms/internal/expt"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (or 'all')")
+	scale := flag.Float64("scale", 0.125, "system scale factor")
+	seed := flag.Uint64("seed", 42, "trace and sampling seed")
+	warm := flag.Uint64("warm", 80_000, "warm-up records per core")
+	measure := flag.Uint64("measure", 120_000, "measured records per core")
+	out := flag.String("out", "", "also write results to this file")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range expt.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	o := expt.Options{Scale: *scale, Seed: *seed, Warm: *warm, Measure: *measure}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	r := expt.NewRunner(o)
+	if err := r.ByID(*run, w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(w, "(%s, scale=%g, seed=%d, %d+%d records/core)\n",
+		time.Since(start).Round(time.Millisecond), o.Scale, o.Seed, o.Warm, o.Measure)
+}

@@ -1,0 +1,148 @@
+// Command stms-sim runs one timed simulation and prints its results:
+// coverage, speedup-relevant IPC, MLP, and the DRAM traffic breakdown.
+//
+// Usage:
+//
+//	stms-sim [-workload web-apache] [-pref stms|ideal|baseline|tse|ebcp|ulmt|markov]
+//	         [-sample 0.125] [-depth 0] [-scale 0.125] [-seed 42]
+//	         [-warm 80000] [-measure 120000] [-compare]
+//
+// With -compare, the baseline and idealized runs execute too and the
+// speedup and coverage ratios are reported (Figure 9 style).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stms/internal/dram"
+	"stms/internal/sim"
+	"stms/internal/stats"
+	"stms/internal/trace"
+)
+
+func kindOf(s string) (sim.Kind, error) {
+	switch s {
+	case "baseline", "none":
+		return sim.None, nil
+	case "ideal":
+		return sim.Ideal, nil
+	case "stms":
+		return sim.STMS, nil
+	case "tse":
+		return sim.TSE, nil
+	case "ebcp":
+		return sim.EBCP, nil
+	case "ulmt":
+		return sim.ULMT, nil
+	case "markov":
+		return sim.Markov, nil
+	}
+	return 0, fmt.Errorf("unknown prefetcher %q", s)
+}
+
+func main() {
+	workload := flag.String("workload", "web-apache", "workload name")
+	traceFile := flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
+	pref := flag.String("pref", "stms", "prefetcher variant")
+	sample := flag.Float64("sample", 0.125, "STMS update sampling probability")
+	depth := flag.Int("depth", 0, "max prefetch depth per lookup (0 = unlimited)")
+	scale := flag.Float64("scale", 0.125, "system scale factor")
+	seed := flag.Uint64("seed", 42, "trace seed")
+	warm := flag.Uint64("warm", 80_000, "warm-up records per core")
+	measure := flag.Uint64("measure", 120_000, "measured records per core")
+	compare := flag.Bool("compare", false, "also run baseline and ideal")
+	flag.Parse()
+
+	kind, err := kindOf(*pref)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.WarmRecords = *warm
+	cfg.MeasureRecords = *measure
+
+	ps := sim.PrefSpec{Kind: kind, SampleProb: *sample, MaxDepth: *depth}
+
+	var res sim.Results
+	var spec trace.Spec
+	if *traceFile != "" {
+		res, err = replayTrace(cfg, *traceFile, ps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		spec, err = trace.ByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "workloads: %v\n", trace.Names())
+			os.Exit(1)
+		}
+		res = sim.RunTimed(cfg, spec, ps)
+	}
+
+	fmt.Printf("workload   %s\nvariant    %s\n", res.Workload, res.Variant)
+	fmt.Printf("IPC        %.3f (aggregate over %d cores)\n", res.IPC, cfg.Cores)
+	fmt.Printf("MLP        %.2f\n", res.MLP)
+	fmt.Printf("coverage   %s (full %s, partial %s) of %d baseline misses\n",
+		stats.Pct(res.Coverage()), stats.Pct(res.FullCoverage()),
+		stats.Pct(res.Coverage()-res.FullCoverage()), res.BaselineMisses())
+	fmt.Printf("DRAM util  %s\n", stats.Pct(res.DRAMUtil))
+
+	t := stats.NewTable("DRAM traffic (measurement window)", "class", "accesses", "bytes")
+	for c := 0; c < dram.NumClasses; c++ {
+		if res.Traffic.Accesses[c] == 0 {
+			continue
+		}
+		t.AddRow(dram.Class(c).String(), res.Traffic.Accesses[c], res.Traffic.Bytes(dram.Class(c)))
+	}
+	fmt.Println()
+	fmt.Print(t)
+
+	ov := res.OverheadTraffic()
+	fmt.Printf("\noverhead/useful byte: record %.3f  update %.3f  lookup %.3f  erroneous %.3f  total %.3f\n",
+		ov.Record, ov.Update, ov.Lookup, ov.Erroneous, ov.Total())
+
+	if *compare && *traceFile != "" {
+		fmt.Println("\n(-compare is unavailable with -trace; run each -pref variant on the file instead)")
+	} else if *compare && kind != sim.None {
+		base := sim.RunTimed(cfg, spec, sim.PrefSpec{Kind: sim.None})
+		ideal := sim.RunTimed(cfg, spec, sim.PrefSpec{Kind: sim.Ideal})
+		fmt.Printf("\nspeedup over baseline: %+.1f%% (ideal: %+.1f%%)\n",
+			res.SpeedupOver(&base)*100, ideal.SpeedupOver(&base)*100)
+		if ideal.Coverage() > 0 {
+			fmt.Printf("coverage vs ideal:     %.1f%%\n", 100*res.Coverage()/ideal.Coverage())
+		}
+	}
+}
+
+// replayTrace deals a recorded trace file's records round-robin back into
+// per-core streams (the order stms-trace captured them in) and runs the
+// timed simulation over them.
+func replayTrace(cfg sim.Config, path string, ps sim.PrefSpec) (sim.Results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	perCore := make([][]trace.Record, cfg.Cores)
+	for i, r := range recs {
+		c := i % cfg.Cores
+		perCore[c] = append(perCore[c], r)
+	}
+	gens := make([]trace.Generator, cfg.Cores)
+	for i := range gens {
+		gens[i] = &trace.SliceGenerator{Records: perCore[i]}
+	}
+	return sim.RunTimedTrace(cfg, path, gens, 0.25, ps), nil
+}

@@ -1,0 +1,122 @@
+// Command stms-trace inspects the synthetic workload generators: record
+// mix, stream-length distribution, burstiness, and address arenas. Useful
+// when calibrating workloads against the paper's characteristics.
+//
+// Usage:
+//
+//	stms-trace [-workload oltp-db2] [-records 200000] [-scale 0.125]
+//	           [-seed 42] [-cores 4] [-dump 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stms/internal/stats"
+	"stms/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "web-apache", "workload name")
+	records := flag.Uint64("records", 200_000, "records to generate (total)")
+	scale := flag.Float64("scale", 0.125, "workload scale factor")
+	seed := flag.Uint64("seed", 42, "trace seed")
+	cores := flag.Int("cores", 4, "generator cores sharing the library")
+	dump := flag.Int("dump", 0, "print the first N records")
+	out := flag.String("o", "", "write the generated records to a trace file")
+	flag.Parse()
+
+	spec, err := trace.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "workloads: %v\n", trace.Names())
+		os.Exit(1)
+	}
+	spec = spec.Scaled(*scale)
+	lib := trace.NewLibrary(spec, *seed)
+	gens := make([]trace.Generator, *cores)
+	for i := range gens {
+		gens[i] = trace.NewGenerator(lib, i, *seed)
+	}
+
+	var captured []trace.Record
+	if *out != "" {
+		captured = make([]trace.Record, 0, *records)
+	}
+	var (
+		rec        trace.Record
+		blocks     = map[uint64]struct{}{}
+		instrs     uint64
+		work       uint64
+		deps       uint64
+		gapRecords uint64
+		burstLens  stats.Histogram
+		curBurst   uint64
+	)
+	for i := uint64(0); i < *records; i++ {
+		g := gens[i%uint64(len(gens))]
+		if !g.Next(&rec) {
+			break
+		}
+		if int(i) < *dump {
+			fmt.Printf("%6d core=%d pc=%#x blk=%#x dep=%v instrs=%d work=%d\n",
+				i, i%uint64(len(gens)), rec.PC, rec.Block, rec.Dep, rec.Instrs, rec.Work)
+		}
+		if captured != nil {
+			captured = append(captured, rec)
+		}
+		blocks[rec.Block] = struct{}{}
+		instrs += uint64(rec.Instrs)
+		work += uint64(rec.Work)
+		if rec.Dep {
+			deps++
+		}
+		if rec.Instrs >= spec.GapInstrs/2 {
+			gapRecords++
+			if curBurst > 0 {
+				burstLens.Add(curBurst)
+			}
+			curBurst = 0
+		} else {
+			curBurst++
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteAll(f, captured); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(captured), *out)
+	}
+
+	n := float64(*records)
+	fmt.Printf("workload        %s (scale %g)\n", spec.Name, *scale)
+	fmt.Printf("records         %d across %d cores\n", *records, *cores)
+	fmt.Printf("distinct blocks %d (%.1f MB touched)\n", len(blocks), float64(len(blocks))*64/1e6)
+	fmt.Printf("library         %d streams, footprint %d blocks (%.1f MB), %d churned\n",
+		lenStreams(lib), lib.Footprint(), float64(lib.Footprint())*64/1e6, lib.Regenerated())
+	fmt.Printf("mean instrs     %.1f /record (aggregate IPC ceiling %.2f)\n", float64(instrs)/n, 4.0)
+	fmt.Printf("mean work       %.1f cycles/record\n", float64(work)/n)
+	fmt.Printf("dep fraction    %s\n", stats.Pct(float64(deps)/n))
+	fmt.Printf("compute records %s of records\n", stats.Pct(float64(gapRecords)/n))
+	fmt.Printf("mean burst      %.2f memory records between compute records\n", burstLens.MeanValue())
+	fmt.Printf("burst p50/p90   %d / %d\n", burstLens.Quantile(0.5), burstLens.Quantile(0.9))
+}
+
+func lenStreams(l *trace.Library) int {
+	if l.Spec().IterStream {
+		return -1 // per-core, built lazily
+	}
+	return l.Spec().Streams
+}

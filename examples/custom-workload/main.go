@@ -1,0 +1,75 @@
+// custom-workload shows how to define your own synthetic workload spec and
+// evaluate how well STMS would prefetch it. The example models a graph
+// analytics kernel: long pointer-chase walks over a fixed edge list
+// (highly repetitive iteration order, like the paper's scientific codes)
+// mixed with random vertex-property lookups that never repeat.
+//
+//	go run ./examples/custom-workload
+package main
+
+import (
+	"fmt"
+
+	"stms"
+)
+
+func main() {
+	graph := stms.WorkloadSpec{
+		Name:  "graph-walk",
+		Class: "Sci",
+
+		// One iteration-long stream per core: the edge list is traversed
+		// in the same order every superstep.
+		IterStream: true,
+		IterLen:    96_000,
+
+		ReplayMin: 1.0,
+		SkipProb:  0.01, // occasional frontier-dependent skips
+
+		// 20% of references are random property lookups (not repetitive).
+		NoiseInChase: 0.2,
+		NoiseProb:    0.1,
+		DepChase:     0.6, // pointer chasing partially serializes misses
+		DepNoise:     0.3,
+
+		// Cost model: compute-light per edge, bursts of 2 on average.
+		GapInstrs: 300, GapWork: 330,
+		MemInstrs: 12, MemWork: 6,
+		BurstMean: 2.0, BurstMax: 4,
+		WorkJitter: 0.25,
+		HotBlocks:  16,
+		DirtyFrac:  0.2,
+	}
+	if err := graph.Validate(); err != nil {
+		panic(err)
+	}
+
+	cfg := stms.DefaultConfig()
+	// Quarter-scale system: the 2 MB L2 holds a third of the graph, so
+	// every superstep misses most of the edge list again.
+	cfg.Scale = 0.25
+	cfg.WarmRecords = 60_000
+	cfg.MeasureRecords = 90_000
+
+	base := stms.RunTimed(cfg, graph, stms.PrefSpec{Kind: stms.None})
+	pract := stms.RunTimed(cfg, graph, stms.PrefSpec{Kind: stms.STMS})
+
+	fmt.Printf("graph-walk under STMS (12.5%% sampled updates):\n")
+	fmt.Printf("  baseline IPC   %.3f (MLP %.2f)\n", base.IPC, base.MLP)
+	fmt.Printf("  STMS IPC       %.3f (%+.1f%%)\n", pract.IPC, pract.SpeedupOver(&base)*100)
+	fmt.Printf("  coverage       %.1f%% of %d off-chip misses\n",
+		pract.Coverage()*100, pract.BaselineMisses())
+	fmt.Printf("  prefetches     %d issued, %d wasted\n",
+		pract.Engine.Issued, pract.Engine.Evicted)
+	ov := pract.OverheadTraffic()
+	fmt.Printf("  traffic        %.2f overhead bytes per useful byte\n", ov.Total())
+
+	// The same spec can be swept: how much history does it need?
+	fmt.Printf("\nmeta-data sizing (functional sweeps):\n")
+	for _, entries := range []uint64{2048, 8192, 32768, 131072} {
+		r := stms.RunFunctional(cfg, graph, stms.PrefSpec{Kind: stms.Ideal, HistoryEntries: entries})
+		fmt.Printf("  history %7d entries/core -> coverage %5.1f%%\n", entries, r.Coverage()*100)
+	}
+	fmt.Println("\ncoverage snaps on once the history holds a whole iteration —")
+	fmt.Println("the bimodal scientific behaviour of Figure 5 (left).")
+}

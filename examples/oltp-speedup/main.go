@@ -1,0 +1,50 @@
+// oltp-speedup reproduces the paper's headline comparison (Figures 4 and
+// 9) for the commercial server workloads that motivate temporal memory
+// streaming: OLTP and web serving are pointer-chase dominated, so the
+// stride prefetcher in the baseline barely helps, while address
+// correlation eliminates roughly half of the off-chip misses.
+//
+//	go run ./examples/oltp-speedup
+package main
+
+import (
+	"fmt"
+
+	"stms"
+)
+
+func main() {
+	cfg := stms.DefaultConfig()
+	cfg.Scale = 0.125
+
+	workloads := []string{"web-apache", "web-zeus", "oltp-db2", "oltp-oracle", "dss-qry17"}
+
+	fmt.Printf("%-12s %8s | %8s %8s | %8s %8s | %6s\n",
+		"workload", "MLP", "ideal", "stms", "ideal", "stms", "ratio")
+	fmt.Printf("%-12s %8s | %8s %8s | %8s %8s | %6s\n",
+		"", "", "cov", "cov", "speedup", "speedup", "")
+	fmt.Println("--------------------------------------------------------------------------")
+
+	for _, name := range workloads {
+		spec, err := stms.Workload(name)
+		if err != nil {
+			panic(err)
+		}
+		base := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.None})
+		ideal := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.Ideal})
+		pract := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.STMS})
+
+		ratio := 0.0
+		if c := ideal.Coverage(); c > 0 {
+			ratio = pract.Coverage() / c
+		}
+		fmt.Printf("%-12s %8.2f | %7.1f%% %7.1f%% | %+7.1f%% %+7.1f%% | %5.0f%%\n",
+			name, base.MLP,
+			ideal.Coverage()*100, pract.Coverage()*100,
+			ideal.SpeedupOver(&base)*100, pract.SpeedupOver(&base)*100,
+			ratio*100)
+	}
+
+	fmt.Println("\nNote the DSS row: decision support visits data once, so temporal")
+	fmt.Println("streaming finds little to predict — exactly the paper's §5.2 result.")
+}

@@ -1,0 +1,212 @@
+// Package cache implements the on-chip cache hierarchy components: true-LRU
+// set-associative caches with dirty/writeback tracking, and miss-status
+// holding registers (MSHRs) that merge concurrent misses to the same block.
+//
+// Caches here are functional (hit/miss state machines); timing is applied
+// by the simulator layer that owns them. This separation lets the fast
+// functional driver and the timed driver share identical cache behaviour.
+package cache
+
+import "fmt"
+
+// Config describes a cache's geometry.
+type Config struct {
+	Name       string
+	SizeBytes  int // total capacity
+	Assoc      int // ways per set
+	BlockBytes int // line size (64 across the system)
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Writebacks uint64
+}
+
+// Cache is a set-associative cache with true LRU replacement. All methods
+// take block numbers (byte address >> 6), not byte addresses.
+type Cache struct {
+	cfg     Config
+	sets    int
+	assoc   int
+	setMask uint64
+	// Per-set arrays, flattened: index = set*assoc + way.
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	// lru holds way indices per set, most-recent first.
+	lru []uint8
+
+	stats Stats
+}
+
+// New builds a cache from cfg. Sets must come out a power of two so block
+// numbers can be masked rather than divided.
+func New(cfg Config) *Cache {
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 64
+	}
+	if cfg.Assoc <= 0 {
+		panic("cache: associativity must be positive")
+	}
+	if cfg.Assoc > 255 {
+		panic("cache: associativity above 255 unsupported")
+	}
+	lines := cfg.SizeBytes / cfg.BlockBytes
+	sets := lines / cfg.Assoc
+	if sets == 0 {
+		sets = 1
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, sets))
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		assoc:   cfg.Assoc,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*cfg.Assoc),
+		valid:   make([]bool, sets*cfg.Assoc),
+		dirty:   make([]bool, sets*cfg.Assoc),
+		lru:     make([]uint8, sets*cfg.Assoc),
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < cfg.Assoc; w++ {
+			c.lru[s*cfg.Assoc+w] = uint8(w)
+		}
+	}
+	return c
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters (used at the end of warm-up).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setOf(blk uint64) int { return int(blk & c.setMask) }
+
+func (c *Cache) findWay(set int, blk uint64) int {
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == blk {
+			return w
+		}
+	}
+	return -1
+}
+
+// touch moves way to the MRU position of set.
+func (c *Cache) touch(set, way int) {
+	base := set * c.assoc
+	pos := -1
+	for i := 0; i < c.assoc; i++ {
+		if int(c.lru[base+i]) == way {
+			pos = i
+			break
+		}
+	}
+	if pos <= 0 {
+		if pos == 0 {
+			return
+		}
+		panic("cache: way missing from LRU order")
+	}
+	copy(c.lru[base+1:base+pos+1], c.lru[base:base+pos])
+	c.lru[base] = uint8(way)
+}
+
+// Probe reports whether blk is present without updating LRU or stats.
+func (c *Cache) Probe(blk uint64) bool {
+	return c.findWay(c.setOf(blk), blk) >= 0
+}
+
+// Access performs a demand access to blk: on a hit the line becomes MRU
+// (and dirty if write is set) and Access returns true; on a miss it
+// returns false and the caller is expected to Fill after the miss
+// completes.
+func (c *Cache) Access(blk uint64, write bool) bool {
+	set := c.setOf(blk)
+	way := c.findWay(set, blk)
+	if way < 0 {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.touch(set, way)
+	if write {
+		c.dirty[set*c.assoc+way] = true
+	}
+	return true
+}
+
+// Fill inserts blk (making it MRU). If a valid line is evicted, Fill
+// returns its block number and whether it was dirty (needs writeback).
+// Filling a block that is already present just refreshes its LRU position.
+func (c *Cache) Fill(blk uint64, dirty bool) (victim uint64, writeback bool, evicted bool) {
+	set := c.setOf(blk)
+	base := set * c.assoc
+	if way := c.findWay(set, blk); way >= 0 {
+		c.touch(set, way)
+		if dirty {
+			c.dirty[base+way] = true
+		}
+		return 0, false, false
+	}
+	c.stats.Fills++
+	// Victim is the LRU way; prefer an invalid way if one exists.
+	way := int(c.lru[base+c.assoc-1])
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			way = w
+			break
+		}
+	}
+	if c.valid[base+way] {
+		victim = c.tags[base+way]
+		writeback = c.dirty[base+way]
+		evicted = true
+		if writeback {
+			c.stats.Writebacks++
+		}
+	}
+	c.tags[base+way] = blk
+	c.valid[base+way] = true
+	c.dirty[base+way] = dirty
+	c.touch(set, way)
+	return victim, writeback, evicted
+}
+
+// Invalidate removes blk if present, reporting whether it was found and
+// whether it was dirty.
+func (c *Cache) Invalidate(blk uint64) (found, wasDirty bool) {
+	set := c.setOf(blk)
+	way := c.findWay(set, blk)
+	if way < 0 {
+		return false, false
+	}
+	i := set*c.assoc + way
+	c.valid[i] = false
+	wasDirty = c.dirty[i]
+	c.dirty[i] = false
+	return true, wasDirty
+}
+
+// Occupancy returns the number of valid lines (for tests).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,253 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newSmall(t *testing.T, sizeBytes, assoc int) *Cache {
+	t.Helper()
+	return New(Config{Name: "t", SizeBytes: sizeBytes, Assoc: assoc})
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := newSmall(t, 8*64, 2) // 4 sets, 2 ways
+	if c.Access(1, false) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Fill(1, false)
+	if !c.Access(1, false) {
+		t.Fatal("miss after fill")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newSmall(t, 2*64, 2) // 1 set, 2 ways
+	c.Fill(10, false)
+	c.Fill(20, false)
+	// Touch 10, making 20 the LRU.
+	if !c.Access(10, false) {
+		t.Fatal("10 should hit")
+	}
+	victim, wb, evicted := c.Fill(30, false)
+	if !evicted || victim != 20 || wb {
+		t.Fatalf("expected clean eviction of 20, got victim=%d wb=%v evicted=%v", victim, wb, evicted)
+	}
+	if c.Probe(20) {
+		t.Fatal("20 should be gone")
+	}
+	if !c.Probe(10) || !c.Probe(30) {
+		t.Fatal("10 and 30 should be resident")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := newSmall(t, 2*64, 2)
+	c.Fill(1, true)
+	c.Fill(2, false)
+	_, wb, evicted := c.Fill(3, false) // evicts 1 (LRU), which is dirty
+	if !evicted || !wb {
+		t.Fatalf("expected dirty writeback, got wb=%v evicted=%v", wb, evicted)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteDirties(t *testing.T) {
+	c := newSmall(t, 2*64, 2)
+	c.Fill(1, false)
+	c.Access(1, true) // write hit dirties the line
+	c.Fill(2, false)
+	_, wb, _ := c.Fill(3, false)
+	if !wb {
+		t.Fatal("written line should write back")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newSmall(t, 4*64, 2)
+	c.Fill(5, true)
+	found, dirty := c.Invalidate(5)
+	if !found || !dirty {
+		t.Fatalf("invalidate = %v,%v", found, dirty)
+	}
+	if c.Probe(5) {
+		t.Fatal("still present after invalidate")
+	}
+	found, _ = c.Invalidate(5)
+	if found {
+		t.Fatal("double invalidate found something")
+	}
+}
+
+func TestFillExistingRefreshes(t *testing.T) {
+	c := newSmall(t, 2*64, 2)
+	c.Fill(1, false)
+	c.Fill(2, false)
+	// Re-fill 1: should refresh 1's recency, not evict.
+	_, _, evicted := c.Fill(1, false)
+	if evicted {
+		t.Fatal("re-fill evicted")
+	}
+	// Now 2 is LRU.
+	victim, _, evicted := c.Fill(3, false)
+	if !evicted || victim != 2 {
+		t.Fatalf("victim = %d, want 2", victim)
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	c := newSmall(t, 8*64, 2) // 4 sets
+	// Blocks 0,4,8 map to set 0; block 1 maps to set 1.
+	c.Fill(0, false)
+	c.Fill(4, false)
+	c.Fill(1, false)
+	c.Fill(8, false) // evicts 0 from set 0
+	if c.Probe(0) {
+		t.Fatal("0 should have been evicted from its set")
+	}
+	if !c.Probe(1) {
+		t.Fatal("1 in another set should be untouched")
+	}
+}
+
+func TestOccupancyBounded(t *testing.T) {
+	c := newSmall(t, 16*64, 4)
+	for blk := uint64(0); blk < 1000; blk++ {
+		c.Fill(blk, false)
+	}
+	if occ := c.Occupancy(); occ != 16 {
+		t.Fatalf("occupancy = %d, want 16", occ)
+	}
+}
+
+// referenceSet is a straightforward LRU model for one set.
+type referenceSet struct {
+	blocks []uint64 // MRU first
+	assoc  int
+}
+
+func (r *referenceSet) access(blk uint64) bool {
+	for i, b := range r.blocks {
+		if b == blk {
+			copy(r.blocks[1:i+1], r.blocks[:i])
+			r.blocks[0] = blk
+			return true
+		}
+	}
+	return false
+}
+
+func (r *referenceSet) fill(blk uint64) {
+	if r.access(blk) {
+		return
+	}
+	if len(r.blocks) < r.assoc {
+		r.blocks = append(r.blocks, 0)
+	}
+	copy(r.blocks[1:], r.blocks[:len(r.blocks)-1])
+	r.blocks[0] = blk
+}
+
+// TestLRUMatchesReferenceModel drives one set with random operations and
+// compares against the reference LRU.
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(Config{Name: "ref", SizeBytes: 4 * 64, Assoc: 4})
+		ref := &referenceSet{assoc: 4}
+		for _, op := range ops {
+			// 4 sets exist but we always address set 0 (blk multiple of 4).
+			blk := uint64(op>>2) * 4
+			if op&1 == 0 {
+				got := c.Access(blk, false)
+				want := ref.access(blk)
+				if got != want {
+					return false
+				}
+				if !got {
+					c.Fill(blk, false)
+					ref.fill(blk)
+				}
+			} else {
+				c.Fill(blk, false)
+				ref.fill(blk)
+			}
+		}
+		for _, b := range ref.blocks {
+			if !c.Probe(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHR(4)
+	calls := 0
+	primary, ok := m.Allocate(1, func(uint64) { calls++ })
+	if !primary || !ok {
+		t.Fatal("first allocation should be primary")
+	}
+	primary, ok = m.Allocate(1, func(uint64) { calls++ })
+	if primary || !ok {
+		t.Fatal("second allocation should merge")
+	}
+	if m.Merged != 1 {
+		t.Fatalf("merged = %d", m.Merged)
+	}
+	m.Complete(1, 100)
+	if calls != 2 {
+		t.Fatalf("waiters called %d times, want 2", calls)
+	}
+	if m.Outstanding() != 0 {
+		t.Fatal("entry not freed")
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(1, nil)
+	m.Allocate(2, nil)
+	if !m.Full() {
+		t.Fatal("should be full")
+	}
+	_, ok := m.Allocate(3, nil)
+	if ok {
+		t.Fatal("allocation should fail when full")
+	}
+	if m.Rejected != 1 {
+		t.Fatalf("rejected = %d", m.Rejected)
+	}
+	// Merging into an existing entry still works when full.
+	primary, ok := m.Allocate(1, nil)
+	if primary || !ok {
+		t.Fatal("merge should succeed when full")
+	}
+	m.Complete(1, 5)
+	if m.Full() {
+		t.Fatal("should have room after completion")
+	}
+}
+
+func TestMSHRCompleteAbsent(t *testing.T) {
+	m := NewMSHR(2)
+	m.Complete(99, 1) // must not panic
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two sets")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 3 * 64, Assoc: 1})
+}

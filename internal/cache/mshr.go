@@ -1,0 +1,77 @@
+package cache
+
+// MSHR models a file of miss-status holding registers: a bounded map from
+// in-flight block numbers to the waiters that should be notified when the
+// fill returns. Secondary misses to an in-flight block merge into the
+// existing entry instead of issuing another memory access (Table 1: 32
+// L1 MSHRs, 64 L2 MSHRs).
+type MSHR struct {
+	cap     int
+	entries map[uint64]*mshrEntry
+
+	// Merged counts secondary misses absorbed by an existing entry.
+	Merged uint64
+	// Rejected counts allocation attempts that failed because the file
+	// was full.
+	Rejected uint64
+}
+
+type mshrEntry struct {
+	waiters []func(now uint64)
+}
+
+// NewMSHR creates an MSHR file with capacity entries.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{cap: capacity, entries: make(map[uint64]*mshrEntry, capacity)}
+}
+
+// Outstanding returns the number of live entries.
+func (m *MSHR) Outstanding() int { return len(m.entries) }
+
+// Full reports whether no further primary misses can allocate.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.cap }
+
+// InFlight reports whether blk already has an entry.
+func (m *MSHR) InFlight(blk uint64) bool {
+	_, ok := m.entries[blk]
+	return ok
+}
+
+// Allocate requests an entry for blk.
+//
+// Returns (primary=true) when a new entry was created and the caller must
+// issue the memory access; (primary=false, ok=true) when the miss merged
+// into an existing entry; and ok=false when the file is full and the
+// caller must retry later.
+func (m *MSHR) Allocate(blk uint64, waiter func(now uint64)) (primary, ok bool) {
+	if e, exists := m.entries[blk]; exists {
+		if waiter != nil {
+			e.waiters = append(e.waiters, waiter)
+		}
+		m.Merged++
+		return false, true
+	}
+	if len(m.entries) >= m.cap {
+		m.Rejected++
+		return false, false
+	}
+	e := &mshrEntry{}
+	if waiter != nil {
+		e.waiters = append(e.waiters, waiter)
+	}
+	m.entries[blk] = e
+	return true, true
+}
+
+// Complete retires the entry for blk and invokes all merged waiters with
+// the completion time. Completing an absent block is a no-op.
+func (m *MSHR) Complete(blk uint64, now uint64) {
+	e, ok := m.entries[blk]
+	if !ok {
+		return
+	}
+	delete(m.entries, blk)
+	for _, w := range e.waiters {
+		w(now)
+	}
+}

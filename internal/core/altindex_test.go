@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stms/internal/prefetch"
+)
+
+func TestDirectIndexBasics(t *testing.T) {
+	d := newDirectIndex(1024)
+	if _, ok, lines := d.Lookup(5); ok || lines != 1 {
+		t.Fatalf("empty lookup: ok=%v lines=%d", ok, lines)
+	}
+	if lines := d.Update(5, 77); lines != 1 {
+		t.Fatalf("update lines = %d", lines)
+	}
+	ptr, ok, _ := d.Lookup(5)
+	if !ok || ptr != 77 {
+		t.Fatalf("lookup = %d,%v", ptr, ok)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestDirectIndexConflicts(t *testing.T) {
+	d := newDirectIndex(64) // 8 slots
+	for i := uint64(0); i < 1000; i++ {
+		d.Update(i, i)
+	}
+	if d.Conflicts == 0 {
+		t.Fatal("thrashing a tiny direct-mapped table produced no conflicts")
+	}
+	if d.Len() > 8 {
+		t.Fatalf("len = %d exceeds slots", d.Len())
+	}
+}
+
+func TestOpenIndexBasics(t *testing.T) {
+	o := newOpenIndex(1024, 16)
+	o.Update(10, 100)
+	o.Update(11, 110)
+	ptr, ok, lines := o.Lookup(10)
+	if !ok || ptr != 100 || lines < 1 {
+		t.Fatalf("lookup = %d,%v,%d", ptr, ok, lines)
+	}
+	// Updating an existing key must not grow occupancy.
+	o.Update(10, 101)
+	if o.Len() != 2 {
+		t.Fatalf("len = %d", o.Len())
+	}
+	ptr, _, _ = o.Lookup(10)
+	if ptr != 101 {
+		t.Fatalf("update lost: %d", ptr)
+	}
+}
+
+func TestOpenIndexProbeCostGrowsWithLoad(t *testing.T) {
+	o := newOpenIndex(8192, 16) // 1024 slots
+	// Fill to ~95% load.
+	for i := uint64(0); i < 973; i++ {
+		o.Update(i*2654435761, i)
+	}
+	probesBefore := o.ProbeTotal
+	opsBefore := o.Ops
+	for i := uint64(5000); i < 5200; i++ {
+		o.Lookup(i * 2654435761)
+	}
+	avg := float64(o.ProbeTotal-probesBefore) / float64(o.Ops-opsBefore)
+	if avg < 2 {
+		t.Fatalf("avg probes %v at high load - expected clustering cost", avg)
+	}
+	if o.ForcedEvict == 0 {
+		// Push to overflow.
+		for i := uint64(10_000); i < 11_000; i++ {
+			o.Update(i*2654435761, i)
+		}
+		if o.ForcedEvict == 0 {
+			t.Fatal("no forced evictions under overflow")
+		}
+	}
+}
+
+func TestLinesTouched(t *testing.T) {
+	cases := []struct {
+		start  uint64
+		probes int
+		want   int
+	}{
+		{0, 1, 1}, {0, 8, 1}, {0, 9, 2}, {7, 2, 2}, {8, 8, 1}, {15, 1, 1}, {4, 16, 3},
+	}
+	for _, c := range cases {
+		if got := linesTouched(c.start, c.probes); got != c.want {
+			t.Errorf("linesTouched(%d,%d) = %d, want %d", c.start, c.probes, got, c.want)
+		}
+	}
+}
+
+func TestAltIndexLookupNeverFalsePositive(t *testing.T) {
+	f := func(keys []uint64) bool {
+		d := newDirectIndex(512)
+		o := newOpenIndex(512, 8)
+		seen := map[uint64]uint64{}
+		for i, k := range keys {
+			d.Update(k, uint64(i))
+			o.Update(k, uint64(i))
+			seen[k] = uint64(i)
+		}
+		for k, want := range seen {
+			if ptr, ok, _ := d.Lookup(k); ok && d.slots[d.slotOf(k)].blk == k && ptr != want {
+				return false // a direct hit must return the latest value
+			}
+			if ptr, ok, _ := o.Lookup(k); ok && ptr != want {
+				// open addressing with forced eviction may lose entries,
+				// but a hit must never return a stale pointer for a
+				// *present* key
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetaWithAlternativeOrgs(t *testing.T) {
+	for _, org := range []IndexOrg{OrgDirectMapped, OrgOpenAddress} {
+		env := newFakeEnv()
+		cfg := smallConfig()
+		cfg.Org = org
+		m := NewMeta(env, cfg)
+		for _, b := range []uint64{10, 11, 12, 13} {
+			m.Record(0, b, false)
+		}
+		cur := lookupSTMS(t, m, 0, 10)
+		if cur == nil {
+			t.Fatalf("%v: recorded block not found", org)
+		}
+		var addrs []uint64
+		m.ReadNext(cur, 12, func(a, p []uint64, mk bool, ma uint64) { addrs = a })
+		if len(addrs) != 3 {
+			t.Fatalf("%v: successors = %v", org, addrs)
+		}
+		if m.Index() != nil {
+			t.Fatalf("%v: bucketized table should be absent", org)
+		}
+	}
+}
+
+func TestOrgStrings(t *testing.T) {
+	if OrgBucketLRU.String() != "bucket-lru" ||
+		OrgDirectMapped.String() != "direct-mapped" ||
+		OrgOpenAddress.String() != "open-address" {
+		t.Fatal("organization names")
+	}
+}
+
+// TestEndToEndAltOrgCoverage: all three organizations must stream a
+// recurring sequence; the flat ones may lose entries but not collapse on a
+// tiny working set.
+func TestEndToEndAltOrgCoverage(t *testing.T) {
+	for _, org := range []IndexOrg{OrgBucketLRU, OrgDirectMapped, OrgOpenAddress} {
+		env := newFakeEnv()
+		cfg := smallConfig()
+		cfg.Cores = 1
+		cfg.Org = org
+		eng, _ := New(env, cfg, prefetch.DefaultEngineConfig(1))
+		seq := make([]uint64, 48)
+		for i := range seq {
+			seq[i] = uint64(7000 + i*5)
+		}
+		for _, b := range seq {
+			eng.TriggerMiss(0, b)
+			eng.Record(0, b, false)
+		}
+		eng.TriggerMiss(0, seq[0])
+		eng.Record(0, seq[0], false)
+		covered := 0
+		for _, b := range seq[1:] {
+			if res := eng.Probe(0, b, nil); res.State == prefetch.ProbeReady {
+				covered++
+				eng.Record(0, b, true)
+			} else {
+				eng.TriggerMiss(0, b)
+				eng.Record(0, b, false)
+			}
+		}
+		if covered < 35 {
+			t.Errorf("%v: covered %d of 47", org, covered)
+		}
+	}
+}

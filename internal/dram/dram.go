@@ -1,0 +1,219 @@
+// Package dram models the off-chip memory interface the paper's analysis
+// revolves around: a fixed-latency DRAM with a finite-bandwidth channel and
+// two priority classes.
+//
+// Geometry follows Table 1: 45 ns access latency (180 cycles at 4 GHz) and
+// 28.4 GB/s peak bandwidth with 64-byte transfers, i.e. one transfer every
+// ~9 cycles. Demand traffic is served at high priority; all predictor
+// meta-data and prefetch traffic is low priority ("We find that assigning a
+// low priority to predictor memory traffic is essential", §4.3).
+//
+// Every access carries a Class so the experiment harness can reconstruct
+// Figure 7's overhead breakdown (record streams / update index / lookup
+// streams / incorrect prefetches) directly from controller counters.
+package dram
+
+import (
+	"stms/internal/event"
+	"stms/internal/mem"
+)
+
+// Class labels the purpose of a memory access for traffic accounting.
+type Class uint8
+
+// Traffic classes. Demand and Writeback are the base system's "useful"
+// traffic; everything else is prefetcher overhead of one kind or another.
+const (
+	Demand        Class = iota // demand cache-block fetch (read)
+	Writeback                  // dirty eviction (write)
+	StrideData                 // stride-prefetched block (read)
+	StreamData                 // temporally-streamed block (read)
+	IndexLookup                // index-table bucket read on lookup
+	IndexUpdateRd              // index-table bucket read for update
+	IndexUpdateWr              // index-table bucket writeback
+	HistoryAppend              // packed history-buffer write (12 entries/line)
+	HistoryRead                // history-buffer line read while streaming
+	EndMarkWrite               // stream-end annotation write
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"demand", "writeback", "stride", "stream-data", "index-lookup",
+	"index-update-rd", "index-update-wr", "history-append", "history-read",
+	"end-mark",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// NumClasses is the number of traffic classes.
+const NumClasses = int(numClasses)
+
+// Config sets the controller's timing parameters.
+type Config struct {
+	// LatencyCycles is the unloaded access latency (request start to data
+	// available). Table 1: 45 ns at 4 GHz = 180 cycles.
+	LatencyCycles uint64
+	// XferCycles is the channel occupancy of one 64-byte transfer.
+	// 28.4 GB/s at 4 GHz = 64 B every ~9 cycles.
+	XferCycles uint64
+}
+
+// DefaultConfig returns Table 1's memory system.
+func DefaultConfig() Config {
+	return Config{LatencyCycles: 180, XferCycles: 9}
+}
+
+// Traffic accumulates per-class access counts; bytes are counts × 64.
+type Traffic struct {
+	Accesses [NumClasses]uint64
+}
+
+// Bytes returns the byte volume of class c.
+func (t Traffic) Bytes(c Class) uint64 {
+	return t.Accesses[c] * mem.BlockBytes
+}
+
+// TotalAccesses sums all classes.
+func (t Traffic) TotalAccesses() uint64 {
+	var s uint64
+	for _, a := range t.Accesses {
+		s += a
+	}
+	return s
+}
+
+// Sub returns the element-wise difference t - old (for measurement
+// windows).
+func (t Traffic) Sub(old Traffic) Traffic {
+	var d Traffic
+	for i := range t.Accesses {
+		d.Accesses[i] = t.Accesses[i] - old.Accesses[i]
+	}
+	return d
+}
+
+type request struct {
+	class    Class
+	isWrite  bool
+	done     func(now uint64)
+	enqueued uint64
+}
+
+// Controller is the event-driven memory controller. All requests transfer
+// exactly one 64-byte block.
+type Controller struct {
+	cfg Config
+	eng *event.Engine
+
+	hi, lo  []request // FIFO queues per priority
+	busy    bool
+	traffic Traffic
+
+	// busyCycles integrates channel occupancy for utilization reporting.
+	busyCycles uint64
+	// queueDelay accumulates cycles spent waiting before service.
+	queueDelay   uint64
+	servedCount  uint64
+	createdCycle uint64
+}
+
+// New builds a controller on the given engine.
+func New(eng *event.Engine, cfg Config) *Controller {
+	return &Controller{cfg: cfg, eng: eng, createdCycle: eng.Now()}
+}
+
+// Traffic returns a copy of the per-class counters.
+func (c *Controller) Traffic() Traffic { return c.traffic }
+
+// Utilization returns the fraction of cycles the channel was busy since
+// construction (or the last ResetStats).
+func (c *Controller) Utilization() float64 {
+	elapsed := c.eng.Now() - c.createdCycle
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(c.busyCycles) / float64(elapsed)
+}
+
+// AvgQueueDelay returns the mean cycles requests waited for the channel.
+func (c *Controller) AvgQueueDelay() float64 {
+	if c.servedCount == 0 {
+		return 0
+	}
+	return float64(c.queueDelay) / float64(c.servedCount)
+}
+
+// ResetStats zeroes traffic and utilization counters (end of warm-up).
+// In-flight requests continue unaffected.
+func (c *Controller) ResetStats() {
+	c.traffic = Traffic{}
+	c.busyCycles = 0
+	c.queueDelay = 0
+	c.servedCount = 0
+	c.createdCycle = c.eng.Now()
+}
+
+// QueueLen returns current queue occupancy (high, low).
+func (c *Controller) QueueLen() (hi, lo int) { return len(c.hi), len(c.lo) }
+
+// Read issues a block read of the given class. done fires when the data is
+// available (service start + access latency). hiPri selects the priority
+// queue; only demand traffic should be high priority.
+func (c *Controller) Read(class Class, hiPri bool, done func(now uint64)) {
+	c.enqueue(request{class: class, done: done, enqueued: c.eng.Now()}, hiPri)
+}
+
+// Write issues a block write of the given class. Writes are fire-and-forget
+// for the issuer (the data leaves an on-chip buffer) but still consume
+// channel bandwidth.
+func (c *Controller) Write(class Class, hiPri bool) {
+	c.enqueue(request{class: class, isWrite: true, enqueued: c.eng.Now()}, hiPri)
+}
+
+func (c *Controller) enqueue(r request, hiPri bool) {
+	c.traffic.Accesses[r.class]++
+	if hiPri {
+		c.hi = append(c.hi, r)
+	} else {
+		c.lo = append(c.lo, r)
+	}
+	c.tryStart()
+}
+
+func (c *Controller) tryStart() {
+	if c.busy {
+		return
+	}
+	var r request
+	switch {
+	case len(c.hi) > 0:
+		r = c.hi[0]
+		c.hi = c.hi[1:]
+	case len(c.lo) > 0:
+		r = c.lo[0]
+		c.lo = c.lo[1:]
+	default:
+		return
+	}
+	c.busy = true
+	now := c.eng.Now()
+	c.queueDelay += now - r.enqueued
+	c.servedCount++
+	c.busyCycles += c.cfg.XferCycles
+	// Channel is occupied for one transfer slot; data is available after
+	// the full access latency.
+	c.eng.Schedule(c.cfg.XferCycles, func() {
+		c.busy = false
+		c.tryStart()
+	})
+	if !r.isWrite && r.done != nil {
+		done := r.done
+		c.eng.Schedule(c.cfg.LatencyCycles, func() { done(c.eng.Now()) })
+	}
+}

@@ -1,0 +1,128 @@
+// Package event implements the deterministic discrete-event engine that
+// drives the timed simulator.
+//
+// All components (cores, DRAM controller, stream engines) schedule callbacks
+// at absolute cycle times on a single engine. Events at equal times fire in
+// scheduling order (a monotonically increasing sequence number breaks ties),
+// which makes every simulation bit-for-bit reproducible.
+package event
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// not usable; call NewEngine.
+type Engine struct {
+	now   uint64
+	seq   uint64
+	items []item
+}
+
+type item struct {
+	when uint64
+	seq  uint64
+	fn   func()
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{items: make([]item, 0, 1024)}
+}
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.items) }
+
+// Schedule arranges for fn to run delay cycles from now.
+func (e *Engine) Schedule(delay uint64, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time when. Times in the past are
+// clamped to the present: the event fires at Now() but after events already
+// scheduled for Now().
+func (e *Engine) At(when uint64, fn func()) {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	e.items = append(e.items, item{when: when, seq: e.seq, fn: fn})
+	e.up(len(e.items) - 1)
+}
+
+// Step fires the earliest pending event and advances time to it.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.items) == 0 {
+		return false
+	}
+	top := e.items[0]
+	n := len(e.items) - 1
+	e.items[0] = e.items[n]
+	e.items = e.items[:n]
+	if n > 0 {
+		e.down(0)
+	}
+	e.now = top.when
+	top.fn()
+	return true
+}
+
+// RunUntil fires events in order until the next event would be later than t
+// (or no events remain), then advances time to t.
+func (e *Engine) RunUntil(t uint64) {
+	for len(e.items) > 0 && e.items[0].when <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Drain fires events until none remain or until the predicate stop returns
+// true (checked between events). A nil stop drains everything.
+func (e *Engine) Drain(stop func() bool) {
+	for len(e.items) > 0 {
+		if stop != nil && stop() {
+			return
+		}
+		e.Step()
+	}
+}
+
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.items[i], &e.items[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.items[i], e.items[parent] = e.items[parent], e.items[i]
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		e.items[i], e.items[smallest] = e.items[smallest], e.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,161 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"stms/internal/core"
+	"stms/internal/prefetch"
+	"stms/internal/sim"
+	"stms/internal/stats"
+)
+
+// Ablations quantify the design choices the paper asserts but does not
+// plot: the index-table organization study of §4.3/§5.4, the 8 KB bucket
+// buffer, the in-bucket associativity, the stream engine's runahead ramp
+// and abandonment threshold, and the pair-wise-vs-streaming gap that
+// motivates temporal streams in the first place (§2).
+
+// ablWorkloads is the representative subset used by the ablations: one
+// web, one OLTP, one scientific.
+var ablWorkloads = []string{"web-apache", "oltp-oracle", "sci-em3d"}
+
+func (r *Runner) stmsWith(mutate func(*core.Config)) sim.PrefSpec {
+	cfg := core.DefaultConfig(4).Scaled(r.O.Scale)
+	cfg.Seed = r.O.Seed
+	cfg.SampleProb = 0.125
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return sim.PrefSpec{Kind: sim.STMS, STMSCfg: &cfg}
+}
+
+// AblIndexOrg regenerates §5.4's organization study: bucketized LRU
+// hashing versus direct-mapped and open-addressed tables of the same
+// main-memory budget. The budget is deliberately tight (1/8 of the
+// default) — at generous sizes every organization works, which is itself
+// the storage-density point; under pressure the flat tables pay with
+// conflicts (direct-mapped) or probe chains (open addressing).
+func (r *Runner) AblIndexOrg() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: index-table organization (tight equal storage, §4.3/§5.4)",
+		"workload", "organization", "coverage", "lookup ovh", "update ovh", "total ovh")
+	for _, w := range ablWorkloads {
+		for _, org := range []core.IndexOrg{core.OrgBucketLRU, core.OrgDirectMapped, core.OrgOpenAddress} {
+			org := org
+			res := r.Timed(w, r.stmsWith(func(c *core.Config) {
+				c.Org = org
+				c.IndexBytes /= 8
+			}))
+			ov := res.OverheadTraffic()
+			t.AddRow(shortName(w), org.String(), stats.Pct(res.Coverage()),
+				ov.Lookup, ov.Update, ov.Total())
+		}
+	}
+	return t
+}
+
+// AblBucketBuffer sweeps the on-chip bucket buffer that coalesces index
+// read-modify-write traffic (the paper picks 8 KB).
+func (r *Runner) AblBucketBuffer() *stats.Table {
+	t := stats.NewTable("Ablation: bucket buffer size (index RMW coalescing, §4.3)",
+		"workload", "buffer", "update ovh", "lookup ovh", "coverage")
+	for _, w := range []string{"web-apache", "oltp-db2"} {
+		for _, kb := range []int{0, 1, 8, 64} {
+			kb := kb
+			res := r.Timed(w, r.stmsWith(func(c *core.Config) {
+				c.BucketBufferBytes = kb << 10
+				if kb == 0 {
+					c.BucketBufferBytes = 64 // one bucket: effectively none
+				}
+			}))
+			ov := res.OverheadTraffic()
+			label := fmt.Sprintf("%d KB", kb)
+			if kb == 0 {
+				label = "none"
+			}
+			t.AddRow(shortName(w), label, ov.Update, ov.Lookup, stats.Pct(res.Coverage()))
+		}
+	}
+	return t
+}
+
+// AblBucketWays sweeps in-bucket associativity at constant index bytes;
+// fewer ways per 64-byte bucket waste line space and thrash hot buckets.
+func (r *Runner) AblBucketWays() *stats.Table {
+	t := stats.NewTable("Ablation: entries per index bucket (12 fill one line, §5.4)",
+		"workload", "ways", "coverage")
+	for _, w := range []string{"web-apache", "oltp-db2"} {
+		for _, ways := range []int{2, 4, 8, 12} {
+			ways := ways
+			res := r.Timed(w, r.stmsWith(func(c *core.Config) { c.BucketWays = ways }))
+			t.AddRow(shortName(w), ways, stats.Pct(res.Coverage()))
+		}
+	}
+	return t
+}
+
+// AblRunahead sweeps the stream engine's credit ramp: the initial fetch
+// allowance of an unconfirmed stream trades erroneous-prefetch bandwidth
+// against ramp-up coverage.
+func (r *Runner) AblRunahead() *stats.Table {
+	t := stats.NewTable("Ablation: stream runahead ramp (initial credit / per-hit growth)",
+		"workload", "initial", "per-hit", "coverage", "erroneous ovh")
+	for _, w := range []string{"web-apache"} {
+		for _, init := range []int{2, 4, 8, 16, 32} {
+			ecfg := prefetch.DefaultEngineConfig(4)
+			ecfg.InitialCredit = init
+			res := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125, Engine: &ecfg})
+			ov := res.OverheadTraffic()
+			t.AddRow(shortName(w), init, ecfg.CreditPerHit,
+				stats.Pct(res.Coverage()), ov.Erroneous)
+		}
+	}
+	return t
+}
+
+// AblAbandon sweeps how many unproductive trigger misses the engine
+// tolerates before abandoning a stream.
+func (r *Runner) AblAbandon() *stats.Table {
+	t := stats.NewTable("Ablation: stream abandonment threshold",
+		"workload", "abandon-after", "coverage", "erroneous ovh", "lookup ovh")
+	for _, w := range []string{"web-apache", "dss-qry17"} {
+		for _, n := range []int{1, 2, 4, 8} {
+			ecfg := prefetch.DefaultEngineConfig(4)
+			ecfg.AbandonAfter = n
+			if ecfg.AdoptAfter > n {
+				ecfg.AdoptAfter = n
+			}
+			res := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125, Engine: &ecfg})
+			ov := res.OverheadTraffic()
+			t.AddRow(shortName(w), n, stats.Pct(res.Coverage()), ov.Erroneous, ov.Lookup)
+		}
+	}
+	return t
+}
+
+// AblPairwise contrasts the Markov (pair-wise) predictor with streaming
+// designs: the §2 argument that predicting one miss per lookup caps
+// coverage and lookahead.
+func (r *Runner) AblPairwise() *stats.Table {
+	t := stats.NewTable("Ablation: pair-wise correlation vs. temporal streaming (§2)",
+		"workload", "markov cov", "stms cov", "ideal cov")
+	for _, w := range []string{"web-apache", "oltp-db2", "sci-em3d"} {
+		mk := r.Timed(w, sim.PrefSpec{Kind: sim.Markov})
+		st := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125})
+		id := r.Timed(w, sim.PrefSpec{Kind: sim.Ideal})
+		t.AddRow(shortName(w), stats.Pct(mk.Coverage()), stats.Pct(st.Coverage()),
+			stats.Pct(id.Coverage()))
+	}
+	return t
+}
+
+// Ablations runs the whole ablation suite.
+func (r *Runner) Ablations(w io.Writer) {
+	fmt.Fprintln(w, r.AblIndexOrg())
+	fmt.Fprintln(w, r.AblBucketBuffer())
+	fmt.Fprintln(w, r.AblBucketWays())
+	fmt.Fprintln(w, r.AblRunahead())
+	fmt.Fprintln(w, r.AblAbandon())
+	fmt.Fprintln(w, r.AblPairwise())
+}

@@ -1,0 +1,93 @@
+package expt
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+func TestAblIndexOrgTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs many timed sims; skipped in -short mode")
+	}
+	o := tinyOptions()
+	o.Warm, o.Measure = 20_000, 25_000
+	r := NewRunner(o)
+	tb := r.AblIndexOrg()
+	if len(tb.Rows) != 9 { // 3 workloads x 3 organizations
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	cov := map[string]float64{}
+	for _, row := range tb.Rows {
+		if row[0] != "Apache" {
+			continue
+		}
+		cov[row[1]] = pct(t, row[2])
+	}
+	// Bucket-LRU must not be beaten by direct mapping at a tight budget.
+	if cov["direct-mapped"] > cov["bucket-lru"]+3 {
+		t.Errorf("direct-mapped %v should not beat bucket-lru %v", cov["direct-mapped"], cov["bucket-lru"])
+	}
+}
+
+func TestAblPairwiseOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipped in -short mode")
+	}
+	o := tinyOptions()
+	o.Warm, o.Measure = 20_000, 25_000
+	r := NewRunner(o)
+	tb := r.AblPairwise()
+	for _, row := range tb.Rows {
+		markov := pct(t, row[1])
+		stms := pct(t, row[2])
+		ideal := pct(t, row[3])
+		if markov > stms+5 {
+			t.Errorf("%s: markov %v beats stms %v", row[0], markov, stms)
+		}
+		if stms > ideal+5 {
+			t.Errorf("%s: stms %v beats ideal %v", row[0], stms, ideal)
+		}
+	}
+}
+
+func TestAblRunaheadMonotoneErroneous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipped in -short mode")
+	}
+	o := tinyOptions()
+	o.Warm, o.Measure = 20_000, 25_000
+	r := NewRunner(o)
+	tb := r.AblRunahead()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	first, err := strconv.ParseFloat(tb.Rows[0][4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(tb.Rows[len(tb.Rows)-1][4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More initial runahead cannot reduce erroneous traffic.
+	if last < first-0.02 {
+		t.Errorf("erroneous overhead fell with more runahead: %v -> %v", first, last)
+	}
+}
+
+func TestAblationsWriteOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipped in -short mode")
+	}
+	o := tinyOptions()
+	o.Warm, o.Measure = 10_000, 12_000
+	r := NewRunner(o)
+	var buf bytes.Buffer
+	if err := r.ByID("abl", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no ablation output")
+	}
+}

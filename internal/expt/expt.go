@@ -1,0 +1,152 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment returns aligned-text tables carrying
+// the same rows/series the paper reports; DESIGN.md §4 maps experiment IDs
+// to paper artifacts.
+//
+// Experiments share a Runner so matched runs (the stride-only baseline,
+// the idealized prefetcher) are simulated once per workload and reused
+// across figures, exactly as the paper's matched-pair methodology reuses
+// checkpoints.
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"stms/internal/sim"
+	"stms/internal/stats"
+	"stms/internal/trace"
+)
+
+// Options control experiment scale. The defaults target a few minutes for
+// the full suite; Figure shapes are scale-invariant (DESIGN.md §2).
+type Options struct {
+	// Scale shrinks caches, meta-data and workload footprints together.
+	Scale float64
+	// Seed drives trace generation and sampling.
+	Seed uint64
+	// Warm and Measure are per-core record counts.
+	Warm, Measure uint64
+}
+
+// DefaultOptions is the standard experiment scale (1/8 of the paper's
+// sizes).
+func DefaultOptions() Options {
+	return Options{Scale: 0.125, Seed: 42, Warm: 80_000, Measure: 120_000}
+}
+
+// Quick returns options sized for go test / CI: same shapes, smaller
+// windows.
+func (o Options) Quick() Options {
+	o.Scale = 0.0625
+	o.Warm /= 4
+	o.Measure /= 4
+	return o
+}
+
+// Config builds the simulator configuration for these options.
+func (o Options) Config() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = o.Scale
+	cfg.Seed = o.Seed
+	cfg.WarmRecords = o.Warm
+	cfg.MeasureRecords = o.Measure
+	return cfg
+}
+
+// Runner memoizes simulation runs across experiments.
+type Runner struct {
+	O     Options
+	cache map[string]sim.Results
+}
+
+// NewRunner creates a runner for the given options.
+func NewRunner(o Options) *Runner {
+	return &Runner{O: o, cache: make(map[string]sim.Results)}
+}
+
+func (r *Runner) key(mode, workload string, ps sim.PrefSpec) string {
+	scfg := ""
+	if ps.STMSCfg != nil {
+		c := ps.STMSCfg
+		scfg = fmt.Sprintf("h%d-i%d-p%g-w%d-b%d-o%d",
+			c.HistoryBytesPerCore, c.IndexBytes, c.SampleProb,
+			c.BucketWays, c.BucketBufferBytes, c.Org)
+	}
+	ecfg := ""
+	if ps.Engine != nil {
+		ecfg = fmt.Sprintf("e%+v", *ps.Engine)
+	}
+	return fmt.Sprintf("%s|%s|%v|d%d|h%d|i%d|p%g|%s|%s",
+		mode, workload, ps.Kind, ps.MaxDepth, ps.HistoryEntries, ps.IndexEntries, ps.SampleProb, scfg, ecfg)
+}
+
+// Timed runs (or recalls) a timed simulation.
+func (r *Runner) Timed(workload string, ps sim.PrefSpec) sim.Results {
+	k := r.key("t", workload, ps)
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	spec, err := trace.ByName(workload)
+	if err != nil {
+		panic(err)
+	}
+	res := sim.RunTimed(r.O.Config(), spec, ps)
+	r.cache[k] = res
+	return res
+}
+
+// Functional runs (or recalls) a functional simulation.
+func (r *Runner) Functional(workload string, ps sim.PrefSpec) sim.Results {
+	k := r.key("f", workload, ps)
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	spec, err := trace.ByName(workload)
+	if err != nil {
+		panic(err)
+	}
+	res := sim.RunFunctional(r.O.Config(), spec, ps)
+	r.cache[k] = res
+	return res
+}
+
+// shortName compresses workload names for column headers
+// ("web-apache" → "Apache").
+func shortName(w string) string {
+	switch w {
+	case "web-apache":
+		return "Apache"
+	case "web-zeus":
+		return "Zeus"
+	case "oltp-db2":
+		return "OLTP-DB2"
+	case "oltp-oracle":
+		return "Oracle"
+	case "dss-qry2":
+		return "DSS-Q2"
+	case "dss-qry17":
+		return "DSS-DB2"
+	case "sci-em3d":
+		return "em3d"
+	case "sci-moldyn":
+		return "moldyn"
+	case "sci-ocean":
+		return "ocean"
+	}
+	return w
+}
+
+// geomeanOf collects the geometric mean of a map's values in key order.
+func geomeanOf(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	return stats.GeoMean(vals)
+}

@@ -1,0 +1,184 @@
+package expt
+
+import (
+	"fmt"
+
+	"stms/internal/core"
+	"stms/internal/mem"
+	"stms/internal/sim"
+	"stms/internal/stats"
+	"stms/internal/trace"
+)
+
+// scaleMB converts a full-scale megabyte figure to this run's scale.
+func (r *Runner) scaleMB(fullMB float64) float64 { return fullMB * r.O.Scale }
+
+// Fig4 reproduces Figure 4: idealized TMS coverage (left) and speedup
+// (right) over the stride-only baseline, per workload.
+func (r *Runner) Fig4() *stats.Table {
+	t := stats.NewTable("Figure 4: idealized TMS prefetching potential",
+		"workload", "coverage", "speedup", "baseIPC", "idealIPC", "MLP(base)")
+	for _, w := range trace.FigureEight() {
+		base := r.Timed(w, sim.PrefSpec{Kind: sim.None})
+		ideal := r.Timed(w, sim.PrefSpec{Kind: sim.Ideal})
+		t.AddRow(shortName(w), stats.Pct(ideal.Coverage()), stats.Pct(ideal.SpeedupOver(&base)),
+			base.IPC, ideal.IPC, base.MLP)
+	}
+	return t
+}
+
+// Table2 reproduces Table 2: baseline memory-level parallelism of off-chip
+// reads.
+func (r *Runner) Table2() *stats.Table {
+	t := stats.NewTable("Table 2: memory-level parallelism of off-chip reads (baseline)",
+		"workload", "MLP")
+	for _, w := range trace.FigureEight() {
+		base := r.Timed(w, sim.PrefSpec{Kind: sim.None})
+		t.AddRow(shortName(w), base.MLP)
+	}
+	return t
+}
+
+// Fig1Left reproduces Figure 1 (left): average commercial coverage as a
+// function of correlation-table (index) entries, idealized prefetcher.
+func (r *Runner) Fig1Left() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 1 (left): coverage vs. correlation table entries (commercial avg, scale=%g)", r.O.Scale),
+		"entries(full-scale)", "entries(run)", "avg coverage")
+	fullScale := []uint64{10_000, 40_000, 160_000, 640_000, 2_560_000, 10_240_000}
+	for _, fs := range fullScale {
+		cap := uint64(float64(fs) * r.O.Scale)
+		if cap < 64 {
+			cap = 64
+		}
+		var covs []float64
+		for _, w := range trace.Commercial() {
+			res := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal, IndexEntries: cap})
+			covs = append(covs, res.Coverage())
+		}
+		var sum float64
+		for _, c := range covs {
+			sum += c
+		}
+		t.AddRow(fs, cap, stats.Pct(sum/float64(len(covs))))
+	}
+	return t
+}
+
+// Fig5History reproduces Figure 5 (left): coverage vs. aggregate history
+// buffer size, ideal (unbounded) index.
+func (r *Runner) Fig5History() *stats.Table {
+	cols := []string{"aggregate-MB(full)", "MB(run)"}
+	for _, w := range trace.FigureEight() {
+		cols = append(cols, shortName(w))
+	}
+	t := stats.NewTable("Figure 5 (left): coverage vs. history buffer size", cols...)
+	for _, fullMB := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128} {
+		runMB := r.scaleMB(fullMB)
+		entriesPerCore := uint64(runMB * float64(mem.MB) / 64 * 12 / 4)
+		if entriesPerCore < 24 {
+			entriesPerCore = 24
+		}
+		row := []interface{}{fullMB, stats.FormatFloat(runMB)}
+		for _, w := range trace.FigureEight() {
+			res := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal, HistoryEntries: entriesPerCore})
+			row = append(row, stats.Pct(res.Coverage()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig5Index reproduces Figure 5 (right): coverage vs. index table size for
+// the hash-bucket organization (unbounded history, zero-latency access).
+func (r *Runner) Fig5Index() *stats.Table {
+	cols := []string{"index-MB(full)", "MB(run)"}
+	for _, w := range trace.FigureEight() {
+		cols = append(cols, shortName(w))
+	}
+	t := stats.NewTable("Figure 5 (right): coverage vs. hash index table size", cols...)
+	for _, fullMB := range []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64} {
+		runMB := r.scaleMB(fullMB)
+		idxBytes := uint64(runMB * float64(mem.MB))
+		if idxBytes < 4096 {
+			idxBytes = 4096
+		}
+		row := []interface{}{fullMB, stats.FormatFloat(runMB)}
+		for _, w := range trace.FigureEight() {
+			cfg := core.Config{
+				Cores:               4,
+				HistoryBytesPerCore: 1 << 30, // effectively unbounded
+				IndexBytes:          idxBytes,
+				BucketWays:          12,
+				SampleProb:          1.0,
+				BucketBufferBytes:   8 << 10,
+				Seed:                r.O.Seed,
+			}
+			res := r.Functional(w, sim.PrefSpec{Kind: sim.STMS, STMSCfg: &cfg})
+			row = append(row, stats.Pct(res.Coverage()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig6Lengths reproduces Figure 6 (left): cumulative fraction of streamed
+// blocks arising from temporal streams up to each length (commercial
+// workloads), plus the scientific iteration-stream lengths reported in
+// §5.4's text.
+func (r *Runner) Fig6Lengths() *stats.Table {
+	lengths := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 10000}
+	cols := []string{"workload"}
+	for _, l := range lengths {
+		cols = append(cols, fmt.Sprintf("<=%g", l))
+	}
+	cols = append(cols, "median")
+	t := stats.NewTable("Figure 6 (left): cum. % streamed blocks vs. stream length", cols...)
+	for _, w := range trace.Commercial() {
+		res := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal})
+		if res.StreamLens == nil || res.StreamLens.N() == 0 {
+			continue
+		}
+		row := []interface{}{shortName(w)}
+		for _, p := range res.StreamLens.Points(lengths) {
+			row = append(row, stats.Pct(p))
+		}
+		row = append(row, res.StreamLens.Quantile(0.5))
+		t.AddRow(row...)
+	}
+	for _, w := range []string{"sci-em3d", "sci-moldyn", "sci-ocean"} {
+		spec, _ := trace.ByName(w)
+		scaled := spec.Scaled(r.O.Scale)
+		t.AddRow(shortName(w), fmt.Sprintf("iteration stream ~%d blocks/core (full scale %d)",
+			scaled.IterLen, spec.IterLen))
+	}
+	return t
+}
+
+// Fig6Depth reproduces Figure 6 (right): coverage loss from fixed prefetch
+// depths relative to unbounded streaming (single-table fragmentation).
+func (r *Runner) Fig6Depth() *stats.Table {
+	depths := []int{1, 2, 4, 6, 8, 12, 15}
+	cols := []string{"workload", "unbounded cov"}
+	for _, d := range depths {
+		cols = append(cols, fmt.Sprintf("loss@%d", d))
+	}
+	t := stats.NewTable("Figure 6 (right): coverage loss vs. fixed prefetch depth", cols...)
+	for _, w := range trace.FigureEight() {
+		unb := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal})
+		row := []interface{}{shortName(w), stats.Pct(unb.Coverage())}
+		for _, d := range depths {
+			capped := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal, MaxDepth: d})
+			loss := 0.0
+			if unb.Coverage() > 0 {
+				loss = (unb.Coverage() - capped.Coverage()) / unb.Coverage()
+				if loss < 0 {
+					loss = 0
+				}
+			}
+			row = append(row, stats.Pct(loss))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

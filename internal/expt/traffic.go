@@ -1,0 +1,234 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"stms/internal/sim"
+	"stms/internal/stats"
+	"stms/internal/trace"
+)
+
+// Fig7 reproduces Figure 7: off-chip traffic overhead breakdown of STMS
+// without (100%) and with (12.5%) probabilistic update, per workload,
+// normalized to useful data bytes.
+func (r *Runner) Fig7() *stats.Table {
+	t := stats.NewTable("Figure 7: overhead traffic breakdown (overhead bytes / useful data byte)",
+		"workload", "sampling", "record", "update", "lookup", "erroneous", "total", "coverage")
+	for _, w := range trace.FigureEight() {
+		for _, p := range []float64{1.0, 0.125} {
+			res := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: p})
+			ov := res.OverheadTraffic()
+			t.AddRow(shortName(w), stats.Pct(p), ov.Record, ov.Update, ov.Lookup,
+				ov.Erroneous, ov.Total(), stats.Pct(res.Coverage()))
+		}
+	}
+	return t
+}
+
+// Fig8 reproduces Figure 8: traffic overhead (left) and coverage (right)
+// as functions of the update sampling probability.
+func (r *Runner) Fig8() (traffic, coverage *stats.Table) {
+	probs := []float64{0.01, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0}
+	cols := []string{"workload"}
+	for _, p := range probs {
+		cols = append(cols, stats.Pct(p))
+	}
+	traffic = stats.NewTable("Figure 8 (left): overhead traffic vs. sampling probability", cols...)
+	coverage = stats.NewTable("Figure 8 (right): coverage vs. sampling probability", cols...)
+	var updReductions, totalReductions []float64
+	var maxLoss float64
+	for _, w := range trace.FigureEight() {
+		trow := []interface{}{shortName(w)}
+		crow := []interface{}{shortName(w)}
+		var updFull, upd125, covFull, cov125, totFull, tot125 float64
+		for _, p := range probs {
+			res := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: p})
+			ov := res.OverheadTraffic()
+			trow = append(trow, ov.Total())
+			crow = append(crow, stats.Pct(res.Coverage()))
+			switch p {
+			case 1.0:
+				updFull, covFull, totFull = ov.Update, res.Coverage(), ov.Total()
+			case 0.125:
+				upd125, cov125, tot125 = ov.Update, res.Coverage(), ov.Total()
+			}
+		}
+		traffic.AddRow(trow...)
+		coverage.AddRow(crow...)
+		if upd125 > 0 {
+			updReductions = append(updReductions, updFull/upd125)
+		}
+		if tot125 > 0 {
+			totalReductions = append(totalReductions, totFull/tot125)
+		}
+		if loss := covFull - cov125; loss > maxLoss {
+			maxLoss = loss
+		}
+	}
+	traffic.AddRow("geomean update-traffic reduction (100%→12.5%)",
+		stats.FormatFloat(stats.GeoMean(updReductions))+"x")
+	traffic.AddRow("geomean total-overhead reduction (100%→12.5%, paper: 3.4x)",
+		stats.FormatFloat(stats.GeoMean(totalReductions))+"x")
+	coverage.AddRow("max coverage loss at 12.5%", stats.Pct(maxLoss))
+	return traffic, coverage
+}
+
+// Fig9 reproduces Figure 9: STMS (off-chip meta-data, 12.5% sampling)
+// versus idealized TMS — coverage with the partial/full split, and
+// speedup over the stride-only baseline.
+func (r *Runner) Fig9() *stats.Table {
+	t := stats.NewTable("Figure 9: practical STMS vs. idealized TMS",
+		"workload", "ideal cov", "stms cov(full+part)", "stms full", "stms partial",
+		"ideal speedup", "stms speedup", "cov ratio", "speedup ratio")
+	var covRatios, spdRatios []float64
+	for _, w := range trace.FigureEight() {
+		base := r.Timed(w, sim.PrefSpec{Kind: sim.None})
+		ideal := r.Timed(w, sim.PrefSpec{Kind: sim.Ideal})
+		stms := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125})
+		covRatio := stats.Ratio(stms.Coverage(), ideal.Coverage())
+		spdI := ideal.SpeedupOver(&base)
+		spdS := stms.SpeedupOver(&base)
+		spdRatio := stats.Ratio(spdS, spdI)
+		t.AddRow(shortName(w), stats.Pct(ideal.Coverage()), stats.Pct(stms.Coverage()),
+			stats.Pct(stms.FullCoverage()),
+			stats.Pct(stms.Coverage()-stms.FullCoverage()),
+			stats.Pct(spdI), stats.Pct(spdS),
+			stats.Pct(covRatio), stats.Pct(spdRatio))
+		if ideal.Coverage() > 0.01 {
+			covRatios = append(covRatios, covRatio)
+		}
+		if spdI > 0.01 {
+			spdRatios = append(spdRatios, spdRatio)
+		}
+	}
+	t.AddRow("mean (workloads with signal)", "", "", "", "", "", "",
+		stats.Pct(meanOf(covRatios)), stats.Pct(meanOf(spdRatios)))
+	return t
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Fig1Right reproduces Figure 1 (right): memory traffic overheads of the
+// prior off-chip meta-data designs (EBCP, ULMT, TSE), in overhead accesses
+// per baseline read access, averaged over commercial workloads. STMS is
+// appended for contrast (the paper's Figure 7 makes the same point in
+// bytes).
+func (r *Runner) Fig1Right() *stats.Table {
+	t := stats.NewTable("Figure 1 (right): overhead accesses per baseline read (commercial avg)",
+		"design", "erroneous", "lookup", "update", "total", "avg coverage")
+	for _, kind := range []sim.Kind{sim.EBCP, sim.ULMT, sim.TSE, sim.STMS} {
+		var lk, up, er, cov float64
+		n := 0
+		for _, w := range trace.Commercial() {
+			ps := sim.PrefSpec{Kind: kind}
+			if kind == sim.STMS {
+				ps.SampleProb = 0.125
+			}
+			res := r.Timed(w, ps)
+			l, u, e := res.OverheadPerBaselineRead()
+			lk += l
+			up += u
+			er += e
+			cov += res.Coverage()
+			n++
+		}
+		fn := float64(n)
+		t.AddRow(kind.String(), er/fn, lk/fn, up/fn, (er+lk+up)/fn, stats.Pct(cov/fn))
+	}
+	return t
+}
+
+// Table1 echoes the system model parameters actually in force (Table 1),
+// including the scale applied.
+func (r *Runner) Table1() *stats.Table {
+	cfg := r.O.Config()
+	t := stats.NewTable("Table 1: system model parameters", "parameter", "value")
+	t.AddRow("cores", cfg.Cores)
+	t.AddRow("L1 (scaled)", fmt.Sprintf("%d KB, %d-way, %d-cycle", cfg.L1()>>10, cfg.L1Assoc, cfg.L1HitCycles))
+	t.AddRow("L2 (scaled)", fmt.Sprintf("%d KB, %d-way, %d-cycle", cfg.L2()>>10, cfg.L2Assoc, cfg.L2HitCycles))
+	t.AddRow("L2 MSHRs", cfg.L2MSHRs)
+	t.AddRow("DRAM", fmt.Sprintf("%d-cycle latency, 64 B per %d cycles (28.4 GB/s at 4 GHz)",
+		cfg.DRAM.LatencyCycles, cfg.DRAM.XferCycles))
+	t.AddRow("ROB", cfg.Core.ROB)
+	t.AddRow("stride prefetcher", fmt.Sprintf("%d entries, degree %d", cfg.Stride.Entries, cfg.Stride.Degree))
+	t.AddRow("prefetch buffer", "32 blocks (2 KB) per core")
+	t.AddRow("bucket buffer", "8 KB (128 buckets)")
+	t.AddRow("scale", r.O.Scale)
+	t.AddRow("windows", fmt.Sprintf("%d warm + %d measured records/core", r.O.Warm, r.O.Measure))
+	return t
+}
+
+// All runs every experiment in paper order, writing tables to w.
+func (r *Runner) All(w io.Writer) {
+	fmt.Fprintln(w, r.Table1())
+	fmt.Fprintln(w, r.Fig1Left())
+	fmt.Fprintln(w, r.Fig1Right())
+	fmt.Fprintln(w, r.Fig4())
+	fmt.Fprintln(w, r.Table2())
+	fmt.Fprintln(w, r.Fig5History())
+	fmt.Fprintln(w, r.Fig5Index())
+	fmt.Fprintln(w, r.Fig6Lengths())
+	fmt.Fprintln(w, r.Fig6Depth())
+	fmt.Fprintln(w, r.Fig7())
+	ft, fc := r.Fig8()
+	fmt.Fprintln(w, ft)
+	fmt.Fprintln(w, fc)
+	fmt.Fprintln(w, r.Fig9())
+}
+
+// ByID runs a single experiment by its DESIGN.md identifier.
+func (r *Runner) ByID(id string, w io.Writer) error {
+	switch id {
+	case "table1":
+		fmt.Fprintln(w, r.Table1())
+	case "fig1l":
+		fmt.Fprintln(w, r.Fig1Left())
+	case "fig1r":
+		fmt.Fprintln(w, r.Fig1Right())
+	case "fig4":
+		fmt.Fprintln(w, r.Fig4())
+	case "table2":
+		fmt.Fprintln(w, r.Table2())
+	case "fig5l":
+		fmt.Fprintln(w, r.Fig5History())
+	case "fig5r":
+		fmt.Fprintln(w, r.Fig5Index())
+	case "fig6l":
+		fmt.Fprintln(w, r.Fig6Lengths())
+	case "fig6r":
+		fmt.Fprintln(w, r.Fig6Depth())
+	case "fig7":
+		fmt.Fprintln(w, r.Fig7())
+	case "fig8":
+		ft, fc := r.Fig8()
+		fmt.Fprintln(w, ft)
+		fmt.Fprintln(w, fc)
+	case "fig9":
+		fmt.Fprintln(w, r.Fig9())
+	case "abl":
+		r.Ablations(w)
+	case "all":
+		r.All(w)
+		r.Ablations(w)
+	default:
+		return fmt.Errorf("expt: unknown experiment %q (try table1, table2, fig1l, fig1r, fig4, fig5l, fig5r, fig6l, fig6r, fig7, fig8, fig9, all)", id)
+	}
+	return nil
+}
+
+// IDs lists all experiment identifiers in paper order, plus the ablation
+// suite.
+func IDs() []string {
+	return []string{"table1", "fig1l", "fig1r", "fig4", "table2",
+		"fig5l", "fig5r", "fig6l", "fig6r", "fig7", "fig8", "fig9", "abl"}
+}

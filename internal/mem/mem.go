@@ -1,0 +1,61 @@
+// Package mem holds the address-space geometry shared by the whole
+// simulator: 64-byte cache blocks and contiguous regions of them.
+//
+// All simulator structures operate on block numbers (byte address >> 6)
+// rather than byte addresses; the conversion helpers live here so the
+// convention is stated exactly once.
+package mem
+
+const (
+	// BlockBytes is the cache-block and memory-transfer size (Table 1:
+	// 64-byte transfers).
+	BlockBytes = 64
+	// BlockShift is log2(BlockBytes).
+	BlockShift = 6
+)
+
+// BlockOf returns the block number containing byte address addr.
+func BlockOf(addr uint64) uint64 { return addr >> BlockShift }
+
+// AddrOf returns the first byte address of block blk.
+func AddrOf(blk uint64) uint64 { return blk << BlockShift }
+
+// BlocksOfBytes returns how many whole blocks fit in n bytes.
+func BlocksOfBytes(n uint64) uint64 { return n / BlockBytes }
+
+// MB is one megabyte in bytes.
+const MB = 1 << 20
+
+// Region is a contiguous range of blocks used by workload generators to
+// carve the simulated physical address space into non-overlapping areas
+// (dataset, scan arena, noise arena, meta-data arena).
+type Region struct {
+	Base   uint64 // first block number
+	Blocks uint64 // number of blocks
+}
+
+// Block returns the i-th block of the region (wrapping modulo the size).
+func (r Region) Block(i uint64) uint64 {
+	if r.Blocks == 0 {
+		return r.Base
+	}
+	return r.Base + i%r.Blocks
+}
+
+// Contains reports whether block blk falls inside the region.
+func (r Region) Contains(blk uint64) bool {
+	return blk >= r.Base && blk < r.Base+r.Blocks
+}
+
+// End returns the first block after the region.
+func (r Region) End() uint64 { return r.Base + r.Blocks }
+
+// Carve splits off a sub-region of n blocks from the front of r, returning
+// the sub-region and the remainder.
+func (r Region) Carve(n uint64) (Region, Region) {
+	if n > r.Blocks {
+		n = r.Blocks
+	}
+	return Region{Base: r.Base, Blocks: n},
+		Region{Base: r.Base + n, Blocks: r.Blocks - n}
+}

@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockRoundTrip(t *testing.T) {
+	f := func(addr uint64) bool {
+		blk := BlockOf(addr)
+		base := AddrOf(blk)
+		return base <= addr && addr-base < BlockBytes && BlockOf(base) == blk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksOfBytes(t *testing.T) {
+	cases := []struct{ bytes, want uint64 }{
+		{0, 0}, {63, 0}, {64, 1}, {65, 1}, {128, 2}, {MB, MB / 64},
+	}
+	for _, c := range cases {
+		if got := BlocksOfBytes(c.bytes); got != c.want {
+			t.Errorf("BlocksOfBytes(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestRegionBlockWraps(t *testing.T) {
+	r := Region{Base: 100, Blocks: 10}
+	if got := r.Block(0); got != 100 {
+		t.Errorf("Block(0) = %d", got)
+	}
+	if got := r.Block(10); got != 100 {
+		t.Errorf("Block(10) should wrap to 100, got %d", got)
+	}
+	if got := r.Block(13); got != 103 {
+		t.Errorf("Block(13) = %d, want 103", got)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 100, Blocks: 10}
+	for _, blk := range []uint64{100, 105, 109} {
+		if !r.Contains(blk) {
+			t.Errorf("Contains(%d) = false", blk)
+		}
+	}
+	for _, blk := range []uint64{99, 110, 0} {
+		if r.Contains(blk) {
+			t.Errorf("Contains(%d) = true", blk)
+		}
+	}
+	if r.End() != 110 {
+		t.Errorf("End() = %d", r.End())
+	}
+}
+
+func TestRegionCarve(t *testing.T) {
+	r := Region{Base: 0, Blocks: 100}
+	a, rest := r.Carve(30)
+	if a.Base != 0 || a.Blocks != 30 {
+		t.Errorf("carved = %+v", a)
+	}
+	if rest.Base != 30 || rest.Blocks != 70 {
+		t.Errorf("rest = %+v", rest)
+	}
+	// Over-carving clamps.
+	b, rest2 := rest.Carve(1000)
+	if b.Blocks != 70 || rest2.Blocks != 0 {
+		t.Errorf("over-carve: %+v %+v", b, rest2)
+	}
+}
+
+func TestRegionZeroBlocks(t *testing.T) {
+	r := Region{Base: 5, Blocks: 0}
+	if got := r.Block(3); got != 5 {
+		t.Errorf("zero-size region Block = %d", got)
+	}
+	if r.Contains(5) {
+		t.Error("zero-size region should contain nothing")
+	}
+}

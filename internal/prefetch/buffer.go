@@ -1,0 +1,251 @@
+package prefetch
+
+// Buffer is one core's prefetch buffer: a small fully-associative holding
+// area for blocks that were prefetched but not yet requested by the core
+// (§4.2). Keeping streamed blocks here instead of in the caches avoids
+// polluting them with erroneous prefetches. 2 KB per core = 32 blocks
+// (§5.3).
+//
+// Entries are inserted in flight (the fetch has been issued), become ready
+// when the data arrives, and leave either by being consumed by a demand
+// access or by FIFO eviction of the oldest ready-but-unused block when
+// space is needed — those evictions are the "erroneous prefetches" of
+// Figures 1 and 7.
+//
+// The implementation keeps an intrusive insertion-order list and an O(1)
+// count of evictable entries so the stream engine's hot path (HasSpace,
+// Insert, Probe) does constant work.
+type Buffer struct {
+	cap   int
+	m     map[uint64]int32
+	nodes []pbNode
+	free  []int32
+	head  int32 // oldest
+	tail  int32 // newest
+	ready int   // ready && !claimed entries (evictable)
+
+	// Stats.
+	Issued        uint64 // blocks inserted (fetches issued)
+	FullHits      uint64 // demand hits on ready blocks
+	PartialHits   uint64 // demand hits on in-flight blocks
+	EvictedUnused uint64 // ready blocks evicted without use (erroneous)
+	Dropped       uint64 // in-flight blocks discarded at stream abandon
+}
+
+type pbNode struct {
+	blk     uint64
+	readyOK bool
+	readyAt uint64
+	claimed bool
+	stream  uint64
+	pos     uint64
+	waiters []func(readyAt uint64)
+	prev    int32
+	next    int32
+}
+
+const pbNil = int32(-1)
+
+// NewBuffer creates a buffer holding capacity blocks.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Buffer{cap: capacity, m: make(map[uint64]int32, capacity), head: pbNil, tail: pbNil}
+}
+
+// Len returns the number of live entries (ready + in flight).
+func (b *Buffer) Len() int { return len(b.m) }
+
+// Cap returns the buffer capacity in blocks.
+func (b *Buffer) Cap() int { return b.cap }
+
+// Contains reports whether blk is present (ready or in flight).
+func (b *Buffer) Contains(blk uint64) bool {
+	_, ok := b.m[blk]
+	return ok
+}
+
+// HasSpaceFor reports whether an insert on behalf of stream can proceed,
+// evicting an unused ready block of a *different* stream if necessary.
+// A stream never evicts its own blocks: prefetching is paced by the
+// buffer — the engine stops issuing until the core consumes something —
+// rather than racing ahead of demand and discarding its own work.
+func (b *Buffer) HasSpaceFor(stream uint64) bool {
+	if len(b.m) < b.cap {
+		return true
+	}
+	if b.ready == 0 {
+		return false
+	}
+	for i := b.head; i != pbNil; i = b.nodes[i].next {
+		n := &b.nodes[i]
+		if n.readyOK && !n.claimed && n.stream != stream {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Buffer) detach(i int32) {
+	n := &b.nodes[i]
+	if n.prev != pbNil {
+		b.nodes[n.prev].next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != pbNil {
+		b.nodes[n.next].prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next = pbNil, pbNil
+}
+
+func (b *Buffer) pushBack(i int32) {
+	n := &b.nodes[i]
+	n.prev = b.tail
+	n.next = pbNil
+	if b.tail != pbNil {
+		b.nodes[b.tail].next = i
+	}
+	b.tail = i
+	if b.head == pbNil {
+		b.head = i
+	}
+}
+
+func (b *Buffer) release(i int32) {
+	delete(b.m, b.nodes[i].blk)
+	b.detach(i)
+	b.nodes[i].waiters = nil
+	b.free = append(b.free, i)
+}
+
+// Insert adds an in-flight entry for blk belonging to stream, at history
+// position pos. It evicts the oldest unused ready block of another stream
+// if full, counting it as erroneous. Insert reports false (and does
+// nothing) when the buffer has no space for this stream or the block is
+// already present.
+func (b *Buffer) Insert(blk uint64, stream, pos uint64) bool {
+	if _, ok := b.m[blk]; ok {
+		return false
+	}
+	if len(b.m) >= b.cap && !b.evictOne(stream) {
+		return false
+	}
+	var i int32
+	if n := len(b.free); n > 0 {
+		i = b.free[n-1]
+		b.free = b.free[:n-1]
+	} else {
+		b.nodes = append(b.nodes, pbNode{})
+		i = int32(len(b.nodes) - 1)
+	}
+	b.nodes[i] = pbNode{blk: blk, stream: stream, pos: pos, prev: pbNil, next: pbNil}
+	b.m[blk] = i
+	b.pushBack(i)
+	b.Issued++
+	return true
+}
+
+// evictOne removes the oldest ready-unused entry not belonging to the
+// inserting stream.
+func (b *Buffer) evictOne(stream uint64) bool {
+	for i := b.head; i != pbNil; i = b.nodes[i].next {
+		n := &b.nodes[i]
+		if n.readyOK && !n.claimed && n.stream != stream {
+			b.ready--
+			b.EvictedUnused++
+			b.release(i)
+			return true
+		}
+	}
+	return false
+}
+
+// Arrived marks blk's data as available at time t. Claimed entries (a
+// demand access arrived while the block was in flight) leave the buffer
+// immediately, headed for the L1, and their waiters are notified.
+func (b *Buffer) Arrived(blk uint64, t uint64) (stream, pos uint64, claimed, ok bool) {
+	i, found := b.m[blk]
+	if !found {
+		return 0, 0, false, false
+	}
+	n := &b.nodes[i]
+	n.readyOK = true
+	n.readyAt = t
+	if n.claimed {
+		stream, pos = n.stream, n.pos
+		waiters := n.waiters
+		b.release(i)
+		for _, w := range waiters {
+			w(t)
+		}
+		return stream, pos, true, true
+	}
+	b.ready++
+	return n.stream, n.pos, false, true
+}
+
+// Probe services a demand access to blk. Ready blocks are consumed (they
+// move to the L1); in-flight blocks are claimed, and waiter — if non-nil —
+// fires when the data arrives (a partially covered miss). The returned
+// stream/pos identify the supplying stream for engine bookkeeping when
+// state != ProbeMiss.
+func (b *Buffer) Probe(blk uint64, waiter func(readyAt uint64)) (res ProbeResult, stream, pos uint64) {
+	i, ok := b.m[blk]
+	if !ok {
+		return ProbeResult{State: ProbeMiss}, 0, 0
+	}
+	n := &b.nodes[i]
+	if n.readyOK {
+		if !n.claimed {
+			b.ready--
+		}
+		b.FullHits++
+		res = ProbeResult{State: ProbeReady, ReadyAt: n.readyAt}
+		stream, pos = n.stream, n.pos
+		b.release(i)
+		return res, stream, pos
+	}
+	if !n.claimed {
+		n.claimed = true
+		b.PartialHits++
+	}
+	if waiter != nil {
+		n.waiters = append(n.waiters, waiter)
+	}
+	return ProbeResult{State: ProbeInFlight}, n.stream, n.pos
+}
+
+// DropStream discards unclaimed ready entries belonging to stream; their
+// bandwidth is already spent, so they count as erroneous. In-flight
+// entries stay until arrival so the bandwidth accounting of the arrival
+// path is preserved. The stream engine deliberately does NOT call this on
+// abandonment — leftover blocks stay consumable and age out by eviction —
+// but aggressive policies built on this buffer may want it.
+func (b *Buffer) DropStream(stream uint64) {
+	i := b.head
+	for i != pbNil {
+		next := b.nodes[i].next
+		n := &b.nodes[i]
+		if n.stream == stream && n.readyOK && !n.claimed {
+			b.ready--
+			b.EvictedUnused++
+			b.release(i)
+		}
+		i = next
+	}
+}
+
+// FlushStats counts all remaining ready-unused entries as erroneous (end
+// of measurement).
+func (b *Buffer) FlushStats() {
+	for i := b.head; i != pbNil; i = b.nodes[i].next {
+		n := &b.nodes[i]
+		if n.readyOK && !n.claimed {
+			b.EvictedUnused++
+		}
+	}
+}

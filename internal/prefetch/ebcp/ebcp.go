@@ -1,0 +1,33 @@
+// Package ebcp configures the single-table comparator as the Epoch-Based
+// Correlation Prefetcher (Chou, MICRO'07): lookups fire once per off-chip
+// miss epoch, the entry format skips the successors that out-of-order
+// execution would overlap with the lookup anyway, and each update costs
+// three memory accesses (§3, Fig. 1 right).
+package ebcp
+
+import (
+	"stms/internal/prefetch"
+	"stms/internal/prefetch/singletable"
+)
+
+// DefaultConfig returns the published EBCP cost model: depth-4 entries,
+// epoch-gated single-read lookups, 2-miss epoch skip, 3-access updates.
+func DefaultConfig(cores int) singletable.Config {
+	return singletable.Config{
+		Name:         "ebcp",
+		Cores:        cores,
+		Entries:      1 << 19,
+		Depth:        6,
+		Skip:         2,
+		LookupReads:  1,
+		UpdateReads:  2,
+		UpdateWrites: 1,
+		EpochLookup:  true,
+		BufferBlocks: 32,
+	}
+}
+
+// New builds an EBCP comparator over env.
+func New(env prefetch.Env, cores int) *singletable.Prefetcher {
+	return singletable.New(env, DefaultConfig(cores))
+}

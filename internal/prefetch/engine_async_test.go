@@ -1,0 +1,192 @@
+package prefetch
+
+import (
+	"testing"
+
+	"stms/internal/dram"
+	"stms/internal/event"
+)
+
+// dramEnv backs the Env with a real event engine and DRAM controller so
+// the asynchronous paths (in-flight blocks, partial hits, chained
+// meta-data reads) are exercised.
+type dramEnv struct {
+	eng    *event.Engine
+	mc     *dram.Controller
+	onChip map[uint64]bool
+}
+
+func newDramEnv() *dramEnv {
+	eng := event.NewEngine()
+	return &dramEnv{
+		eng:    eng,
+		mc:     dram.New(eng, dram.DefaultConfig()),
+		onChip: map[uint64]bool{},
+	}
+}
+
+func (e *dramEnv) Now() uint64 { return e.eng.Now() }
+
+func (e *dramEnv) MetaRead(class dram.Class, done func(uint64)) {
+	e.mc.Read(class, false, done)
+}
+
+func (e *dramEnv) MetaWrite(class dram.Class) { e.mc.Write(class, false) }
+
+func (e *dramEnv) Fetch(core int, blk uint64, done func(uint64)) {
+	e.mc.Read(dram.StreamData, false, done)
+}
+
+func (e *dramEnv) OnChip(core int, blk uint64) bool { return e.onChip[blk] }
+
+func TestEngineAsyncLookupAndFetch(t *testing.T) {
+	env := newDramEnv()
+	meta := newScriptMeta()
+	meta.streams[100] = []uint64{101, 102, 103, 104}
+	e := NewEngine(env, meta, DefaultEngineConfig(1))
+
+	e.TriggerMiss(0, 100)
+	// Nothing fetched yet: the scripted lookup is synchronous but the
+	// fetches travel through DRAM.
+	if res := e.Probe(0, 101, nil); res.State != ProbeInFlight {
+		t.Fatalf("before DRAM completion: state %v, want in-flight", res.State)
+	}
+	if e.Stats().PartialHits != 1 {
+		t.Fatalf("partial hits = %d", e.Stats().PartialHits)
+	}
+	env.eng.Drain(nil)
+	// 101 was claimed while in flight, so it left the buffer on arrival;
+	// the rest are now ready.
+	for _, blk := range []uint64{102, 103, 104} {
+		if res := e.Probe(0, blk, nil); res.State != ProbeReady {
+			t.Fatalf("block %d: state %v after drain", blk, res.State)
+		}
+	}
+}
+
+func TestEnginePartialHitWaiterCompletes(t *testing.T) {
+	env := newDramEnv()
+	meta := newScriptMeta()
+	meta.streams[100] = []uint64{101}
+	e := NewEngine(env, meta, DefaultEngineConfig(1))
+	e.TriggerMiss(0, 100)
+	var completedAt uint64
+	res := e.Probe(0, 101, func(at uint64) { completedAt = at })
+	if res.State != ProbeInFlight {
+		t.Fatalf("state = %v", res.State)
+	}
+	env.eng.Drain(nil)
+	if completedAt == 0 {
+		t.Fatal("waiter never fired")
+	}
+	// Data-ready time is the DRAM latency.
+	if completedAt < dram.DefaultConfig().LatencyCycles {
+		t.Fatalf("completed at %d, before DRAM latency", completedAt)
+	}
+}
+
+func TestEngineMetaTrafficFlowsThroughDRAM(t *testing.T) {
+	env := newDramEnv()
+	meta := newScriptMeta()
+	meta.streams[100] = []uint64{101, 102}
+	e := NewEngine(env, meta, DefaultEngineConfig(1))
+	e.TriggerMiss(0, 100)
+	env.eng.Drain(nil)
+	tr := env.mc.Traffic()
+	if tr.Accesses[dram.StreamData] != 2 {
+		t.Fatalf("stream fetches = %d", tr.Accesses[dram.StreamData])
+	}
+}
+
+func TestEngineDeterministicUnderDRAM(t *testing.T) {
+	run := func() (uint64, uint64) {
+		env := newDramEnv()
+		meta := newScriptMeta()
+		for s := uint64(0); s < 20; s++ {
+			stream := make([]uint64, 30)
+			for i := range stream {
+				stream[i] = 1000*s + uint64(i)
+			}
+			meta.streams[s] = stream
+		}
+		e := NewEngine(env, meta, DefaultEngineConfig(2))
+		for i := uint64(0); i < 400; i++ {
+			core := int(i % 2)
+			s := i % 20
+			e.TriggerMiss(core, s)
+			e.Record(core, s, false)
+			for j := uint64(0); j < 5; j++ {
+				e.Probe(core, 1000*s+j, nil)
+			}
+			env.eng.RunUntil(env.eng.Now() + 50)
+		}
+		env.eng.Drain(nil)
+		st := e.Stats()
+		return st.FullHits + st.PartialHits, env.mc.Traffic().TotalAccesses()
+	}
+	h1, t1 := run()
+	h2, t2 := run()
+	if h1 != h2 || t1 != t2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", h1, t1, h2, t2)
+	}
+}
+
+// TestEngineRandomOpsInvariants drives the engine with a pseudo-random
+// mix of triggers, probes and records and checks structural invariants.
+func TestEngineRandomOpsInvariants(t *testing.T) {
+	env := newDramEnv()
+	meta := newScriptMeta()
+	for s := uint64(0); s < 50; s++ {
+		stream := make([]uint64, int(7+s%40))
+		for i := range stream {
+			stream[i] = 10_000*s + uint64(i)
+		}
+		meta.streams[s] = stream
+	}
+	cfg := DefaultEngineConfig(4)
+	e := NewEngine(env, meta, cfg)
+
+	x := uint64(0x1234)
+	next := func(n uint64) uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x % n
+	}
+	for i := 0; i < 30_000; i++ {
+		core := int(next(4))
+		switch next(4) {
+		case 0:
+			e.TriggerMiss(core, next(50))
+		case 1:
+			s := next(50)
+			e.Probe(core, 10_000*s+next(40), nil)
+		case 2:
+			e.Record(core, next(1_000_000), next(2) == 0)
+		case 3:
+			env.eng.RunUntil(env.eng.Now() + next(300))
+		}
+	}
+	env.eng.Drain(nil)
+	e.Flush()
+
+	st := e.Stats()
+	if st.LookupHits > st.Lookups {
+		t.Fatal("lookup hits exceed lookups")
+	}
+	if st.Adopted > st.LookupHits {
+		t.Fatal("adoptions exceed lookup hits")
+	}
+	if st.FullHits+st.PartialHits > st.IssuedPrefetches {
+		t.Fatal("hits exceed issued prefetches")
+	}
+	issued, evicted, _ := e.BufferStats()
+	if evicted > issued {
+		t.Fatal("evictions exceed insertions")
+	}
+	for i := range e.core {
+		if e.core[i].buf.Len() > cfg.BufferBlocks {
+			t.Fatal("buffer overflow")
+		}
+	}
+}

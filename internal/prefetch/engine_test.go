@@ -1,0 +1,337 @@
+package prefetch
+
+import (
+	"testing"
+
+	"stms/internal/dram"
+)
+
+// testEnv is a synchronous Env that tracks fetched blocks and on-chip
+// contents.
+type testEnv struct {
+	now     uint64
+	onChip  map[uint64]bool
+	fetched []uint64
+	reads   map[dram.Class]int
+	writes  map[dram.Class]int
+}
+
+func newTestEnv() *testEnv {
+	return &testEnv{
+		onChip: map[uint64]bool{},
+		reads:  map[dram.Class]int{},
+		writes: map[dram.Class]int{},
+	}
+}
+
+func (e *testEnv) Now() uint64 { return e.now }
+
+func (e *testEnv) MetaRead(class dram.Class, done func(uint64)) {
+	e.reads[class]++
+	if done != nil {
+		done(e.now)
+	}
+}
+
+func (e *testEnv) MetaWrite(class dram.Class) { e.writes[class]++ }
+
+func (e *testEnv) Fetch(core int, blk uint64, done func(uint64)) {
+	e.fetched = append(e.fetched, blk)
+	if done != nil {
+		done(e.now)
+	}
+}
+
+func (e *testEnv) OnChip(core int, blk uint64) bool { return e.onChip[blk] }
+
+// scriptMeta is a canned Metadata: one recorded stream per trigger block.
+type scriptMeta struct {
+	streams  map[uint64][]uint64 // trigger -> successors
+	recorded []uint64
+	marks    []uint64
+}
+
+func newScriptMeta() *scriptMeta {
+	return &scriptMeta{streams: map[uint64][]uint64{}}
+}
+
+func (m *scriptMeta) Name() string { return "script" }
+
+func (m *scriptMeta) Lookup(core int, blk uint64, done func(*Cursor)) {
+	if _, ok := m.streams[blk]; ok {
+		done(&Cursor{Core: core, Pos: 0, ID: blk})
+		return
+	}
+	done(nil)
+}
+
+func (m *scriptMeta) ReadNext(cur *Cursor, max int, done func(addrs, positions []uint64, marked bool, markAddr uint64)) {
+	s := m.streams[cur.ID]
+	var addrs, poss []uint64
+	for int(cur.Pos) < len(s) && len(addrs) < max {
+		addrs = append(addrs, s[cur.Pos])
+		poss = append(poss, cur.Pos)
+		cur.Pos++
+	}
+	done(addrs, poss, false, 0)
+}
+
+func (m *scriptMeta) SkipMark(cur *Cursor) { cur.Pos++ }
+
+func (m *scriptMeta) Record(core int, blk uint64, prefetchHit bool) {
+	m.recorded = append(m.recorded, blk)
+}
+
+func (m *scriptMeta) MarkEnd(core int, pos uint64) { m.marks = append(m.marks, pos) }
+
+func newTestEngine(env Env, meta Metadata) *Engine {
+	cfg := DefaultEngineConfig(1)
+	return NewEngine(env, meta, cfg)
+}
+
+func TestEngineAdoptsAndPrefetches(t *testing.T) {
+	env := newTestEnv()
+	meta := newScriptMeta()
+	meta.streams[100] = []uint64{101, 102, 103, 104}
+	e := newTestEngine(env, meta)
+
+	e.TriggerMiss(0, 100)
+	if e.Stats().Adopted != 1 {
+		t.Fatalf("adopted = %d", e.Stats().Adopted)
+	}
+	if len(env.fetched) != 4 {
+		t.Fatalf("fetched %v", env.fetched)
+	}
+	// All four should now hit.
+	for _, blk := range []uint64{101, 102, 103, 104} {
+		res := e.Probe(0, blk, nil)
+		if res.State != ProbeReady {
+			t.Fatalf("block %d: state %v", blk, res.State)
+		}
+	}
+	if e.Stats().FullHits != 4 {
+		t.Fatalf("full hits = %d", e.Stats().FullHits)
+	}
+}
+
+func TestEngineUnknownTriggerNoAdopt(t *testing.T) {
+	env := newTestEnv()
+	meta := newScriptMeta()
+	e := newTestEngine(env, meta)
+	e.TriggerMiss(0, 5)
+	if e.Stats().Adopted != 0 || e.Stats().Lookups != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestEngineOnChipFilter(t *testing.T) {
+	env := newTestEnv()
+	env.onChip[102] = true
+	meta := newScriptMeta()
+	meta.streams[100] = []uint64{101, 102, 103}
+	e := newTestEngine(env, meta)
+	e.TriggerMiss(0, 100)
+	if e.Stats().FilteredOnChip != 1 {
+		t.Fatalf("filtered = %d", e.Stats().FilteredOnChip)
+	}
+	for _, blk := range env.fetched {
+		if blk == 102 {
+			t.Fatal("cached block was fetched")
+		}
+	}
+}
+
+func TestEngineAbandonAfterColdMisses(t *testing.T) {
+	env := newTestEnv()
+	meta := newScriptMeta()
+	meta.streams[100] = []uint64{101, 102}
+	e := newTestEngine(env, meta)
+	e.TriggerMiss(0, 100)
+	// Four unknown trigger misses abandon the stream.
+	for i := 0; i < 4; i++ {
+		e.TriggerMiss(0, uint64(1000+i))
+	}
+	if e.Stats().Abandoned == 0 {
+		t.Fatal("stream never abandoned")
+	}
+}
+
+func TestEngineEndMarkWrittenOnAbandon(t *testing.T) {
+	env := newTestEnv()
+	meta := newScriptMeta()
+	// Long enough that the stream does not exhaust before abandonment.
+	long := make([]uint64, 24)
+	for i := range long {
+		long[i] = uint64(101 + i)
+	}
+	meta.streams[100] = long
+	e := newTestEngine(env, meta)
+	e.TriggerMiss(0, 100)
+	// Consume one block so the stream has hits.
+	e.Probe(0, 101, nil)
+	for i := 0; i < 4; i++ {
+		e.TriggerMiss(0, uint64(1000+i))
+	}
+	if len(meta.marks) != 1 {
+		t.Fatalf("marks = %v", meta.marks)
+	}
+	// Mark goes after the last hit: position of 101 is 0, so mark at 1.
+	if meta.marks[0] != 1 {
+		t.Fatalf("mark position = %d, want 1", meta.marks[0])
+	}
+}
+
+func TestEngineLeftoverBlocksSurviveExhaustion(t *testing.T) {
+	// A stream that catches up with the recorded head is abandoned, but
+	// its fetched blocks must stay consumable in the buffer.
+	env := newTestEnv()
+	meta := newScriptMeta()
+	meta.streams[100] = []uint64{101, 102, 103}
+	e := newTestEngine(env, meta)
+	e.TriggerMiss(0, 100)
+	if e.Stats().Exhausted == 0 {
+		t.Fatal("short stream should exhaust")
+	}
+	for _, blk := range []uint64{101, 102, 103} {
+		if res := e.Probe(0, blk, nil); res.State != ProbeReady {
+			t.Fatalf("leftover block %d lost (state %v)", blk, res.State)
+		}
+	}
+}
+
+func TestEngineCreditRampLimitsColdStreamWaste(t *testing.T) {
+	env := newTestEnv()
+	meta := newScriptMeta()
+	long := make([]uint64, 100)
+	for i := range long {
+		long[i] = uint64(200 + i)
+	}
+	meta.streams[100] = long
+	cfg := DefaultEngineConfig(1)
+	cfg.InitialCredit = 8
+	e := NewEngine(env, meta, cfg)
+	e.TriggerMiss(0, 100)
+	// Without any hits, only InitialCredit fetches may be issued.
+	if len(env.fetched) != 8 {
+		t.Fatalf("cold stream issued %d fetches, want 8", len(env.fetched))
+	}
+	// Hits extend the allowance.
+	e.Probe(0, 200, nil)
+	if len(env.fetched) <= 8 {
+		t.Fatal("credit did not grow after a hit")
+	}
+}
+
+func TestEngineMaxDepthStops(t *testing.T) {
+	env := newTestEnv()
+	meta := newScriptMeta()
+	long := make([]uint64, 50)
+	for i := range long {
+		long[i] = uint64(200 + i)
+	}
+	meta.streams[100] = long
+	cfg := DefaultEngineConfig(1)
+	cfg.MaxDepth = 4
+	e := NewEngine(env, meta, cfg)
+	e.TriggerMiss(0, 100)
+	// Consume what was fetched to let the engine try to go deeper.
+	for i := 0; i < 10; i++ {
+		e.Probe(0, uint64(200+i), nil)
+	}
+	if len(env.fetched) > 4 {
+		t.Fatalf("depth cap exceeded: %d fetches", len(env.fetched))
+	}
+	if e.Stats().DepthStops == 0 {
+		t.Fatal("depth stop not recorded")
+	}
+}
+
+func TestEngineRecordForwards(t *testing.T) {
+	env := newTestEnv()
+	meta := newScriptMeta()
+	e := newTestEngine(env, meta)
+	e.Record(0, 42, false)
+	e.Record(0, 43, true)
+	if len(meta.recorded) != 2 {
+		t.Fatalf("recorded = %v", meta.recorded)
+	}
+}
+
+// markMeta delivers a stream with an end-mark in the middle.
+type markMeta struct {
+	scriptMeta
+	markAt uint64
+}
+
+func (m *markMeta) ReadNext(cur *Cursor, max int, done func(addrs, positions []uint64, marked bool, markAddr uint64)) {
+	s := m.streams[cur.ID]
+	var addrs, poss []uint64
+	for int(cur.Pos) < len(s) && len(addrs) < max {
+		if cur.Pos == m.markAt {
+			done(addrs, poss, true, s[cur.Pos])
+			return
+		}
+		addrs = append(addrs, s[cur.Pos])
+		poss = append(poss, cur.Pos)
+		cur.Pos++
+	}
+	done(addrs, poss, false, 0)
+}
+
+func TestEnginePausesAtMarkAndResumes(t *testing.T) {
+	env := newTestEnv()
+	meta := &markMeta{scriptMeta: *newScriptMeta(), markAt: 2}
+	meta.streams = map[uint64][]uint64{100: {101, 102, 103, 104, 105}}
+	e := newTestEngine(env, meta)
+	e.TriggerMiss(0, 100)
+	// Only blocks before the mark (positions 0,1) are fetched.
+	if len(env.fetched) != 2 {
+		t.Fatalf("fetched %v, want 2 blocks before the mark", env.fetched)
+	}
+	// The core explicitly requests the annotated address -> resume.
+	e.Probe(0, 101, nil)
+	e.Probe(0, 102, nil)
+	e.TriggerMiss(0, 103)
+	if e.Stats().Resumed != 1 {
+		t.Fatalf("resumed = %d", e.Stats().Resumed)
+	}
+	if len(env.fetched) < 4 {
+		t.Fatalf("stream did not continue after mark: %v", env.fetched)
+	}
+}
+
+func TestEngineStreamLengthSamples(t *testing.T) {
+	env := newTestEnv()
+	meta := newScriptMeta()
+	long := make([]uint64, 24)
+	for i := range long {
+		long[i] = uint64(101 + i)
+	}
+	meta.streams[100] = long
+	e := newTestEngine(env, meta)
+	e.TriggerMiss(0, 100)
+	e.Probe(0, 101, nil)
+	e.Probe(0, 102, nil)
+	e.Flush()
+	if e.Stats().StreamLens.N() != 1 {
+		t.Fatalf("stream length samples = %d", e.Stats().StreamLens.N())
+	}
+	if q := e.Stats().StreamLens.Quantile(0.5); q != 2 {
+		t.Fatalf("stream length = %v, want 2 hits", q)
+	}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	if n.Name() != "none" {
+		t.Fatal("name")
+	}
+	if res := n.Probe(0, 1, nil); res.State != ProbeMiss {
+		t.Fatal("nop should always miss")
+	}
+	n.TriggerMiss(0, 1)
+	n.Record(0, 1, false)
+	if n.Stats() == nil {
+		t.Fatal("stats nil")
+	}
+}

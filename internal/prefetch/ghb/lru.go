@@ -1,0 +1,110 @@
+package ghb
+
+// lruIndex is the idealized correlation index: a map from miss address to
+// packed {core, history position}, optionally capacity-bounded with global
+// LRU replacement (Figure 1 left sweeps this capacity).
+//
+// The LRU list is intrusive over slice-backed nodes so the structure stays
+// allocation-friendly at millions of entries.
+type lruIndex struct {
+	cap   uint64 // 0 = unbounded
+	m     map[uint64]int32
+	nodes []lruNode
+	free  []int32
+	head  int32 // most recent
+	tail  int32 // least recent
+
+	evictions uint64
+}
+
+type lruNode struct {
+	key        uint64
+	val        uint64
+	prev, next int32
+}
+
+const nilNode = int32(-1)
+
+func newLRUIndex(capacity uint64) *lruIndex {
+	return &lruIndex{cap: capacity, m: make(map[uint64]int32), head: nilNode, tail: nilNode}
+}
+
+func (l *lruIndex) len() int { return len(l.m) }
+
+func (l *lruIndex) detach(i int32) {
+	n := &l.nodes[i]
+	if n.prev != nilNode {
+		l.nodes[n.prev].next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nilNode {
+		l.nodes[n.next].prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nilNode, nilNode
+}
+
+func (l *lruIndex) pushFront(i int32) {
+	n := &l.nodes[i]
+	n.prev = nilNode
+	n.next = l.head
+	if l.head != nilNode {
+		l.nodes[l.head].prev = i
+	}
+	l.head = i
+	if l.tail == nilNode {
+		l.tail = i
+	}
+}
+
+// get returns the value for key without refreshing recency (a lookup does
+// not rewrite the idealized table; recency tracks recording, matching the
+// "most recent occurrence" semantics of §5.3).
+func (l *lruIndex) get(key uint64) (uint64, bool) {
+	i, ok := l.m[key]
+	if !ok {
+		return 0, false
+	}
+	return l.nodes[i].val, true
+}
+
+// put inserts or updates key, making it most recent, evicting the least
+// recent entry if over capacity.
+func (l *lruIndex) put(key, val uint64) {
+	if i, ok := l.m[key]; ok {
+		l.nodes[i].val = val
+		l.detach(i)
+		l.pushFront(i)
+		return
+	}
+	if l.cap > 0 && uint64(len(l.m)) >= l.cap {
+		victim := l.tail
+		l.detach(victim)
+		delete(l.m, l.nodes[victim].key)
+		l.free = append(l.free, victim)
+		l.evictions++
+	}
+	var i int32
+	if n := len(l.free); n > 0 {
+		i = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		l.nodes = append(l.nodes, lruNode{})
+		i = int32(len(l.nodes) - 1)
+	}
+	l.nodes[i] = lruNode{key: key, val: val, prev: nilNode, next: nilNode}
+	l.m[key] = i
+	l.pushFront(i)
+}
+
+func (l *lruIndex) remove(key uint64) {
+	i, ok := l.m[key]
+	if !ok {
+		return
+	}
+	l.detach(i)
+	delete(l.m, key)
+	l.free = append(l.free, i)
+}

@@ -1,0 +1,218 @@
+// Package markov implements the Markov prefetcher of Joseph & Grunwald
+// (§2): the simplest pair-wise address-correlating design. A
+// set-associative-style table maps each miss address to its few most
+// recently observed successor misses; on a miss, the successors are
+// prefetched.
+//
+// It serves as the background baseline that motivates temporal streaming:
+// predicting one miss per lookup limits lookahead and memory-level
+// parallelism, which the ablation benchmarks quantify against STMS and
+// idealized TMS. Meta-data is modelled on chip (zero latency/traffic), so
+// any coverage gap versus temporal streaming is purely organizational.
+package markov
+
+import (
+	"stms/internal/prefetch"
+)
+
+// Config sizes the Markov predictor.
+type Config struct {
+	Cores int
+	// Entries caps the correlation table (global LRU); 0 = unbounded.
+	Entries int
+	// Successors is how many successor addresses each entry keeps (MRU
+	// order); the original design used 2-4.
+	Successors int
+	// BufferBlocks is the per-core prefetch buffer capacity.
+	BufferBlocks int
+}
+
+// DefaultConfig returns a 1M-entry, 2-successor Markov table.
+func DefaultConfig(cores int) Config {
+	return Config{Cores: cores, Entries: 1 << 20, Successors: 2, BufferBlocks: 32}
+}
+
+type node struct {
+	key        uint64
+	succ       []uint64
+	prev, next int32
+}
+
+// Prefetcher is the Markov predictor; it implements prefetch.Temporal
+// directly (no stream engine — pair-wise prediction has no streams).
+type Prefetcher struct {
+	cfg  Config
+	env  prefetch.Env
+	m    map[uint64]int32
+	node []node
+	free []int32
+	head int32
+	tail int32
+
+	lastMiss []uint64 // per-core previous miss, for training
+	haveLast []bool
+	bufs     []*prefetch.Buffer
+	seq      uint64 // prefetch-batch tag for buffer eviction fairness
+	st       prefetch.EngineStats
+}
+
+var _ prefetch.Temporal = (*Prefetcher)(nil)
+
+const nilN = int32(-1)
+
+// New builds a Markov prefetcher over env.
+func New(env prefetch.Env, cfg Config) *Prefetcher {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Successors <= 0 {
+		cfg.Successors = 2
+	}
+	if cfg.BufferBlocks <= 0 {
+		cfg.BufferBlocks = 32
+	}
+	p := &Prefetcher{
+		cfg:      cfg,
+		env:      env,
+		m:        make(map[uint64]int32),
+		head:     nilN,
+		tail:     nilN,
+		lastMiss: make([]uint64, cfg.Cores),
+		haveLast: make([]bool, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		p.bufs = append(p.bufs, prefetch.NewBuffer(cfg.BufferBlocks))
+	}
+	return p
+}
+
+// Name identifies the prefetcher.
+func (p *Prefetcher) Name() string { return "markov" }
+
+// Stats returns counters (in EngineStats form for uniform reporting).
+func (p *Prefetcher) Stats() *prefetch.EngineStats { return &p.st }
+
+// TableLen returns live correlation entries.
+func (p *Prefetcher) TableLen() int { return len(p.m) }
+
+// Probe services a demand L1 miss from the prefetch buffer.
+func (p *Prefetcher) Probe(core int, blk uint64, waiter func(uint64)) prefetch.ProbeResult {
+	res, _, _ := p.bufs[core].Probe(blk, waiter)
+	switch res.State {
+	case prefetch.ProbeReady:
+		p.st.FullHits++
+	case prefetch.ProbeInFlight:
+		p.st.PartialHits++
+	}
+	return res
+}
+
+// TriggerMiss looks the miss address up and prefetches its recorded
+// successors.
+func (p *Prefetcher) TriggerMiss(core int, blk uint64) {
+	p.st.Lookups++
+	i, ok := p.m[blk]
+	if !ok {
+		return
+	}
+	p.st.LookupHits++
+	p.touch(i)
+	p.seq++
+	buf := p.bufs[core]
+	for _, s := range p.node[i].succ {
+		if p.env.OnChip(core, s) || buf.Contains(s) {
+			p.st.FilteredOnChip++
+			continue
+		}
+		if !buf.HasSpaceFor(p.seq) || !buf.Insert(s, p.seq, 0) {
+			break
+		}
+		p.st.IssuedPrefetches++
+		addr := s
+		c := core
+		p.env.Fetch(c, addr, func(t uint64) {
+			p.bufs[c].Arrived(addr, t)
+		})
+	}
+}
+
+// Record trains the pair-wise correlation: the previous miss's entry
+// gains blk as its most recent successor.
+func (p *Prefetcher) Record(core int, blk uint64, prefetchHit bool) {
+	if p.haveLast[core] {
+		p.train(p.lastMiss[core], blk)
+	}
+	p.lastMiss[core] = blk
+	p.haveLast[core] = true
+}
+
+func (p *Prefetcher) train(key, succ uint64) {
+	if i, ok := p.m[key]; ok {
+		p.touch(i)
+		n := &p.node[i]
+		for j, s := range n.succ {
+			if s == succ {
+				// Move to MRU within the successor list.
+				copy(n.succ[1:j+1], n.succ[:j])
+				n.succ[0] = succ
+				return
+			}
+		}
+		if len(n.succ) < p.cfg.Successors {
+			n.succ = append(n.succ, 0)
+		}
+		copy(n.succ[1:], n.succ[:len(n.succ)-1])
+		n.succ[0] = succ
+		return
+	}
+	if p.cfg.Entries > 0 && len(p.m) >= p.cfg.Entries {
+		victim := p.tail
+		p.detach(victim)
+		delete(p.m, p.node[victim].key)
+		p.free = append(p.free, victim)
+	}
+	var i int32
+	if n := len(p.free); n > 0 {
+		i = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		p.node = append(p.node, node{})
+		i = int32(len(p.node) - 1)
+	}
+	p.node[i] = node{key: key, succ: append(make([]uint64, 0, p.cfg.Successors), succ), prev: nilN, next: nilN}
+	p.m[key] = i
+	p.pushFront(i)
+}
+
+func (p *Prefetcher) detach(i int32) {
+	n := &p.node[i]
+	if n.prev != nilN {
+		p.node[n.prev].next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nilN {
+		p.node[n.next].prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nilN, nilN
+}
+
+func (p *Prefetcher) pushFront(i int32) {
+	n := &p.node[i]
+	n.prev = nilN
+	n.next = p.head
+	if p.head != nilN {
+		p.node[p.head].prev = i
+	}
+	p.head = i
+	if p.tail == nilN {
+		p.tail = i
+	}
+}
+
+func (p *Prefetcher) touch(i int32) {
+	p.detach(i)
+	p.pushFront(i)
+}

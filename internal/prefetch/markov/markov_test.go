@@ -1,0 +1,133 @@
+package markov
+
+import (
+	"testing"
+
+	"stms/internal/dram"
+	"stms/internal/prefetch"
+)
+
+type env struct {
+	fetched []uint64
+	onChip  map[uint64]bool
+}
+
+func newEnv() *env { return &env{onChip: map[uint64]bool{}} }
+
+func (e *env) Now() uint64 { return 0 }
+func (e *env) MetaRead(c dram.Class, done func(uint64)) {
+	if done != nil {
+		done(0)
+	}
+}
+func (e *env) MetaWrite(dram.Class)             {}
+func (e *env) OnChip(core int, blk uint64) bool { return e.onChip[blk] }
+func (e *env) Fetch(core int, blk uint64, done func(uint64)) {
+	e.fetched = append(e.fetched, blk)
+	if done != nil {
+		done(0)
+	}
+}
+
+func TestPairwiseLearning(t *testing.T) {
+	e := newEnv()
+	p := New(e, Config{Cores: 1, Successors: 2, BufferBlocks: 8})
+	// Train: A is followed by B.
+	p.Record(0, 100, false)
+	p.Record(0, 200, false)
+	p.TriggerMiss(0, 100)
+	if len(e.fetched) != 1 || e.fetched[0] != 200 {
+		t.Fatalf("fetched = %v, want [200]", e.fetched)
+	}
+	if res := p.Probe(0, 200, nil); res.State != prefetch.ProbeReady {
+		t.Fatal("successor not in buffer")
+	}
+}
+
+func TestMultipleSuccessorsMRU(t *testing.T) {
+	e := newEnv()
+	p := New(e, Config{Cores: 1, Successors: 2, BufferBlocks: 8})
+	p.Record(0, 1, false)
+	p.Record(0, 2, false) // 1 -> 2
+	p.Record(0, 1, false) // 2 -> 1
+	p.Record(0, 3, false) // 1 -> 3 (now MRU successor of 1)
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) != 2 {
+		t.Fatalf("fetched %v", e.fetched)
+	}
+	if e.fetched[0] != 3 {
+		t.Fatalf("MRU successor should prefetch first: %v", e.fetched)
+	}
+}
+
+func TestSuccessorListBounded(t *testing.T) {
+	e := newEnv()
+	p := New(e, Config{Cores: 1, Successors: 2, BufferBlocks: 8})
+	for i := uint64(0); i < 10; i++ {
+		p.Record(0, 1, false)
+		p.Record(0, 100+i, false)
+	}
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) > 2 {
+		t.Fatalf("entry grew past Successors: %v", e.fetched)
+	}
+}
+
+func TestTableCapacityLRU(t *testing.T) {
+	e := newEnv()
+	p := New(e, Config{Cores: 1, Entries: 2, Successors: 1, BufferBlocks: 8})
+	p.Record(0, 1, false)
+	p.Record(0, 2, false) // entry 1->2
+	p.Record(0, 3, false) // entry 2->3
+	p.Record(0, 4, false) // entry 3->4, evicts 1
+	if p.TableLen() != 2 {
+		t.Fatalf("table len = %d", p.TableLen())
+	}
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) != 0 {
+		t.Fatal("evicted entry prefetched")
+	}
+}
+
+func TestPerCoreTraining(t *testing.T) {
+	e := newEnv()
+	p := New(e, Config{Cores: 2, Successors: 1, BufferBlocks: 8})
+	p.Record(0, 1, false)
+	p.Record(1, 50, false)
+	p.Record(0, 2, false) // core 0: 1->2 (core 1's record must not interleave)
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) != 1 || e.fetched[0] != 2 {
+		t.Fatalf("cross-core interleaving corrupted training: %v", e.fetched)
+	}
+}
+
+func TestOnChipFiltered(t *testing.T) {
+	e := newEnv()
+	e.onChip[200] = true
+	p := New(e, Config{Cores: 1, Successors: 1, BufferBlocks: 8})
+	p.Record(0, 100, false)
+	p.Record(0, 200, false)
+	p.TriggerMiss(0, 100)
+	if len(e.fetched) != 0 {
+		t.Fatal("cached successor fetched")
+	}
+	if p.Stats().FilteredOnChip != 1 {
+		t.Fatal("filter not counted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e := newEnv()
+	p := New(e, Config{Cores: 1, Successors: 1, BufferBlocks: 8})
+	p.Record(0, 1, false)
+	p.Record(0, 2, false)
+	p.TriggerMiss(0, 99) // miss
+	p.TriggerMiss(0, 1)  // hit
+	st := p.Stats()
+	if st.Lookups != 2 || st.LookupHits != 1 || st.IssuedPrefetches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if p.Name() != "markov" {
+		t.Fatal("name")
+	}
+}

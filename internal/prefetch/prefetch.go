@@ -1,0 +1,127 @@
+// Package prefetch contains the machinery shared by every temporal
+// (address-correlating) prefetcher in this repository: the per-core
+// prefetch buffers, the stream-following engine, and the interfaces that
+// separate stream following from meta-data storage.
+//
+// The paper's central experiment holds the stream-following policy fixed
+// and varies only where predictor meta-data lives (magic on-chip storage
+// for idealized TMS vs. hash-indexed main-memory tables for STMS). The
+// Engine type implements that fixed policy once; Metadata implementations
+// (internal/prefetch/ghb for the idealized predictor, internal/core for
+// STMS, internal/prefetch/tse et al. for comparators) supply storage with
+// their own latency and traffic behaviour through the Env interface.
+package prefetch
+
+import "stms/internal/dram"
+
+// Env is the slice of the simulated system a prefetcher may touch: the
+// clock, low-priority meta-data memory accesses, data-block fetches into
+// the prefetch buffer, and an on-chip residency filter.
+//
+// The timed simulator backs this with the DRAM controller (meta-data and
+// prefetch traffic at low priority, per §4.3); the functional driver backs
+// it with zero-latency synchronous calls, which is exactly the paper's
+// "idealized lookup".
+type Env interface {
+	// Now returns the current time (cycles in timed mode, records in
+	// functional mode).
+	Now() uint64
+	// MetaRead issues a one-block meta-data read of the given class; done
+	// fires when the data is available. May complete synchronously. A nil
+	// done is allowed when the requester does not need the completion.
+	MetaRead(class dram.Class, done func(now uint64))
+	// MetaWrite issues a one-block meta-data write of the given class.
+	MetaWrite(class dram.Class)
+	// Fetch brings a data block into core's prefetch buffer; done fires
+	// when the block arrives. May complete synchronously.
+	Fetch(core int, blk uint64, done func(now uint64))
+	// OnChip reports whether blk is already cached on chip for core
+	// (prefetch filter: such blocks are skipped, costing no bandwidth).
+	OnChip(core int, blk uint64) bool
+}
+
+// Cursor is a position in a recorded miss sequence, owned and interpreted
+// by a Metadata implementation. Core names the history the cursor walks;
+// Pos is the absolute position of the next entry to deliver; ID carries
+// backend-specific identity (e.g., a single-table entry key).
+type Cursor struct {
+	Core int
+	Pos  uint64
+	ID   uint64
+}
+
+// Metadata is the storage half of a temporal prefetcher: it records miss
+// sequences and serves stream lookups. Implementations decide where the
+// bits live and charge Env accordingly.
+type Metadata interface {
+	// Name identifies the backend in results tables.
+	Name() string
+	// Lookup finds the most recent recorded occurrence of blk and passes a
+	// cursor to its successors (nil if unknown). done may run
+	// synchronously (on-chip meta-data) or after simulated memory
+	// round-trips (off-chip meta-data).
+	Lookup(core int, blk uint64, done func(cur *Cursor))
+	// ReadNext delivers up to max successor addresses at the cursor,
+	// advancing it. If the read stops at a stream-end annotation, marked
+	// is true and markAddr is the annotated address; the engine pauses
+	// until the core explicitly requests markAddr (§4.5). A stale or
+	// exhausted cursor delivers zero addresses.
+	ReadNext(cur *Cursor, max int, done func(addrs []uint64, positions []uint64, marked bool, markAddr uint64))
+	// SkipMark advances the cursor past a stream-end annotation after the
+	// annotated address was explicitly requested.
+	SkipMark(cur *Cursor)
+	// Record appends a retired correct-path off-chip miss or prefetched
+	// hit to core's history (§4.2) and possibly updates the index.
+	Record(core int, blk uint64, prefetchHit bool)
+	// MarkEnd annotates position pos in core's history as the end of the
+	// current stream (the entry following the last useful prefetch).
+	MarkEnd(core int, pos uint64)
+}
+
+// ProbeState classifies a prefetch-buffer probe.
+type ProbeState int
+
+// Probe outcomes.
+const (
+	ProbeMiss     ProbeState = iota // block not prefetched
+	ProbeReady                      // block waiting in the prefetch buffer
+	ProbeInFlight                   // prefetch issued, data not yet arrived
+)
+
+// ProbeResult reports a prefetch-buffer probe: for ProbeInFlight, ReadyAt
+// is when the block will arrive (the demand load completes then — a
+// partially covered miss in Figure 9's terms).
+type ProbeResult struct {
+	State   ProbeState
+	ReadyAt uint64
+}
+
+// Temporal is the interface the simulator drives: one call per demand L1
+// miss (Probe), per uncovered L2 demand read miss (TriggerMiss), and per
+// retired off-chip miss or prefetched hit (Record). For ProbeInFlight
+// results the waiter fires when the block arrives.
+type Temporal interface {
+	Name() string
+	Probe(core int, blk uint64, waiter func(readyAt uint64)) ProbeResult
+	TriggerMiss(core int, blk uint64)
+	Record(core int, blk uint64, prefetchHit bool)
+	Stats() *EngineStats
+}
+
+// Nop is a Temporal that does nothing (the baseline system).
+type Nop struct{ stats EngineStats }
+
+// Name returns "none".
+func (*Nop) Name() string { return "none" }
+
+// Probe always misses.
+func (*Nop) Probe(int, uint64, func(uint64)) ProbeResult { return ProbeResult{State: ProbeMiss} }
+
+// TriggerMiss does nothing.
+func (*Nop) TriggerMiss(int, uint64) {}
+
+// Record does nothing.
+func (*Nop) Record(int, uint64, bool) {}
+
+// Stats returns zeroed statistics.
+func (n *Nop) Stats() *EngineStats { return &n.stats }

@@ -1,0 +1,99 @@
+package singletable
+
+// assocTable is the correlation table: address → successor list, with
+// global LRU replacement under a capacity bound. It abstracts the
+// set-associative table of EBCP/ULMT; associativity conflicts are folded
+// into the capacity bound, which is what the paper's storage argument
+// (Fig. 1 left) turns on.
+type assocTable struct {
+	cap   int
+	m     map[uint64]int32
+	nodes []atNode
+	free  []int32
+	head  int32
+	tail  int32
+
+	evictions uint64
+}
+
+type atNode struct {
+	key        uint64
+	succ       []uint64
+	prev, next int32
+}
+
+const atNil = int32(-1)
+
+func newAssocTable(capacity int) *assocTable {
+	return &assocTable{cap: capacity, m: make(map[uint64]int32), head: atNil, tail: atNil}
+}
+
+func (t *assocTable) len() int { return len(t.m) }
+
+func (t *assocTable) detach(i int32) {
+	n := &t.nodes[i]
+	if n.prev != atNil {
+		t.nodes[n.prev].next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != atNil {
+		t.nodes[n.next].prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = atNil, atNil
+}
+
+func (t *assocTable) pushFront(i int32) {
+	n := &t.nodes[i]
+	n.prev = atNil
+	n.next = t.head
+	if t.head != atNil {
+		t.nodes[t.head].prev = i
+	}
+	t.head = i
+	if t.tail == atNil {
+		t.tail = i
+	}
+}
+
+// get returns the successor list for key, refreshing its recency.
+func (t *assocTable) get(key uint64) ([]uint64, bool) {
+	i, ok := t.m[key]
+	if !ok {
+		return nil, false
+	}
+	t.detach(i)
+	t.pushFront(i)
+	return t.nodes[i].succ, true
+}
+
+// put installs or replaces key's successor list (the whole entry is
+// rewritten, which is why updates cost a full read-modify-write).
+func (t *assocTable) put(key uint64, succ []uint64) {
+	if i, ok := t.m[key]; ok {
+		t.nodes[i].succ = append(t.nodes[i].succ[:0], succ...)
+		t.detach(i)
+		t.pushFront(i)
+		return
+	}
+	if t.cap > 0 && len(t.m) >= t.cap {
+		victim := t.tail
+		t.detach(victim)
+		delete(t.m, t.nodes[victim].key)
+		t.free = append(t.free, victim)
+		t.evictions++
+	}
+	var i int32
+	if n := len(t.free); n > 0 {
+		i = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.nodes = append(t.nodes, atNode{})
+		i = int32(len(t.nodes) - 1)
+	}
+	t.nodes[i] = atNode{key: key, succ: append([]uint64(nil), succ...), prev: atNil, next: atNil}
+	t.m[key] = i
+	t.pushFront(i)
+}

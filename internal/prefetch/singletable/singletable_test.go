@@ -1,0 +1,214 @@
+package singletable
+
+import (
+	"testing"
+
+	"stms/internal/dram"
+	"stms/internal/prefetch"
+)
+
+type env struct {
+	fetched []uint64
+	reads   map[dram.Class]int
+	writes  map[dram.Class]int
+}
+
+func newEnv() *env {
+	return &env{reads: map[dram.Class]int{}, writes: map[dram.Class]int{}}
+}
+
+func (e *env) Now() uint64 { return 0 }
+
+func (e *env) MetaRead(c dram.Class, done func(uint64)) {
+	e.reads[c]++
+	if done != nil {
+		done(0)
+	}
+}
+
+func (e *env) MetaWrite(c dram.Class) { e.writes[c]++ }
+
+func (e *env) OnChip(int, uint64) bool { return false }
+
+func (e *env) Fetch(core int, blk uint64, done func(uint64)) {
+	e.fetched = append(e.fetched, blk)
+	if done != nil {
+		done(0)
+	}
+}
+
+func cfg() Config {
+	return Config{
+		Name: "test", Cores: 1, Entries: 1024, Depth: 4, Skip: 0,
+		LookupReads: 1, UpdateReads: 2, UpdateWrites: 1,
+		BufferBlocks: 16,
+	}
+}
+
+func train(p *Prefetcher, blks ...uint64) {
+	for _, b := range blks {
+		p.Record(0, b, false)
+	}
+}
+
+func TestEntryCollectsDepthSuccessors(t *testing.T) {
+	e := newEnv()
+	p := New(e, cfg())
+	train(p, 1, 2, 3, 4, 5) // entry for 1 = [2,3,4,5]
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) != 4 {
+		t.Fatalf("fetched = %v", e.fetched)
+	}
+	for i, want := range []uint64{2, 3, 4, 5} {
+		if e.fetched[i] != want {
+			t.Fatalf("fetched[%d] = %d, want %d", i, e.fetched[i], want)
+		}
+	}
+}
+
+func TestDepthLimitsPrefetch(t *testing.T) {
+	e := newEnv()
+	p := New(e, cfg())
+	train(p, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) != 4 {
+		t.Fatalf("single-table depth must cap prefetches: %v", e.fetched)
+	}
+}
+
+func TestSkipDropsLeadingSuccessors(t *testing.T) {
+	e := newEnv()
+	c := cfg()
+	c.Skip = 2
+	p := New(e, c)
+	train(p, 1, 2, 3, 4, 5)
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) != 2 || e.fetched[0] != 4 {
+		t.Fatalf("epoch skip wrong: %v", e.fetched)
+	}
+}
+
+func TestUpdateTrafficThreeAccesses(t *testing.T) {
+	e := newEnv()
+	p := New(e, cfg())
+	train(p, 1, 2, 3, 4, 5) // one committed update (entry for 1)
+	if p.UpdatesCommitted != 1 {
+		t.Fatalf("updates = %d", p.UpdatesCommitted)
+	}
+	if e.reads[dram.IndexUpdateRd] != 2 || e.writes[dram.IndexUpdateWr] != 1 {
+		t.Fatalf("update traffic = %d reads, %d writes",
+			e.reads[dram.IndexUpdateRd], e.writes[dram.IndexUpdateWr])
+	}
+}
+
+func TestLookupTrafficPerTrigger(t *testing.T) {
+	e := newEnv()
+	p := New(e, cfg())
+	for i := uint64(0); i < 10; i++ {
+		p.TriggerMiss(0, 1000+i)
+	}
+	if e.reads[dram.IndexLookup] != 10 {
+		t.Fatalf("lookup reads = %d", e.reads[dram.IndexLookup])
+	}
+}
+
+func TestEpochLookupGating(t *testing.T) {
+	e := &deferredEnv{env: newEnv()}
+	c := cfg()
+	c.EpochLookup = true
+	p := New(e, c)
+	train(p, 1, 2, 3, 4, 5)
+	p.TriggerMiss(0, 1) // epoch start: looks up, prefetches stay in flight
+	lookups := p.Stats().Lookups
+	if lookups == 0 {
+		t.Fatal("epoch start did not look up")
+	}
+	p.TriggerMiss(0, 99) // mid-epoch (prefetches in flight): gated
+	if p.Stats().Lookups != lookups {
+		t.Fatal("mid-epoch lookup not gated")
+	}
+	// Prefetches land: the next miss opens a new epoch.
+	e.completeAll()
+	p.TriggerMiss(0, 77)
+	if p.Stats().Lookups != lookups+1 {
+		t.Fatal("new epoch did not look up")
+	}
+}
+
+// deferredEnv holds fetch completions until completeAll, modelling
+// in-flight prefetches.
+type deferredEnv struct {
+	env     *env
+	pending []func(uint64)
+}
+
+func (d *deferredEnv) Now() uint64                              { return 0 }
+func (d *deferredEnv) MetaRead(c dram.Class, done func(uint64)) { d.env.MetaRead(c, done) }
+func (d *deferredEnv) MetaWrite(c dram.Class)                   { d.env.MetaWrite(c) }
+func (d *deferredEnv) OnChip(int, uint64) bool                  { return false }
+
+func (d *deferredEnv) Fetch(core int, blk uint64, done func(uint64)) {
+	d.env.fetched = append(d.env.fetched, blk)
+	if done != nil {
+		d.pending = append(d.pending, done)
+	}
+}
+
+func (d *deferredEnv) completeAll() {
+	pend := d.pending
+	d.pending = nil
+	for _, f := range pend {
+		f(0)
+	}
+}
+
+func TestPrefetchHitsExtendEntriesButDoNotOpen(t *testing.T) {
+	e := newEnv()
+	p := New(e, cfg())
+	p.Record(0, 1, false)
+	p.Record(0, 2, true) // prefetched hit feeds 1's entry
+	p.Record(0, 3, true)
+	p.Record(0, 4, true)
+	p.Record(0, 5, true)
+	p.TriggerMiss(0, 2)
+	if len(e.fetched) != 0 {
+		t.Fatal("prefetched hit opened its own entry")
+	}
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) != 4 {
+		t.Fatalf("entry fed by prefetched hits wrong: %v", e.fetched)
+	}
+}
+
+func TestProbeCounting(t *testing.T) {
+	e := newEnv()
+	p := New(e, cfg())
+	train(p, 1, 2, 3, 4, 5)
+	p.TriggerMiss(0, 1)
+	if res := p.Probe(0, 2, nil); res.State != prefetch.ProbeReady {
+		t.Fatal("expected ready")
+	}
+	if p.Stats().FullHits != 1 {
+		t.Fatalf("full hits = %d", p.Stats().FullHits)
+	}
+	if res := p.Probe(0, 999, nil); res.State != prefetch.ProbeMiss {
+		t.Fatal("expected miss")
+	}
+}
+
+func TestTableLRUEviction(t *testing.T) {
+	e := newEnv()
+	c := cfg()
+	c.Entries = 2
+	p := New(e, c)
+	train(p, 1, 2, 3, 4, 5)  // entry 1
+	train(p, 10, 2, 3, 4, 5) // entry 10 (and more from the tail)
+	train(p, 20, 2, 3, 4, 5) // entry 20 ... capacity 2 keeps most recent
+	if p.TableLen() > 2 {
+		t.Fatalf("table len = %d", p.TableLen())
+	}
+	p.TriggerMiss(0, 1)
+	if len(e.fetched) != 0 {
+		t.Fatal("evicted entry still prefetches")
+	}
+}

@@ -1,0 +1,161 @@
+// Package stride implements the baseline system's stride prefetcher
+// (Table 1: "32-entry buffer, max 16 distinct strides"), in the style of
+// predictor-directed stream buffers: a PC-indexed table learns a constant
+// stride per static load and, once confident, emits prefetch candidates
+// ahead of the access stream.
+//
+// Every experiment includes this prefetcher in both the baseline and the
+// prefetching configurations; temporal coverage is always measured in
+// excess of it (§5.1). The simulator owns issuing and filling the
+// candidates (into the L2), so this package is purely the detector.
+package stride
+
+// Config sets the detector's geometry.
+type Config struct {
+	// Entries is the PC-table capacity (distinct strides tracked).
+	Entries int
+	// Degree is how many blocks ahead to emit once confident.
+	Degree int
+	// MinConfidence is how many consecutive identical strides must be
+	// seen before prefetching.
+	MinConfidence int
+}
+
+// DefaultConfig returns Table 1's stride prefetcher: 16 tracked strides
+// feeding a 32-block prefetch window (Degree x entries in flight).
+func DefaultConfig() Config {
+	return Config{Entries: 16, Degree: 4, MinConfidence: 2}
+}
+
+type entry struct {
+	pc       uint32
+	lastBlk  uint64
+	stride   int64
+	conf     int
+	lastUse  uint64
+	valid    bool
+	nextEmit uint64 // next block to emit, avoids re-emitting the window
+}
+
+// Stats counts detector events.
+type Stats struct {
+	Observations uint64
+	Trained      uint64 // observations that confirmed a stride
+	Emitted      uint64 // prefetch candidates emitted
+}
+
+// Prefetcher is the stride detector. Not safe for concurrent use; the
+// simulator is single-threaded.
+type Prefetcher struct {
+	cfg     Config
+	entries []entry
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a detector.
+func New(cfg Config) *Prefetcher {
+	if cfg.Entries <= 0 {
+		cfg.Entries = 16
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 4
+	}
+	if cfg.MinConfidence <= 0 {
+		cfg.MinConfidence = 2
+	}
+	return &Prefetcher{cfg: cfg, entries: make([]entry, cfg.Entries)}
+}
+
+// Stats returns detector counters.
+func (p *Prefetcher) Stats() Stats { return p.stats }
+
+// Observe trains on one L2 access (pc, blk) and emits prefetch candidates
+// through emit. Candidates are block numbers; the caller filters ones
+// already cached and issues the rest.
+func (p *Prefetcher) Observe(pc uint32, blk uint64, emit func(blk uint64)) {
+	p.tick++
+	p.stats.Observations++
+	e := p.find(pc)
+	if e == nil {
+		e = p.victim()
+		*e = entry{pc: pc, lastBlk: blk, valid: true, lastUse: p.tick}
+		return
+	}
+	e.lastUse = p.tick
+	stride := int64(blk) - int64(e.lastBlk)
+	e.lastBlk = blk
+	if stride == 0 {
+		return
+	}
+	if stride == e.stride {
+		if e.conf < p.cfg.MinConfidence {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 1
+		e.nextEmit = 0
+		return
+	}
+	if e.conf < p.cfg.MinConfidence {
+		return
+	}
+	p.stats.Trained++
+	// Emit the window [blk+stride, blk+Degree*stride], skipping blocks
+	// already emitted for this trained stream.
+	start := blk
+	if e.nextEmit != 0 && sameDirection(e.stride, e.nextEmit, blk) {
+		start = e.nextEmit - uint64(e.stride)
+	}
+	next := start
+	for i := 0; i < p.cfg.Degree; i++ {
+		next = uint64(int64(next) + e.stride)
+		if covered(e.stride, next, blk, p.cfg.Degree) {
+			p.stats.Emitted++
+			emit(next)
+		}
+	}
+	e.nextEmit = uint64(int64(next) + e.stride)
+}
+
+// sameDirection reports whether nextEmit is still ahead of blk in the
+// stride's direction (the trained stream hasn't jumped).
+func sameDirection(stride int64, nextEmit, blk uint64) bool {
+	if stride > 0 {
+		return nextEmit > blk && nextEmit-blk <= uint64(stride)*32
+	}
+	return nextEmit < blk && blk-nextEmit <= uint64(-stride)*32
+}
+
+// covered reports whether candidate lies within degree strides ahead of
+// blk (emission window clamp).
+func covered(stride int64, candidate, blk uint64, degree int) bool {
+	if stride > 0 {
+		return candidate > blk && candidate-blk <= uint64(stride)*uint64(degree)
+	}
+	return candidate < blk && blk-candidate <= uint64(-stride)*uint64(degree)
+}
+
+func (p *Prefetcher) find(pc uint32) *entry {
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].pc == pc {
+			return &p.entries[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) victim() *entry {
+	var v *entry
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			return e
+		}
+		if v == nil || e.lastUse < v.lastUse {
+			v = e
+		}
+	}
+	return v
+}

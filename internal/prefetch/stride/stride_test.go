@@ -1,0 +1,129 @@
+package stride
+
+import "testing"
+
+func collect(p *Prefetcher, pc uint32, blks []uint64) []uint64 {
+	var out []uint64
+	for _, b := range blks {
+		p.Observe(pc, b, func(c uint64) { out = append(out, c) })
+	}
+	return out
+}
+
+func TestDetectsUnitStride(t *testing.T) {
+	p := New(DefaultConfig())
+	emitted := collect(p, 1, []uint64{100, 101, 102, 103, 104})
+	if len(emitted) == 0 {
+		t.Fatal("no prefetches for a unit-stride scan")
+	}
+	// All candidates must be ahead of the stream.
+	for _, c := range emitted {
+		if c <= 100 {
+			t.Fatalf("candidate %d not ahead", c)
+		}
+	}
+}
+
+func TestDetectsLargeStride(t *testing.T) {
+	p := New(DefaultConfig())
+	emitted := collect(p, 1, []uint64{0, 7, 14, 21, 28})
+	if len(emitted) == 0 {
+		t.Fatal("no prefetches for stride-7")
+	}
+	for _, c := range emitted {
+		if c%7 != 0 {
+			t.Fatalf("candidate %d off the stride", c)
+		}
+	}
+}
+
+func TestDetectsNegativeStride(t *testing.T) {
+	p := New(DefaultConfig())
+	emitted := collect(p, 1, []uint64{1000, 999, 998, 997})
+	if len(emitted) == 0 {
+		t.Fatal("no prefetches for descending scan")
+	}
+	for _, c := range emitted {
+		if c >= 1000 {
+			t.Fatalf("candidate %d not descending", c)
+		}
+	}
+}
+
+func TestIgnoresRandom(t *testing.T) {
+	p := New(DefaultConfig())
+	emitted := collect(p, 1, []uint64{5, 902, 17, 4444, 88, 31337})
+	if len(emitted) != 0 {
+		t.Fatalf("random pattern emitted %v", emitted)
+	}
+}
+
+func TestPCIsolation(t *testing.T) {
+	p := New(DefaultConfig())
+	// Interleave two scans on different PCs; both should train.
+	var from1, from2 int
+	for i := uint64(0); i < 8; i++ {
+		p.Observe(1, 100+i, func(uint64) { from1++ })
+		p.Observe(2, 9000+i*3, func(uint64) { from2++ })
+	}
+	if from1 == 0 || from2 == 0 {
+		t.Fatalf("interleaved scans not both detected: %d %d", from1, from2)
+	}
+}
+
+func TestStrideChangeRetrains(t *testing.T) {
+	p := New(DefaultConfig())
+	collect(p, 1, []uint64{0, 1, 2, 3})
+	// Change stride: no emission until confidence rebuilds.
+	var emitted []uint64
+	p.Observe(1, 103, func(c uint64) { emitted = append(emitted, c) })
+	if len(emitted) != 0 {
+		t.Fatal("emitted immediately after stride change")
+	}
+	p.Observe(1, 203, func(c uint64) { emitted = append(emitted, c) })
+	p.Observe(1, 303, func(c uint64) { emitted = append(emitted, c) })
+	if len(emitted) == 0 {
+		t.Fatal("did not retrain on the new stride")
+	}
+}
+
+func TestTableEviction(t *testing.T) {
+	p := New(Config{Entries: 2, Degree: 2, MinConfidence: 2})
+	// Train PC 1, then flood with other PCs, then PC 1 must retrain.
+	collect(p, 1, []uint64{0, 1, 2})
+	for pc := uint32(10); pc < 20; pc++ {
+		p.Observe(pc, uint64(pc)*100, nil)
+	}
+	var emitted []uint64
+	p.Observe(1, 3, func(c uint64) { emitted = append(emitted, c) })
+	if len(emitted) != 0 {
+		t.Fatal("evicted entry retained training")
+	}
+}
+
+func TestNoDuplicateEmissionsOnSteadyScan(t *testing.T) {
+	p := New(DefaultConfig())
+	seen := map[uint64]int{}
+	for i := uint64(0); i < 64; i++ {
+		p.Observe(1, i, func(c uint64) { seen[c]++ })
+	}
+	dups := 0
+	for _, n := range seen {
+		if n > 1 {
+			dups++
+		}
+	}
+	// The emission window bookkeeping should keep duplicates rare.
+	if dups > 8 {
+		t.Fatalf("%d duplicate candidates of %d", dups, len(seen))
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := New(DefaultConfig())
+	collect(p, 1, []uint64{0, 1, 2, 3})
+	st := p.Stats()
+	if st.Observations != 4 || st.Trained == 0 || st.Emitted == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

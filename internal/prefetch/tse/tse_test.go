@@ -1,0 +1,112 @@
+package tse
+
+import (
+	"testing"
+
+	"stms/internal/dram"
+	"stms/internal/prefetch"
+)
+
+type env struct {
+	reads  map[dram.Class]int
+	writes map[dram.Class]int
+}
+
+func newEnv() *env {
+	return &env{reads: map[dram.Class]int{}, writes: map[dram.Class]int{}}
+}
+
+func (e *env) Now() uint64 { return 0 }
+
+func (e *env) MetaRead(c dram.Class, done func(uint64)) {
+	e.reads[c]++
+	if done != nil {
+		done(0)
+	}
+}
+
+func (e *env) MetaWrite(c dram.Class) { e.writes[c]++ }
+
+func (e *env) OnChip(int, uint64) bool { return false }
+
+func (e *env) Fetch(core int, blk uint64, done func(uint64)) {
+	if done != nil {
+		done(0)
+	}
+}
+
+func TestLookupCostsThreeReads(t *testing.T) {
+	e := newEnv()
+	m := NewMeta(e, DefaultConfig(1))
+	var got *prefetch.Cursor
+	m.Lookup(0, 42, func(c *prefetch.Cursor) { got = c })
+	if got != nil {
+		t.Fatal("unknown block found")
+	}
+	if e.reads[dram.IndexLookup] != 3 {
+		t.Fatalf("lookup reads = %d, want 3", e.reads[dram.IndexLookup])
+	}
+}
+
+func TestUpdatePerRecord(t *testing.T) {
+	e := newEnv()
+	m := NewMeta(e, DefaultConfig(1))
+	for i := uint64(0); i < 24; i++ {
+		m.Record(0, i, false)
+	}
+	if e.writes[dram.IndexUpdateWr] != 24 {
+		t.Fatalf("update writes = %d, want 24 (unsampled)", e.writes[dram.IndexUpdateWr])
+	}
+	if e.writes[dram.HistoryAppend] != 2 {
+		t.Fatalf("history appends = %d, want 2", e.writes[dram.HistoryAppend])
+	}
+}
+
+func TestStreamResolution(t *testing.T) {
+	e := newEnv()
+	m := NewMeta(e, DefaultConfig(1))
+	for _, b := range []uint64{1, 2, 3, 4} {
+		m.Record(0, b, false)
+	}
+	var cur *prefetch.Cursor
+	m.Lookup(0, 1, func(c *prefetch.Cursor) { cur = c })
+	if cur == nil {
+		t.Fatal("recorded stream not found")
+	}
+	var addrs []uint64
+	m.ReadNext(cur, 12, func(a, p []uint64, mk bool, ma uint64) { addrs = a })
+	if len(addrs) != 3 || addrs[0] != 2 {
+		t.Fatalf("successors = %v", addrs)
+	}
+	if e.reads[dram.HistoryRead] != 1 {
+		t.Fatalf("history reads = %d", e.reads[dram.HistoryRead])
+	}
+}
+
+func TestEndToEndCoverage(t *testing.T) {
+	e := newEnv()
+	eng, _ := New(e, DefaultConfig(1), prefetch.DefaultEngineConfig(1))
+	seq := make([]uint64, 40)
+	for i := range seq {
+		seq[i] = uint64(900 + i*5)
+	}
+	for _, b := range seq {
+		eng.TriggerMiss(0, b)
+		eng.Record(0, b, false)
+	}
+	eng.TriggerMiss(0, seq[0])
+	eng.Record(0, seq[0], false)
+	covered := 0
+	for _, b := range seq[1:] {
+		if res := eng.Probe(0, b, nil); res.State == prefetch.ProbeReady {
+			covered++
+			eng.Record(0, b, true)
+		} else {
+			eng.TriggerMiss(0, b)
+			eng.Record(0, b, false)
+		}
+	}
+	if covered < 30 {
+		t.Fatalf("covered %d of 39", covered)
+	}
+}

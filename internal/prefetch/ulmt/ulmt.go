@@ -1,0 +1,33 @@
+// Package ulmt configures the single-table comparator as the User-Level
+// Memory Thread prefetcher (Solihin, Lee & Torrellas, ISCA'02): a
+// correlation table in main memory maintained by a helper thread at the
+// memory controller — one lookup access per off-chip miss and three
+// accesses per update, with short (depth-3) successor chains (§3,
+// Fig. 1 right).
+package ulmt
+
+import (
+	"stms/internal/prefetch"
+	"stms/internal/prefetch/singletable"
+)
+
+// DefaultConfig returns the published ULMT cost model.
+func DefaultConfig(cores int) singletable.Config {
+	return singletable.Config{
+		Name:         "ulmt",
+		Cores:        cores,
+		Entries:      1 << 19,
+		Depth:        3,
+		Skip:         0,
+		LookupReads:  1,
+		UpdateReads:  2,
+		UpdateWrites: 1,
+		EpochLookup:  false,
+		BufferBlocks: 32,
+	}
+}
+
+// New builds a ULMT comparator over env.
+func New(env prefetch.Env, cores int) *singletable.Prefetcher {
+	return singletable.New(env, DefaultConfig(cores))
+}

@@ -1,0 +1,129 @@
+// Package sim wires the substrate into the paper's evaluation platform: a
+// four-core CMP with private L1s, a shared L2, a bandwidth- and
+// priority-modelled DRAM, a baseline stride prefetcher, and one of the
+// temporal prefetcher variants. It provides two drivers over identical
+// functional state:
+//
+//   - Timed: the discrete-event simulation used wherever latency,
+//     bandwidth or speedup matters (Figs. 1 right, 4, 7, 8, 9, Table 2);
+//   - Functional: a fast zero-latency driver used for idealized meta-data
+//     capacity sweeps (Figs. 1 left, 5, 6), where "idealized lookup" makes
+//     timing irrelevant to coverage by definition.
+package sim
+
+import (
+	"fmt"
+
+	"stms/internal/cpu"
+	"stms/internal/dram"
+	"stms/internal/mem"
+	"stms/internal/prefetch/stride"
+)
+
+// Config describes the system under test (Table 1 defaults).
+type Config struct {
+	Cores int
+
+	L1Bytes int // per-core L1 data cache
+	L1Assoc int
+	L2Bytes int // shared L2
+	L2Assoc int
+	L2MSHRs int // total in-flight off-chip misses
+
+	L1HitCycles uint64 // load-to-use on an L1 hit
+	L2HitCycles uint64 // minimum L2 hit latency
+	PBHitCycles uint64 // prefetch-buffer hit latency
+
+	DRAM   dram.Config
+	Core   cpu.Config
+	Stride stride.Config
+
+	// Scale shrinks caches (and, via helpers, workloads and meta-data)
+	// so experiments run at tractable trace lengths while preserving the
+	// paper's size relationships. 1 = full scale.
+	Scale float64
+
+	// Seed makes traces and sampling deterministic; the same seed yields
+	// identical traces across prefetcher variants (matched-pair runs).
+	Seed uint64
+
+	// WarmRecords and MeasureRecords are per-core record counts for the
+	// warm-up and measurement windows.
+	WarmRecords    uint64
+	MeasureRecords uint64
+}
+
+// DefaultConfig returns the Table 1 system at full scale.
+func DefaultConfig() Config {
+	return Config{
+		Cores:          4,
+		L1Bytes:        64 << 10,
+		L1Assoc:        2,
+		L2Bytes:        8 << 20,
+		L2Assoc:        16,
+		L2MSHRs:        64,
+		L1HitCycles:    2,
+		L2HitCycles:    20,
+		PBHitCycles:    4,
+		DRAM:           dram.DefaultConfig(),
+		Core:           cpu.DefaultConfig(),
+		Stride:         stride.DefaultConfig(),
+		Scale:          1,
+		Seed:           42,
+		WarmRecords:    80_000,
+		MeasureRecords: 120_000,
+	}
+}
+
+// scaledBytes applies Scale to a capacity, rounding down to a power of two
+// (cache set counts must stay powers of two) with a floor.
+func scaledBytes(bytes int, scale float64, floor int) int {
+	if scale <= 0 || scale == 1 {
+		return bytes
+	}
+	want := float64(bytes) * scale
+	n := floor
+	for float64(n*2) <= want {
+		n *= 2
+	}
+	return n
+}
+
+// L1 returns the scaled L1 capacity.
+func (c Config) L1() int { return scaledBytes(c.L1Bytes, c.Scale, 4<<10) }
+
+// L2 returns the scaled L2 capacity.
+func (c Config) L2() int { return scaledBytes(c.L2Bytes, c.Scale, 64<<10) }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("sim: cores must be positive")
+	case c.L1Bytes < mem.BlockBytes || c.L2Bytes < mem.BlockBytes:
+		return fmt.Errorf("sim: cache sizes must hold at least one block")
+	case c.MeasureRecords == 0:
+		return fmt.Errorf("sim: measurement window is empty")
+	}
+	return nil
+}
+
+// dirtyThreshold converts a dirty-fill fraction into a hash threshold so
+// dirtiness is a deterministic property of the block address — identical
+// across runs and variants regardless of event order.
+func dirtyThreshold(frac float64) uint64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(frac * float64(^uint64(0)))
+}
+
+// blockDirty decides whether a fill of blk is dirtied, deterministically.
+func blockDirty(blk, threshold uint64) bool {
+	h := blk * 0xd6e8feb86659fd93
+	h ^= h >> 32
+	return h*0x9e3779b97f4a7c15 < threshold
+}

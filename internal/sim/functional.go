@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"stms/internal/cache"
+	"stms/internal/dram"
+	"stms/internal/prefetch"
+	"stms/internal/prefetch/stride"
+	"stms/internal/trace"
+)
+
+// functional is the fast zero-latency driver: identical cache and
+// prefetcher state machines as the timed system, but memory responds
+// instantly and time is the record counter. Used for idealized meta-data
+// capacity sweeps (Figs. 1 left, 5, 6), where coverage is by definition
+// independent of timing.
+type functional struct {
+	cfg   Config
+	spec  trace.Spec
+	now   uint64
+	l1    []*cache.Cache
+	l2    *cache.Cache
+	strid *stride.Prefetcher
+	pref  built
+
+	dirtyThresh uint64
+
+	cnt     counters
+	cntSnap counters
+	engSnap EngineCounts
+}
+
+// funcEnv satisfies prefetch.Env with synchronous, traffic-free responses
+// (the literal "magic zero-latency" meta-data of §5.2).
+type funcEnv struct{ s *functional }
+
+func (e funcEnv) Now() uint64 { return e.s.now }
+
+func (e funcEnv) MetaRead(class dram.Class, done func(uint64)) {
+	if done != nil {
+		done(e.s.now)
+	}
+}
+
+func (e funcEnv) MetaWrite(dram.Class) {}
+
+func (e funcEnv) Fetch(core int, blk uint64, done func(uint64)) {
+	if done != nil {
+		done(e.s.now)
+	}
+}
+
+func (e funcEnv) OnChip(core int, blk uint64) bool {
+	return e.s.l1[core].Probe(blk) || e.s.l2.Probe(blk)
+}
+
+// RunFunctional executes the functional driver and returns coverage
+// results (timing fields zero).
+func RunFunctional(cfg Config, spec trace.Spec, ps PrefSpec) Results {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	scaled := spec.Scaled(cfg.Scale)
+	s := &functional{
+		cfg:         cfg,
+		spec:        scaled,
+		dirtyThresh: dirtyThreshold(scaled.DirtyFrac),
+	}
+	s.l2 = cache.New(cache.Config{Name: "L2", SizeBytes: cfg.L2(), Assoc: cfg.L2Assoc})
+	s.strid = stride.New(cfg.Stride)
+	s.pref = buildPrefetcher(funcEnv{s}, cfg, ps)
+
+	lib := trace.NewLibrary(scaled, cfg.Seed)
+	gens := make([]trace.Generator, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		s.l1 = append(s.l1, cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1(), Assoc: cfg.L1Assoc}))
+		gens[i] = trace.NewGenerator(lib, i, cfg.Seed)
+	}
+
+	warmTotal := cfg.WarmRecords * uint64(cfg.Cores)
+	total := warmTotal + cfg.MeasureRecords*uint64(cfg.Cores)
+	var rec trace.Record
+	for i := uint64(0); i < total; i++ {
+		if i == warmTotal {
+			s.cntSnap = s.cnt
+			s.engSnap = engineCounts(s.pref.temporal.Stats())
+		}
+		core := int(i % uint64(cfg.Cores))
+		if !gens[core].Next(&rec) {
+			break
+		}
+		s.now = i
+		s.step(core, rec.PC, rec.Block)
+	}
+	if eng := s.pref.engine; eng != nil {
+		eng.Flush()
+	}
+
+	w := s.cnt.sub(s.cntSnap)
+	r := Results{
+		Workload:       scaled.Name,
+		Variant:        ps.Kind.String(),
+		Records:        w.Loads,
+		L1Hits:         w.L1Hits,
+		L2Hits:         w.L2Hits,
+		CoveredFull:    w.PBFull,
+		CoveredPartial: w.PBPartial,
+		Uncovered:      w.L2DemandMisses,
+		Engine:         engineCounts(s.pref.temporal.Stats()).Sub(s.engSnap),
+	}
+	if eng := s.pref.engine; eng != nil {
+		r.StreamLens = &eng.Stats().StreamLens
+	}
+	return r
+}
+
+// step processes one reference through the hierarchy.
+func (s *functional) step(core int, pc uint32, blk uint64) {
+	s.cnt.Loads++
+	if s.l1[core].Access(blk, false) {
+		s.cnt.L1Hits++
+		return
+	}
+	// Stride trains on the L1-miss stream before the prefetch-buffer
+	// probe, exactly as in the timed driver, so the base system behaves
+	// identically across prefetcher variants.
+	s.strid.Observe(pc, blk, func(cand uint64) {
+		if !s.l2.Probe(cand) {
+			s.cnt.StrideIssued++
+			s.l2.Fill(cand, false)
+		}
+	})
+	// L2 hit takes precedence over a prefetch-buffer copy, exactly as in
+	// the timed driver: covered misses are blocks that would have missed.
+	if s.l2.Access(blk, false) {
+		s.cnt.L2Hits++
+		s.l1[core].Fill(blk, false)
+		return
+	}
+	res := s.pref.temporal.Probe(core, blk, nil)
+	if res.State == prefetch.ProbeReady {
+		s.cnt.PBFull++
+		s.pref.temporal.Record(core, blk, true)
+		s.fill(core, blk)
+		return
+	}
+	// Synchronous fetches make ProbeInFlight impossible here; treat it
+	// as covered if it ever appears.
+	if res.State == prefetch.ProbeInFlight {
+		s.cnt.PBPartial++
+		s.pref.temporal.Record(core, blk, true)
+		s.fill(core, blk)
+		return
+	}
+	s.cnt.L2DemandMisses++
+	s.pref.temporal.TriggerMiss(core, blk)
+	s.pref.temporal.Record(core, blk, false)
+	s.fill(core, blk)
+}
+
+func (s *functional) fill(core int, blk uint64) {
+	s.l2.Fill(blk, blockDirty(blk, s.dirtyThresh))
+	s.l1[core].Fill(blk, false)
+}

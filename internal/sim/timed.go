@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"fmt"
+
+	"stms/internal/cache"
+	"stms/internal/cpu"
+	"stms/internal/dram"
+	"stms/internal/event"
+	"stms/internal/prefetch"
+	"stms/internal/prefetch/stride"
+	"stms/internal/trace"
+)
+
+// timed is the event-driven whole-system simulation.
+type timed struct {
+	cfg  Config
+	spec trace.Spec
+
+	eng    *event.Engine
+	mc     *dram.Controller
+	l1     []*cache.Cache
+	l2     *cache.Cache
+	l2mshr *cache.MSHR
+	strid  *stride.Prefetcher
+	pref   built
+	cores  []*cpu.Core
+
+	dirtyThresh uint64
+
+	// Window management.
+	recordsSeen []uint64
+	crossedWarm int
+	measuring   bool
+	measureT0   uint64
+
+	// Raw counters (windowed by snapshot at the warm boundary).
+	cnt, cntSnap  counters
+	engSnap       EngineCounts
+	committedSnap []uint64
+
+	// Per-core MLP integrators (demand off-chip reads).
+	mlp []mlpTrack
+}
+
+type counters struct {
+	Loads          uint64
+	L1Hits         uint64
+	PBFull         uint64
+	PBPartial      uint64
+	L2Hits         uint64
+	L2DemandMisses uint64
+	StrideIssued   uint64
+	MSHRRetries    uint64
+}
+
+func (c counters) sub(o counters) counters {
+	return counters{
+		Loads:          c.Loads - o.Loads,
+		L1Hits:         c.L1Hits - o.L1Hits,
+		PBFull:         c.PBFull - o.PBFull,
+		PBPartial:      c.PBPartial - o.PBPartial,
+		L2Hits:         c.L2Hits - o.L2Hits,
+		L2DemandMisses: c.L2DemandMisses - o.L2DemandMisses,
+		StrideIssued:   c.StrideIssued - o.StrideIssued,
+		MSHRRetries:    c.MSHRRetries - o.MSHRRetries,
+	}
+}
+
+type mlpTrack struct {
+	outstanding uint64
+	lastT       uint64
+	busy        uint64
+	weighted    uint64
+}
+
+func (m *mlpTrack) advance(now uint64) {
+	if m.outstanding > 0 {
+		dt := now - m.lastT
+		m.busy += dt
+		m.weighted += m.outstanding * dt
+	}
+	m.lastT = now
+}
+
+func (m *mlpTrack) issue(now uint64)    { m.advance(now); m.outstanding++ }
+func (m *mlpTrack) complete(now uint64) { m.advance(now); m.outstanding-- }
+
+func (m *mlpTrack) value() float64 {
+	if m.busy == 0 {
+		return 0
+	}
+	return float64(m.weighted) / float64(m.busy)
+}
+
+// timedEnv adapts the system to prefetch.Env: meta-data and streamed data
+// travel as low-priority DRAM traffic.
+type timedEnv struct{ s *timed }
+
+func (e timedEnv) Now() uint64 { return e.s.eng.Now() }
+
+func (e timedEnv) MetaRead(class dram.Class, done func(uint64)) {
+	e.s.mc.Read(class, false, done)
+}
+
+func (e timedEnv) MetaWrite(class dram.Class) {
+	e.s.mc.Write(class, false)
+}
+
+func (e timedEnv) Fetch(core int, blk uint64, done func(uint64)) {
+	e.s.mc.Read(dram.StreamData, false, done)
+}
+
+func (e timedEnv) OnChip(core int, blk uint64) bool {
+	return e.s.l1[core].Probe(blk) || e.s.l2.Probe(blk) || e.s.l2mshr.InFlight(blk)
+}
+
+// RunTimed executes one timed simulation of the workload under the given
+// prefetcher variant and returns windowed results.
+func RunTimed(cfg Config, spec trace.Spec, ps PrefSpec) Results {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	scaled := spec.Scaled(cfg.Scale)
+	lib := trace.NewLibrary(scaled, cfg.Seed)
+	total := cfg.WarmRecords + cfg.MeasureRecords
+	gens := make([]trace.Generator, cfg.Cores)
+	for i := range gens {
+		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
+	}
+	return runTimed(cfg, scaled, gens, ps)
+}
+
+// RunTimedTrace executes the timed simulation over externally supplied
+// record generators, one per core — typically trace.FileReader streams
+// from files captured with stms-trace or converted from an application's
+// own miss trace. The name labels results; dirtyFrac sets the writeback
+// model.
+func RunTimedTrace(cfg Config, name string, gens []trace.Generator, dirtyFrac float64, ps PrefSpec) Results {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(gens) != cfg.Cores {
+		panic(fmt.Sprintf("sim: %d generators for %d cores", len(gens), cfg.Cores))
+	}
+	spec := trace.Spec{Name: name, DirtyFrac: dirtyFrac}
+	return runTimed(cfg, spec, gens, ps)
+}
+
+// runTimed wires and drains the event-driven system over the given
+// per-core generators.
+func runTimed(cfg Config, spec trace.Spec, gens []trace.Generator, ps PrefSpec) Results {
+	s := &timed{
+		cfg:         cfg,
+		spec:        spec,
+		eng:         event.NewEngine(),
+		dirtyThresh: dirtyThreshold(spec.DirtyFrac),
+		recordsSeen: make([]uint64, cfg.Cores),
+		mlp:         make([]mlpTrack, cfg.Cores),
+	}
+	s.mc = dram.New(s.eng, cfg.DRAM)
+	s.l2 = cache.New(cache.Config{Name: "L2", SizeBytes: cfg.L2(), Assoc: cfg.L2Assoc})
+	s.l2mshr = cache.NewMSHR(cfg.L2MSHRs)
+	s.strid = stride.New(cfg.Stride)
+	s.pref = buildPrefetcher(timedEnv{s}, cfg, ps)
+
+	s.committedSnap = make([]uint64, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		s.l1 = append(s.l1, cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1(), Assoc: cfg.L1Assoc}))
+		c := cpu.New(i, cfg.Core, s.eng, gens[i], s.load)
+		s.cores = append(s.cores, c)
+		c.Start()
+	}
+	// Drain everything: cores stop when their bounded generators run dry;
+	// outstanding memory and meta-data events then settle.
+	s.eng.Drain(nil)
+
+	return s.results(ps)
+}
+
+// load implements cpu.LoadFunc.
+func (s *timed) load(core int, pc uint32, blk uint64, issueAt uint64, done func(uint64)) cpu.LoadResult {
+	s.noteRecord(core)
+	if issueAt > s.eng.Now() {
+		s.eng.At(issueAt, func() {
+			if t, sync := s.access(core, pc, blk, done); sync {
+				done(t)
+			}
+		})
+		return cpu.LoadResult{}
+	}
+	if t, sync := s.access(core, pc, blk, done); sync {
+		return cpu.LoadResult{Sync: true, CompleteAt: t}
+	}
+	return cpu.LoadResult{}
+}
+
+// access walks the memory hierarchy at the current simulation time.
+func (s *timed) access(core int, pc uint32, blk uint64, done func(uint64)) (completeAt uint64, sync bool) {
+	now := s.eng.Now()
+	s.cnt.Loads++
+	if s.l1[core].Access(blk, false) {
+		s.cnt.L1Hits++
+		return now + s.cfg.L1HitCycles, true
+	}
+	// The stride prefetcher trains on the L1-miss stream (Table 1). It
+	// observes before the prefetch-buffer probe so its training — part of
+	// the base system — is identical across prefetcher variants, keeping
+	// matched-pair runs exactly comparable.
+	s.strid.Observe(pc, blk, func(cand uint64) { s.stridePrefetch(cand) })
+	// L2 lookup first: a block that is L2-resident was never a miss to
+	// cover, even if a copy also sits in the prefetch buffer (the probes
+	// happen in parallel in hardware; the L2 hit wins).
+	if s.l2.Access(blk, false) {
+		s.cnt.L2Hits++
+		s.fillL1(core, blk)
+		return now + s.cfg.L2HitCycles, true
+	}
+	// Prefetch buffer sits alongside the L1 (§4.2).
+	res := s.pref.temporal.Probe(core, blk, func(readyAt uint64) {
+		// Partially covered miss: the block arrives now; move it on chip
+		// and complete the load.
+		s.fillL2(blk)
+		s.fillL1(core, blk)
+		done(readyAt)
+	})
+	switch res.State {
+	case prefetch.ProbeReady:
+		s.cnt.PBFull++
+		s.pref.temporal.Record(core, blk, true)
+		s.fillL2(blk)
+		s.fillL1(core, blk)
+		return now + s.cfg.PBHitCycles, true
+	case prefetch.ProbeInFlight:
+		s.cnt.PBPartial++
+		s.pref.temporal.Record(core, blk, true)
+		return 0, false
+	}
+	// Off-chip demand read miss: this is the temporal prefetcher's
+	// trigger event (§4.2). The lookup races the fill; the record
+	// mirrors retirement.
+	s.cnt.L2DemandMisses++
+	s.pref.temporal.TriggerMiss(core, blk)
+	s.pref.temporal.Record(core, blk, false)
+	s.demandFetch(core, blk, done)
+	return 0, false
+}
+
+func (s *timed) fillL1(core int, blk uint64) {
+	// L1 victims write back on chip (to the L2); no off-chip traffic.
+	s.l1[core].Fill(blk, false)
+}
+
+func (s *timed) fillL2(blk uint64) {
+	victim, wb, evicted := s.l2.Fill(blk, blockDirty(blk, s.dirtyThresh))
+	if evicted && wb {
+		_ = victim
+		s.mc.Write(dram.Writeback, false)
+	}
+}
+
+// demandFetch issues (or merges) an off-chip demand read.
+func (s *timed) demandFetch(core int, blk uint64, done func(uint64)) {
+	waiter := func(t uint64) {
+		s.fillL1(core, blk)
+		done(t)
+	}
+	primary, ok := s.l2mshr.Allocate(blk, waiter)
+	if !ok {
+		// MSHR file full: retry shortly (Table 1 bounds in-flight misses).
+		s.cnt.MSHRRetries++
+		s.eng.Schedule(16, func() { s.demandFetch(core, blk, done) })
+		return
+	}
+	if !primary {
+		return // merged into an in-flight fill
+	}
+	s.mlp[core].issue(s.eng.Now())
+	s.mc.Read(dram.Demand, true, func(t uint64) {
+		s.mlp[core].complete(t)
+		s.fillL2(blk)
+		s.l2mshr.Complete(blk, t)
+	})
+}
+
+// stridePrefetch issues a stride candidate into the L2 at low priority.
+func (s *timed) stridePrefetch(blk uint64) {
+	if s.l2.Probe(blk) || s.l2mshr.InFlight(blk) {
+		return
+	}
+	// Leave headroom for demand misses in the MSHR file.
+	if s.l2mshr.Outstanding() >= s.cfg.L2MSHRs-8 {
+		return
+	}
+	primary, ok := s.l2mshr.Allocate(blk, nil)
+	if !ok || !primary {
+		return
+	}
+	s.cnt.StrideIssued++
+	s.mc.Read(dram.StrideData, false, func(t uint64) {
+		s.fillL2(blk)
+		s.l2mshr.Complete(blk, t)
+	})
+}
+
+// noteRecord advances the warm-up/measurement window bookkeeping.
+func (s *timed) noteRecord(core int) {
+	s.recordsSeen[core]++
+	if s.recordsSeen[core] == s.cfg.WarmRecords && !s.measuring {
+		s.crossedWarm++
+		if s.crossedWarm == s.cfg.Cores {
+			s.startMeasure()
+		}
+	}
+}
+
+func (s *timed) startMeasure() {
+	s.measuring = true
+	s.measureT0 = s.eng.Now()
+	s.cntSnap = s.cnt
+	s.engSnap = engineCounts(s.pref.temporal.Stats())
+	s.mc.ResetStats()
+	s.l2.ResetStats()
+	for i, c := range s.cores {
+		c.MarkWindow()
+		s.committedSnap[i] = 0 // MarkWindow owns the boundary
+		s.mlp[i] = mlpTrack{outstanding: s.mlp[i].outstanding, lastT: s.eng.Now()}
+	}
+}
+
+func (s *timed) results(ps PrefSpec) Results {
+	if eng := s.pref.engine; eng != nil {
+		eng.Flush()
+	}
+	w := s.cnt.sub(s.cntSnap)
+	var instrs uint64
+	for _, c := range s.cores {
+		instrs += c.CommittedInWindow()
+	}
+	elapsed := s.eng.Now() - s.measureT0
+	if !s.measuring {
+		// Window never opened (warm-up exceeded the trace): report
+		// whole-run numbers so short tests still see data.
+		elapsed = s.eng.Now()
+	}
+	var mlpW, mlpB float64
+	for i := range s.mlp {
+		s.mlp[i].advance(s.eng.Now())
+		mlpW += float64(s.mlp[i].weighted)
+		mlpB += float64(s.mlp[i].busy)
+	}
+	r := Results{
+		Workload:       s.spec.Name,
+		Variant:        ps.Kind.String(),
+		ElapsedCycles:  elapsed,
+		Instrs:         instrs,
+		Records:        w.Loads,
+		L1Hits:         w.L1Hits,
+		L2Hits:         w.L2Hits,
+		CoveredFull:    w.PBFull,
+		CoveredPartial: w.PBPartial,
+		Uncovered:      w.L2DemandMisses,
+		Traffic:        s.mc.Traffic(),
+		Engine:         engineCounts(s.pref.temporal.Stats()).Sub(s.engSnap),
+		DRAMUtil:       s.mc.Utilization(),
+	}
+	if elapsed > 0 {
+		r.IPC = float64(instrs) / float64(elapsed)
+	}
+	if mlpB > 0 {
+		r.MLP = mlpW / mlpB
+	}
+	if eng := s.pref.engine; eng != nil {
+		r.StreamLens = &eng.Stats().StreamLens
+	}
+	return r
+}

@@ -1,0 +1,149 @@
+package trace
+
+// Trace file I/O: a compact binary format so users can capture generated
+// traces (or convert their own application miss traces) and replay them
+// through the simulator. cmd/stms-trace writes these; any Generator
+// consumer accepts a Reader.
+//
+// Format: a 16-byte header ("STMSTRC1", record count as little-endian
+// uint64) followed by fixed 24-byte records:
+//
+//	offset size field
+//	0      8    block number
+//	8      4    PC
+//	12     4    instruction count
+//	16     4    dispatch-cycle cost
+//	20     1    flags (bit 0: Dep)
+//	21     3    reserved (zero)
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+var fileMagic = [8]byte{'S', 'T', 'M', 'S', 'T', 'R', 'C', '1'}
+
+const fileRecSize = 24
+
+// Writer streams records to an io.Writer in the trace file format. Close
+// must be called to flush; the record count is carried in the header, so
+// the destination must be positioned at the start when NewWriter runs and
+// Count written via Finalize on a seekable target — for pure streams, use
+// WriteAll.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	err   error
+}
+
+// WriteAll writes a complete trace (header + records) to w.
+func WriteAll(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	copy(hdr[:8], fileMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [fileRecSize]byte
+	for i := range recs {
+		encodeRecord(&buf, &recs[i])
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeRecord(buf *[fileRecSize]byte, r *Record) {
+	binary.LittleEndian.PutUint64(buf[0:], r.Block)
+	binary.LittleEndian.PutUint32(buf[8:], r.PC)
+	binary.LittleEndian.PutUint32(buf[12:], r.Instrs)
+	binary.LittleEndian.PutUint32(buf[16:], r.Work)
+	flags := byte(0)
+	if r.Dep {
+		flags |= 1
+	}
+	buf[20] = flags
+	buf[21], buf[22], buf[23] = 0, 0, 0
+}
+
+func decodeRecord(buf *[fileRecSize]byte, r *Record) {
+	r.Block = binary.LittleEndian.Uint64(buf[0:])
+	r.PC = binary.LittleEndian.Uint32(buf[8:])
+	r.Instrs = binary.LittleEndian.Uint32(buf[12:])
+	r.Work = binary.LittleEndian.Uint32(buf[16:])
+	r.Dep = buf[20]&1 != 0
+}
+
+// FileReader streams records from a trace file; it implements Generator.
+type FileReader struct {
+	r         *bufio.Reader
+	remaining uint64
+	err       error
+}
+
+// NewFileReader validates the header and prepares streaming reads.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:8])
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	return &FileReader{r: br, remaining: n}, nil
+}
+
+// Remaining returns how many records are left.
+func (f *FileReader) Remaining() uint64 { return f.remaining }
+
+// Err returns the first I/O error encountered, if any.
+func (f *FileReader) Err() error { return f.err }
+
+// Next implements Generator.
+func (f *FileReader) Next(r *Record) bool {
+	if f.remaining == 0 || f.err != nil {
+		return false
+	}
+	var buf [fileRecSize]byte
+	if _, err := io.ReadFull(f.r, buf[:]); err != nil {
+		f.err = fmt.Errorf("trace: reading record: %w", err)
+		return false
+	}
+	decodeRecord(&buf, r)
+	f.remaining--
+	return true
+}
+
+// ReadAll loads an entire trace file into memory.
+func ReadAll(r io.Reader) ([]Record, error) {
+	fr, err := NewFileReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, fr.remaining)
+	var rec Record
+	for fr.Next(&rec) {
+		out = append(out, rec)
+	}
+	if fr.Err() != nil {
+		return nil, fr.Err()
+	}
+	return out, nil
+}
+
+// Capture materializes n records from gen (utility for writing trace
+// files from the synthetic generators).
+func Capture(gen Generator, n int) []Record {
+	out := make([]Record, 0, n)
+	var rec Record
+	for len(out) < n && gen.Next(&rec) {
+		out = append(out, rec)
+	}
+	return out
+}

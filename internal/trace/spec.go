@@ -1,0 +1,289 @@
+package trace
+
+import "fmt"
+
+// Class groups workloads the way the paper's figures do.
+type Class string
+
+// Workload classes (Table 1).
+const (
+	Web  Class = "Web"
+	OLTP Class = "OLTP"
+	DSS  Class = "DSS"
+	Sci  Class = "Sci"
+)
+
+// Spec describes one synthetic workload. All sizes are in 64-byte blocks
+// unless noted. The calibration targets each spec aims for (ideal
+// coverage, speedup, MLP, stream-length distribution) are tabulated in
+// DESIGN.md §6; tests in calibrate_test.go assert the outcomes.
+type Spec struct {
+	Name  string
+	Class Class
+
+	// Stream library (the recurring, pointer-chasing working set).
+	Streams  int     // number of temporal streams in the library
+	LenMin   int     // minimum stream length (blocks)
+	LenMax   int     // maximum stream length (blocks)
+	LenAlpha float64 // bounded-Pareto shape; smaller = heavier tail
+	ZipfS    float64 // recurrence skew across streams (0 = uniform)
+
+	// Scientific mode: each core owns one long iteration stream that it
+	// replays repeatedly (em3d/ocean/moldyn). Overrides the library knobs.
+	IterStream bool
+	IterLen    int // per-core iteration stream length (blocks)
+
+	// Replay variation.
+	ReplayMin  float64 // minimum fraction of a stream replayed (0..1]
+	SkipProb   float64 // per-block probability of skipping ahead one block
+	ChurnEvery int     // regenerate one random stream every N replays (0 = never)
+
+	// Record mix.
+	NoiseInChase float64 // P(noise record injected between stream blocks)
+	ScanProb     float64 // P(starting a scan burst when idle)
+	NoiseProb    float64 // P(emitting a noise record when idle)
+	ScanBurst    int     // scan burst length (blocks)
+	ScanStreams  int     // concurrent scan PCs per core
+
+	// Dependence model.
+	DepChase float64 // P(Dep=true) for stream (chase) records
+	DepNoise float64 // P(Dep=true) for noise records
+
+	// Cost and burst model. The reference stream alternates compute
+	// records (hot-set loads that always hit the L1, carrying the
+	// workload's instruction and on-chip-stall budget) with bursts of
+	// memory records (the actual chase/scan/noise references, carrying a
+	// small cost so several fit in the ROB together). Burst length sets
+	// memory-level parallelism (Table 2); the gap cost sets how
+	// memory-bound the workload is (Fig. 4 right).
+	GapInstrs  uint32  // instructions per compute record
+	GapWork    uint32  // dispatch cycles per compute record
+	MemInstrs  uint32  // instructions per memory record
+	MemWork    uint32  // dispatch cycles per memory record
+	BurstMean  float64 // mean memory records per burst (>= 1)
+	BurstMax   int     // burst length cap (ROB-bounded overlap)
+	WorkJitter float64 // uniform ± fraction applied to gap records
+	HotBlocks  int     // per-core hot-set size for compute records
+	DirtyFrac  float64 // fraction of fills that are dirtied (writebacks)
+}
+
+// Validate reports configuration errors in the spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("trace: spec has no name")
+	case !s.IterStream && s.Streams <= 0:
+		return fmt.Errorf("trace: %s: library mode needs Streams > 0", s.Name)
+	case !s.IterStream && (s.LenMin < 2 || s.LenMax < s.LenMin):
+		return fmt.Errorf("trace: %s: bad stream length bounds [%d,%d]", s.Name, s.LenMin, s.LenMax)
+	case s.IterStream && s.IterLen < 2:
+		return fmt.Errorf("trace: %s: iteration mode needs IterLen >= 2", s.Name)
+	case s.ReplayMin <= 0 || s.ReplayMin > 1:
+		return fmt.Errorf("trace: %s: ReplayMin must be in (0,1]", s.Name)
+	case s.GapInstrs == 0 || s.GapWork == 0:
+		return fmt.Errorf("trace: %s: GapInstrs and GapWork must be positive", s.Name)
+	case s.MemInstrs == 0 || s.MemWork == 0:
+		return fmt.Errorf("trace: %s: MemInstrs and MemWork must be positive", s.Name)
+	case s.BurstMean < 1:
+		return fmt.Errorf("trace: %s: BurstMean must be >= 1", s.Name)
+	case s.BurstMax < 1:
+		return fmt.Errorf("trace: %s: BurstMax must be >= 1", s.Name)
+	case s.NoiseInChase < 0 || s.NoiseInChase >= 1:
+		return fmt.Errorf("trace: %s: NoiseInChase out of range", s.Name)
+	case s.ScanProb+s.NoiseProb >= 1:
+		return fmt.Errorf("trace: %s: ScanProb+NoiseProb must leave room for chase", s.Name)
+	}
+	return nil
+}
+
+// Scaled returns a copy with the meta-data-relevant sizes multiplied by
+// factor (stream count and scientific iteration length). Caches and
+// predictor tables must be scaled by the same factor (sim.Config.Scale) to
+// keep the paper's size relationships intact.
+func (s Spec) Scaled(factor float64) Spec {
+	if factor <= 0 || factor == 1 {
+		return s
+	}
+	out := s
+	scale := func(v int, min int) int {
+		n := int(float64(v) * factor)
+		if n < min {
+			n = min
+		}
+		return n
+	}
+	if s.IterStream {
+		out.IterLen = scale(s.IterLen, 64)
+	} else {
+		out.Streams = scale(s.Streams, 16)
+	}
+	return out
+}
+
+// Specs returns the nine workloads of Table 1 at full (paper) scale.
+//
+// Parameter rationale, per workload class:
+//
+//   - Web (Apache, Zeus): ~55–60% of misses belong to recurring streams
+//     with a heavy-tailed length mix (median streamed block from streams
+//     of ~10–30 misses); moderately memory-bound; MLP ≈ 1.5.
+//   - OLTP (DB2, Oracle): pointer-chase dominated, MLP ≈ 1.3. Oracle has
+//     the same coverage potential but most stall time on chip (L2-hit
+//     data/instruction misses, coherence) — large Work — so its speedup
+//     is small (Fig. 4).
+//   - DSS (TPC-H Q2/Q17): scan-dominated with once-visited probe data;
+//     the stride prefetcher takes the scans, little recurrence remains;
+//     MLP ≈ 1.6.
+//   - Sci: each core replays its partition's iteration-long stream —
+//     em3d ~400 K misses/iteration (paper §5.4), moldyn ~81 K fully
+//     dependence-serialized (MLP 1.0), ocean ~21 K.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "web-apache", Class: Web,
+			Streams: 24000, LenMin: 2, LenMax: 2000, LenAlpha: 1.05, ZipfS: 0.55,
+			ReplayMin: 0.75, SkipProb: 0.01, ChurnEvery: 400,
+			NoiseInChase: 0.09, ScanProb: 0.02, NoiseProb: 0.13,
+			ScanBurst: 48, ScanStreams: 2,
+			DepChase: 0.2, DepNoise: 0.15,
+			GapInstrs: 620, GapWork: 640, MemInstrs: 12, MemWork: 6,
+			BurstMean: 2.4, BurstMax: 5, WorkJitter: 0.3,
+			HotBlocks: 16, DirtyFrac: 0.22,
+		},
+		{
+			Name: "web-zeus", Class: Web,
+			Streams: 22000, LenMin: 2, LenMax: 2400, LenAlpha: 1.0, ZipfS: 0.5,
+			ReplayMin: 0.8, SkipProb: 0.008, ChurnEvery: 450,
+			NoiseInChase: 0.08, ScanProb: 0.02, NoiseProb: 0.11,
+			ScanBurst: 40, ScanStreams: 2,
+			DepChase: 0.2, DepNoise: 0.15,
+			GapInstrs: 580, GapWork: 600, MemInstrs: 12, MemWork: 6,
+			BurstMean: 2.4, BurstMax: 5, WorkJitter: 0.3,
+			HotBlocks: 16, DirtyFrac: 0.2,
+		},
+		{
+			Name: "oltp-db2", Class: OLTP,
+			Streams: 30000, LenMin: 2, LenMax: 1200, LenAlpha: 1.15, ZipfS: 0.5,
+			ReplayMin: 0.7, SkipProb: 0.015, ChurnEvery: 300,
+			NoiseInChase: 0.12, ScanProb: 0.015, NoiseProb: 0.18,
+			ScanBurst: 32, ScanStreams: 1,
+			DepChase: 0.45, DepNoise: 0.3,
+			GapInstrs: 430, GapWork: 450, MemInstrs: 12, MemWork: 6,
+			BurstMean: 1.75, BurstMax: 4, WorkJitter: 0.35,
+			HotBlocks: 16, DirtyFrac: 0.28,
+		},
+		{
+			Name: "oltp-oracle", Class: OLTP,
+			Streams: 28000, LenMin: 2, LenMax: 1600, LenAlpha: 1.05, ZipfS: 0.5,
+			ReplayMin: 0.75, SkipProb: 0.012, ChurnEvery: 350,
+			NoiseInChase: 0.09, ScanProb: 0.01, NoiseProb: 0.13,
+			ScanBurst: 32, ScanStreams: 1,
+			DepChase: 0.45, DepNoise: 0.3,
+			// Oracle's bottleneck is on-chip (L1/L2-hit misses, coherence
+			// traffic): a large gap budget relative to off-chip stalls, so
+			// high coverage buys little speedup (Fig. 4).
+			GapInstrs: 1200, GapWork: 1400, MemInstrs: 12, MemWork: 6,
+			BurstMean: 1.45, BurstMax: 3, WorkJitter: 0.3,
+			HotBlocks: 16, DirtyFrac: 0.3,
+		},
+		{
+			Name: "dss-qry2", Class: DSS,
+			Streams: 6000, LenMin: 2, LenMax: 600, LenAlpha: 1.2, ZipfS: 0.4,
+			ReplayMin: 0.7, SkipProb: 0.02, ChurnEvery: 200,
+			NoiseInChase: 0.1, ScanProb: 0.05, NoiseProb: 0.24,
+			ScanBurst: 96, ScanStreams: 3,
+			DepChase: 0.2, DepNoise: 0.1,
+			GapInstrs: 520, GapWork: 540, MemInstrs: 12, MemWork: 6,
+			BurstMean: 2.1, BurstMax: 5, WorkJitter: 0.3,
+			HotBlocks: 16, DirtyFrac: 0.12,
+		},
+		{
+			Name: "dss-qry17", Class: DSS,
+			Streams: 7000, LenMin: 2, LenMax: 800, LenAlpha: 1.2, ZipfS: 0.4,
+			ReplayMin: 0.7, SkipProb: 0.02, ChurnEvery: 220,
+			NoiseInChase: 0.1, ScanProb: 0.07, NoiseProb: 0.22,
+			ScanBurst: 128, ScanStreams: 3,
+			DepChase: 0.2, DepNoise: 0.1,
+			GapInstrs: 540, GapWork: 560, MemInstrs: 12, MemWork: 6,
+			BurstMean: 2.1, BurstMax: 5, WorkJitter: 0.3,
+			HotBlocks: 16, DirtyFrac: 0.12,
+		},
+		{
+			// IterLen is the per-core data footprint in blocks (the
+			// paper's ~400 K misses/iteration are post-L2-filter; the
+			// pre-filter footprint must exceed the cache for the
+			// iteration to miss again each time around).
+			Name: "sci-em3d", Class: Sci,
+			IterStream: true, IterLen: 400000,
+			ReplayMin: 1.0, SkipProb: 0.004, ChurnEvery: 0,
+			NoiseInChase: 0.015, ScanProb: 0, NoiseProb: 0.08,
+			ScanBurst: 0, ScanStreams: 0,
+			DepChase: 0.15, DepNoise: 0.1,
+			GapInstrs: 240, GapWork: 250, MemInstrs: 12, MemWork: 6,
+			BurstMean: 2.3, BurstMax: 5, WorkJitter: 0.2,
+			HotBlocks: 16, DirtyFrac: 0.3,
+		},
+		{
+			Name: "sci-moldyn", Class: Sci,
+			IterStream: true, IterLen: 96000,
+			ReplayMin: 1.0, SkipProb: 0.006, ChurnEvery: 0,
+			NoiseInChase: 0.05, ScanProb: 0, NoiseProb: 0.08,
+			ScanBurst: 0, ScanStreams: 0,
+			// moldyn's misses are fully serialized: MLP 1.0 (Table 2).
+			DepChase: 0.99, DepNoise: 0.9,
+			GapInstrs: 1100, GapWork: 1300, MemInstrs: 12, MemWork: 6,
+			BurstMean: 1.0, BurstMax: 1, WorkJitter: 0.2,
+			HotBlocks: 16, DirtyFrac: 0.3,
+		},
+		{
+			Name: "sci-ocean", Class: Sci,
+			IterStream: true, IterLen: 80000,
+			ReplayMin: 1.0, SkipProb: 0.01, ChurnEvery: 0,
+			NoiseInChase: 0.06, ScanProb: 0, NoiseProb: 0.12,
+			ScanBurst: 0, ScanStreams: 0,
+			DepChase: 0.5, DepNoise: 0.35,
+			GapInstrs: 800, GapWork: 950, MemInstrs: 12, MemWork: 6,
+			BurstMean: 1.55, BurstMax: 3, WorkJitter: 0.2,
+			HotBlocks: 16, DirtyFrac: 0.3,
+		},
+	}
+}
+
+// ByName returns the full-scale spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// Names lists all workload names in figure order (Web, OLTP, DSS, Sci).
+func Names() []string {
+	specs := Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// FigureEight returns the eight workloads as the paper's figures order
+// them (Apache, Zeus, OLTP DB2, Oracle, DSS DB2, em3d, moldyn, ocean).
+// The paper's figures show one DSS column; we use Qry17 (the balanced
+// scan-join query) for it, as Qry2 behaves near-identically.
+func FigureEight() []string {
+	return []string{
+		"web-apache", "web-zeus", "oltp-db2", "oltp-oracle",
+		"dss-qry17", "sci-em3d", "sci-moldyn", "sci-ocean",
+	}
+}
+
+// Commercial returns the commercial workloads (Web + OLTP + DSS), the set
+// Figure 1 and Figure 6 (left) aggregate over.
+func Commercial() []string {
+	return []string{
+		"web-apache", "web-zeus", "oltp-db2", "oltp-oracle", "dss-qry17",
+	}
+}

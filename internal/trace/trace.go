@@ -1,0 +1,90 @@
+// Package trace defines the memory-reference trace model and the synthetic
+// workload generators that stand in for the paper's commercial and
+// scientific applications.
+//
+// The paper drives its simulator with Oracle, DB2, Apache, Zeus, TPC-H and
+// three scientific codes running under Solaris — none of which can be
+// rehosted here. Temporal-streaming prefetchers, however, are sensitive
+// only to the structure of the miss-address sequence and to the dependence
+// structure that sets memory-level parallelism. Each generator therefore
+// synthesizes a reference stream with independently controllable:
+//
+//   - a library of temporal streams (recurring block sequences) with a
+//     heavy-tailed length distribution and Zipf-distributed recurrence —
+//     the pointer-chasing working set (Fig. 6 left);
+//   - non-repeating "noise" references (data visited once) that bound
+//     achievable coverage, as in DSS (Fig. 4);
+//   - sequential scans, which the baseline stride prefetcher covers and
+//     which therefore must not count toward temporal coverage (§5.1);
+//   - per-record instruction counts and dispatch-cycle costs that set how
+//     memory-bound the workload is (Fig. 4 right);
+//   - address dependences between loads that set MLP (Table 2);
+//   - stream replay truncation/perturbation and library churn, which set
+//     reuse distances and meta-data footprints (Fig. 5).
+//
+// Generators are deterministic: the same spec, seed and core produce the
+// same record sequence on every run.
+package trace
+
+// Record is one memory reference plus the work preceding it.
+type Record struct {
+	// PC identifies the static load for PC-indexed predictors (the stride
+	// prefetcher); synthetic but stable per logical access stream.
+	PC uint32
+	// Block is the 64-byte block number referenced.
+	Block uint64
+	// Dep marks the load's address as dependent on the previous load
+	// (pointer chasing): it cannot issue before that load completes.
+	Dep bool
+	// Instrs is the number of instructions this record represents
+	// (including the load); used for IPC accounting.
+	Instrs uint32
+	// Work is the dispatch-cycle cost of those instructions, including
+	// on-chip stalls not modelled elsewhere (L1/L2-hit latency already
+	// spent, branch mispredictions, coherence, ...).
+	Work uint32
+}
+
+// Generator produces a stream of records. Next fills r and reports whether
+// a record was produced; generators for the paper's workloads never run
+// dry, but bounded generators (tests, file replay) may.
+type Generator interface {
+	Next(r *Record) bool
+}
+
+// SliceGenerator replays a fixed record slice (testing helper).
+type SliceGenerator struct {
+	Records []Record
+	pos     int
+}
+
+// Next returns the next record from the slice.
+func (s *SliceGenerator) Next(r *Record) bool {
+	if s.pos >= len(s.Records) {
+		return false
+	}
+	*r = s.Records[s.pos]
+	s.pos++
+	return true
+}
+
+// Limit wraps a generator and stops it after n records.
+type Limit struct {
+	Gen Generator
+	N   uint64
+}
+
+// Next forwards to the wrapped generator until the limit is reached.
+func (l *Limit) Next(r *Record) bool {
+	if l.N == 0 {
+		return false
+	}
+	l.N--
+	return l.Gen.Next(r)
+}
+
+// Func adapts a function to the Generator interface.
+type Func func(r *Record) bool
+
+// Next invokes the function.
+func (f Func) Next(r *Record) bool { return f(r) }

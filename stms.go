@@ -1,0 +1,127 @@
+// Package stms is a Go reproduction of "Practical Off-chip Meta-data for
+// Temporal Memory Streaming" (Wenisch, Ferdman, Ailamaki, Falsafi,
+// Moshovos — HPCA 2009): Sampled Temporal Memory Streaming, an
+// address-correlating prefetcher whose predictor meta-data lives entirely
+// in main memory, made practical by hash-based lookup, probabilistic
+// update sampling, and a split index/history organization.
+//
+// The package front-door wraps three layers:
+//
+//   - the STMS prefetcher itself and the idealized/comparator predictors
+//     (internal/core, internal/prefetch/...);
+//   - a deterministic 4-core CMP simulator with the paper's Table 1
+//     system model (internal/sim) and synthetic workloads calibrated to
+//     the paper's workload suite (internal/trace);
+//   - the experiment harness regenerating every table and figure of the
+//     paper's evaluation (internal/expt).
+//
+// # Quick start
+//
+//	cfg := stms.DefaultConfig()
+//	cfg.Scale = 0.125 // 1/8-scale caches, meta-data and footprints
+//	spec, _ := stms.Workload("web-apache")
+//	base  := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.None})
+//	ideal := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.Ideal})
+//	pract := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.STMS})
+//	fmt.Printf("coverage %.0f%%, %.0f%% of ideal speedup\n",
+//		pract.Coverage()*100,
+//		100*pract.SpeedupOver(&base)/ideal.SpeedupOver(&base))
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// and EXPERIMENTS.md for measured-vs-paper results.
+package stms
+
+import (
+	"io"
+
+	"stms/internal/core"
+	"stms/internal/expt"
+	"stms/internal/prefetch"
+	"stms/internal/sim"
+	"stms/internal/trace"
+)
+
+// Config is the system under test (Table 1 defaults via DefaultConfig).
+type Config = sim.Config
+
+// PrefSpec selects and parameterizes the temporal prefetcher variant.
+type PrefSpec = sim.PrefSpec
+
+// Results reports one simulation run.
+type Results = sim.Results
+
+// Overhead is Figure 7's traffic-overhead breakdown.
+type Overhead = sim.Overhead
+
+// Kind enumerates prefetcher variants.
+type Kind = sim.Kind
+
+// Prefetcher variants: the stride-only baseline, idealized TMS with magic
+// on-chip meta-data, practical STMS, and the published comparators.
+const (
+	None   = sim.None
+	Ideal  = sim.Ideal
+	STMS   = sim.STMS
+	TSE    = sim.TSE
+	EBCP   = sim.EBCP
+	ULMT   = sim.ULMT
+	Markov = sim.Markov
+)
+
+// WorkloadSpec describes one synthetic workload.
+type WorkloadSpec = trace.Spec
+
+// STMSConfig sizes an STMS instance (history buffers, index table,
+// sampling probability, bucket buffer).
+type STMSConfig = core.Config
+
+// EngineConfig tunes the shared stream-following engine.
+type EngineConfig = prefetch.EngineConfig
+
+// Options control experiment scale for the harness.
+type Options = expt.Options
+
+// DefaultConfig returns the paper's Table 1 system at full scale.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// DefaultSTMSConfig returns the paper's STMS sizing for the given core
+// count (8 MB/core history, 16 MB index, 12-way buckets, 12.5% sampling,
+// 8 KB bucket buffer).
+func DefaultSTMSConfig(cores int) STMSConfig { return core.DefaultConfig(cores) }
+
+// Workload returns the named workload specification at full (paper) scale.
+// Names: web-apache, web-zeus, oltp-db2, oltp-oracle, dss-qry2, dss-qry17,
+// sci-em3d, sci-moldyn, sci-ocean.
+func Workload(name string) (WorkloadSpec, error) { return trace.ByName(name) }
+
+// Workloads lists all workload names.
+func Workloads() []string { return trace.Names() }
+
+// FigureEight returns the eight workloads in the paper's figure order.
+func FigureEight() []string { return trace.FigureEight() }
+
+// RunTimed executes the cycle-level simulation of spec under the given
+// prefetcher and returns measurement-window results (IPC, MLP, coverage,
+// per-class DRAM traffic).
+func RunTimed(cfg Config, spec WorkloadSpec, ps PrefSpec) Results {
+	return sim.RunTimed(cfg, spec, ps)
+}
+
+// RunFunctional executes the fast zero-latency driver (idealized-lookup
+// coverage sweeps; timing fields of the result are zero).
+func RunFunctional(cfg Config, spec WorkloadSpec, ps PrefSpec) Results {
+	return sim.RunFunctional(cfg, spec, ps)
+}
+
+// DefaultOptions returns the standard experiment scale for the harness.
+func DefaultOptions() Options { return expt.DefaultOptions() }
+
+// RunExperiment regenerates one paper artifact by ID (table1, table2,
+// fig1l, fig1r, fig4, fig5l, fig5r, fig6l, fig6r, fig7, fig8, fig9, or
+// all), writing the tables to w.
+func RunExperiment(id string, o Options, w io.Writer) error {
+	return expt.NewRunner(o).ByID(id, w)
+}
+
+// ExperimentIDs lists the experiment identifiers in paper order.
+func ExperimentIDs() []string { return expt.IDs() }
