@@ -1,24 +1,35 @@
-// Command stms-bench regenerates the paper's tables and figures.
+// Command stms-bench regenerates the paper's tables and figures over the
+// shared lab session, fanning each experiment's run matrix out across a
+// worker pool.
 //
 // Usage:
 //
-//	stms-bench [-run all|table1|table2|fig1l|fig1r|fig4|fig5l|fig5r|fig6l|fig6r|fig7|fig8|fig9]
+//	stms-bench [-run all|table1|table2|fig1l|fig1r|fig4|fig5l|fig5r|fig6l|fig6r|fig7|fig8|fig9|abl]
 //	           [-scale 0.125] [-seed 42] [-warm 80000] [-measure 120000]
-//	           [-out results.txt]
+//	           [-par 0] [-out results.txt] [-json bench.json]
 //
 // Sizes are scaled together (caches, meta-data tables, workload
 // footprints), preserving the paper's size relationships; -scale 1 runs
 // paper-scale meta-data (needs long traces to warm: raise -warm and
-// -measure accordingly).
+// -measure accordingly). -par bounds the matrix worker pool (0 = all
+// CPUs); results are identical regardless.
+//
+// With -json, a machine-readable benchmark document is also written: the
+// run options, wall time, and the headline workload × {baseline, ideal,
+// stms} matrix with per-cell IPC, coverage and speedup inputs — the
+// format future BENCH_*.json trajectories capture.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"stms"
 	"stms/internal/expt"
 )
 
@@ -28,7 +39,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "trace and sampling seed")
 	warm := flag.Uint64("warm", 80_000, "warm-up records per core")
 	measure := flag.Uint64("measure", 120_000, "measured records per core")
+	par := flag.Int("par", 0, "matrix worker pool size (0 = all CPUs)")
 	out := flag.String("out", "", "also write results to this file")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark document to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -39,7 +52,7 @@ func main() {
 		return
 	}
 
-	o := expt.Options{Scale: *scale, Seed: *seed, Warm: *warm, Measure: *measure}
+	o := expt.Options{Scale: *scale, Seed: *seed, Warm: *warm, Measure: *measure, Parallel: *par}
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -57,6 +70,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	elapsed := time.Since(start)
 	fmt.Fprintf(w, "(%s, scale=%g, seed=%d, %d+%d records/core)\n",
-		time.Since(start).Round(time.Millisecond), o.Scale, o.Seed, o.Warm, o.Measure)
+		elapsed.Round(time.Millisecond), o.Scale, o.Seed, o.Warm, o.Measure)
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, r, o, *run, elapsed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+}
+
+// benchDoc is the machine-readable trajectory record: enough to compare
+// runs across commits without parsing the text tables.
+type benchDoc struct {
+	Schema     string       `json:"schema"`
+	Experiment string       `json:"experiment"`
+	Scale      float64      `json:"scale"`
+	Seed       uint64       `json:"seed"`
+	Warm       uint64       `json:"warm_records"`
+	Measure    uint64       `json:"measure_records"`
+	ElapsedMS  float64      `json:"elapsed_ms"`
+	Matrix     *stms.Matrix `json:"matrix"`
+}
+
+// writeBenchJSON runs the headline matrix (reusing the session memo, so
+// cells already simulated by the requested experiment are free) and
+// writes the benchmark document.
+func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elapsed time.Duration) error {
+	lab := r.Lab()
+	plan := lab.Plan(stms.FigureEight(), []stms.PrefSpec{
+		{Kind: stms.None},
+		{Kind: stms.Ideal},
+		{Kind: stms.STMS, SampleProb: 0.125},
+	})
+	m, err := lab.Run(context.Background(), plan)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benchDoc{
+		Schema:     "stms-bench/v1",
+		Experiment: id,
+		Scale:      o.Scale,
+		Seed:       o.Seed,
+		Warm:       o.Warm,
+		Measure:    o.Measure,
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		Matrix:     m,
+	})
 }

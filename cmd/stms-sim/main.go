@@ -1,43 +1,49 @@
 // Command stms-sim runs one timed simulation and prints its results:
 // coverage, speedup-relevant IPC, MLP, and the DRAM traffic breakdown.
+// It is a thin shell over the stms.Lab session API: the workload and
+// requested variants become a 1×N run matrix.
 //
 // Usage:
 //
 //	stms-sim [-workload web-apache] [-pref stms|ideal|baseline|tse|ebcp|ulmt|markov]
 //	         [-sample 0.125] [-depth 0] [-scale 0.125] [-seed 42]
-//	         [-warm 80000] [-measure 120000] [-compare]
+//	         [-warm 80000] [-measure 120000] [-compare] [-v]
 //
-// With -compare, the baseline and idealized runs execute too and the
-// speedup and coverage ratios are reported (Figure 9 style).
+// With -compare, the baseline and idealized runs execute too (in
+// parallel, sharing the same trace seed for matched pairs) and the
+// speedup and coverage ratios are reported (Figure 9 style). With -v,
+// cell progress events stream to stderr as the matrix executes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"stms"
 	"stms/internal/dram"
 	"stms/internal/sim"
 	"stms/internal/stats"
 	"stms/internal/trace"
 )
 
-func kindOf(s string) (sim.Kind, error) {
+func kindOf(s string) (stms.Kind, error) {
 	switch s {
 	case "baseline", "none":
-		return sim.None, nil
+		return stms.None, nil
 	case "ideal":
-		return sim.Ideal, nil
+		return stms.Ideal, nil
 	case "stms":
-		return sim.STMS, nil
+		return stms.STMS, nil
 	case "tse":
-		return sim.TSE, nil
+		return stms.TSE, nil
 	case "ebcp":
-		return sim.EBCP, nil
+		return stms.EBCP, nil
 	case "ulmt":
-		return sim.ULMT, nil
+		return stms.ULMT, nil
 	case "markov":
-		return sim.Markov, nil
+		return stms.Markov, nil
 	}
 	return 0, fmt.Errorf("unknown prefetcher %q", s)
 }
@@ -53,6 +59,7 @@ func main() {
 	warm := flag.Uint64("warm", 80_000, "warm-up records per core")
 	measure := flag.Uint64("measure", 120_000, "measured records per core")
 	compare := flag.Bool("compare", false, "also run baseline and ideal")
+	verbose := flag.Bool("v", false, "stream cell progress events to stderr")
 	flag.Parse()
 
 	kind, err := kindOf(*pref)
@@ -61,32 +68,74 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := sim.DefaultConfig()
-	cfg.Scale = *scale
-	cfg.Seed = *seed
-	cfg.WarmRecords = *warm
-	cfg.MeasureRecords = *measure
-
-	ps := sim.PrefSpec{Kind: kind, SampleProb: *sample, MaxDepth: *depth}
-
-	var res sim.Results
-	var spec trace.Spec
-	if *traceFile != "" {
-		res, err = replayTrace(cfg, *traceFile, ps)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	} else {
-		spec, err = trace.ByName(*workload)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			fmt.Fprintf(os.Stderr, "workloads: %v\n", trace.Names())
-			os.Exit(1)
-		}
-		res = sim.RunTimed(cfg, spec, ps)
+	opts := []stms.Option{
+		stms.WithScale(*scale),
+		stms.WithSeed(*seed),
+		stms.WithWindows(*warm, *measure),
+	}
+	if *verbose {
+		opts = append(opts, stms.WithProgress(func(ev stms.ResultEvent) {
+			switch ev.Kind {
+			case stms.CellStarted:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s started\n", ev.Done, ev.Total, ev.Cell.Workload, ev.Cell.Label)
+			case stms.CellFinished:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s finished in %s\n", ev.Done, ev.Total, ev.Cell.Workload, ev.Cell.Label, ev.Wall.Round(1e6))
+			case stms.CellFailed:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s FAILED: %v\n", ev.Done, ev.Total, ev.Cell.Workload, ev.Cell.Label, ev.Err)
+			}
+		}))
+	}
+	lab, err := stms.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
+	ps := stms.PrefSpec{Kind: kind, MaxDepth: *depth}
+	if kind == stms.STMS {
+		ps.SampleProb = *sample // meaningless for other variants; keep cells canonical
+	}
+
+	if *traceFile != "" {
+		res, err := replayTrace(lab.BaseConfig(), *traceFile, ps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report(res, lab.BaseConfig())
+		if *compare {
+			fmt.Println("\n(-compare is unavailable with -trace; run each -pref variant on the file instead)")
+		}
+		return
+	}
+
+	prefs := []stms.PrefSpec{ps}
+	if *compare && kind != stms.None {
+		prefs = append(prefs, stms.PrefSpec{Kind: stms.None}, stms.PrefSpec{Kind: stms.Ideal})
+	}
+	plan := lab.Plan([]string{*workload}, prefs)
+	m, err := lab.Run(context.Background(), plan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "workloads: %v\n", stms.Workloads())
+		os.Exit(1)
+	}
+
+	res := m.At(0, 0).Res
+	report(*res, lab.BaseConfig())
+
+	if len(prefs) == 3 {
+		base := m.At(0, 1).Res
+		ideal := m.At(0, 2).Res
+		fmt.Printf("\nspeedup over baseline: %+.1f%% (ideal: %+.1f%%)\n",
+			res.SpeedupOver(base)*100, ideal.SpeedupOver(base)*100)
+		if ideal.Coverage() > 0 {
+			fmt.Printf("coverage vs ideal:     %.1f%%\n", 100*res.Coverage()/ideal.Coverage())
+		}
+	}
+}
+
+func report(res stms.Results, cfg stms.Config) {
 	fmt.Printf("workload   %s\nvariant    %s\n", res.Workload, res.Variant)
 	fmt.Printf("IPC        %.3f (aggregate over %d cores)\n", res.IPC, cfg.Cores)
 	fmt.Printf("MLP        %.2f\n", res.MLP)
@@ -108,32 +157,20 @@ func main() {
 	ov := res.OverheadTraffic()
 	fmt.Printf("\noverhead/useful byte: record %.3f  update %.3f  lookup %.3f  erroneous %.3f  total %.3f\n",
 		ov.Record, ov.Update, ov.Lookup, ov.Erroneous, ov.Total())
-
-	if *compare && *traceFile != "" {
-		fmt.Println("\n(-compare is unavailable with -trace; run each -pref variant on the file instead)")
-	} else if *compare && kind != sim.None {
-		base := sim.RunTimed(cfg, spec, sim.PrefSpec{Kind: sim.None})
-		ideal := sim.RunTimed(cfg, spec, sim.PrefSpec{Kind: sim.Ideal})
-		fmt.Printf("\nspeedup over baseline: %+.1f%% (ideal: %+.1f%%)\n",
-			res.SpeedupOver(&base)*100, ideal.SpeedupOver(&base)*100)
-		if ideal.Coverage() > 0 {
-			fmt.Printf("coverage vs ideal:     %.1f%%\n", 100*res.Coverage()/ideal.Coverage())
-		}
-	}
 }
 
 // replayTrace deals a recorded trace file's records round-robin back into
 // per-core streams (the order stms-trace captured them in) and runs the
 // timed simulation over them.
-func replayTrace(cfg sim.Config, path string, ps sim.PrefSpec) (sim.Results, error) {
+func replayTrace(cfg stms.Config, path string, ps stms.PrefSpec) (stms.Results, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return sim.Results{}, err
+		return stms.Results{}, err
 	}
 	defer f.Close()
 	recs, err := trace.ReadAll(f)
 	if err != nil {
-		return sim.Results{}, err
+		return stms.Results{}, err
 	}
 	perCore := make([][]trace.Record, cfg.Cores)
 	for i, r := range recs {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"stms"
 	"stms/internal/stats"
 	"stms/internal/trace"
 )
@@ -27,10 +28,10 @@ func main() {
 	out := flag.String("o", "", "write the generated records to a trace file")
 	flag.Parse()
 
-	spec, err := trace.ByName(*workload)
+	spec, err := stms.Workload(*workload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		fmt.Fprintf(os.Stderr, "workloads: %v\n", trace.Names())
+		fmt.Fprintf(os.Stderr, "workloads: %v\n", stms.Workloads())
 		os.Exit(1)
 	}
 	spec = spec.Scaled(*scale)

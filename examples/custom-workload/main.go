@@ -4,11 +4,17 @@
 // (highly repetitive iteration order, like the paper's scientific codes)
 // mixed with random vertex-property lookups that never repeat.
 //
+// Custom specs enter the session through Lab.PlanSpecs; the meta-data
+// sizing sweep at the end is a second, functional-mode plan over the
+// same session.
+//
 //	go run ./examples/custom-workload
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"stms"
 )
@@ -40,23 +46,31 @@ func main() {
 		HotBlocks:  16,
 		DirtyFrac:  0.2,
 	}
-	if err := graph.Validate(); err != nil {
-		panic(err)
-	}
 
-	cfg := stms.DefaultConfig()
 	// Quarter-scale system: the 2 MB L2 holds a third of the graph, so
 	// every superstep misses most of the edge list again.
-	cfg.Scale = 0.25
-	cfg.WarmRecords = 60_000
-	cfg.MeasureRecords = 90_000
+	lab, err := stms.New(
+		stms.WithScale(0.25),
+		stms.WithWindows(60_000, 90_000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	base := stms.RunTimed(cfg, graph, stms.PrefSpec{Kind: stms.None})
-	pract := stms.RunTimed(cfg, graph, stms.PrefSpec{Kind: stms.STMS})
+	plan := lab.PlanSpecs([]stms.WorkloadSpec{graph}, []stms.PrefSpec{
+		{Kind: stms.None},
+		{Kind: stms.STMS},
+	})
+	m, err := lab.Run(context.Background(), plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := m.At(0, 0).Res
+	pract := m.At(0, 1).Res
 
 	fmt.Printf("graph-walk under STMS (12.5%% sampled updates):\n")
 	fmt.Printf("  baseline IPC   %.3f (MLP %.2f)\n", base.IPC, base.MLP)
-	fmt.Printf("  STMS IPC       %.3f (%+.1f%%)\n", pract.IPC, pract.SpeedupOver(&base)*100)
+	fmt.Printf("  STMS IPC       %.3f (%+.1f%%)\n", pract.IPC, pract.SpeedupOver(base)*100)
 	fmt.Printf("  coverage       %.1f%% of %d off-chip misses\n",
 		pract.Coverage()*100, pract.BaselineMisses())
 	fmt.Printf("  prefetches     %d issued, %d wasted\n",
@@ -64,11 +78,22 @@ func main() {
 	ov := pract.OverheadTraffic()
 	fmt.Printf("  traffic        %.2f overhead bytes per useful byte\n", ov.Total())
 
-	// The same spec can be swept: how much history does it need?
+	// The same spec can be swept: how much history does it need? A
+	// functional-mode plan answers with zero-latency coverage runs.
 	fmt.Printf("\nmeta-data sizing (functional sweeps):\n")
-	for _, entries := range []uint64{2048, 8192, 32768, 131072} {
-		r := stms.RunFunctional(cfg, graph, stms.PrefSpec{Kind: stms.Ideal, HistoryEntries: entries})
-		fmt.Printf("  history %7d entries/core -> coverage %5.1f%%\n", entries, r.Coverage()*100)
+	sizes := []uint64{2048, 8192, 32768, 131072}
+	prefs := make([]stms.PrefSpec, len(sizes))
+	for i, entries := range sizes {
+		prefs[i] = stms.PrefSpec{Kind: stms.Ideal, HistoryEntries: entries}
+	}
+	sweep, err := lab.Run(context.Background(),
+		lab.PlanSpecs([]stms.WorkloadSpec{graph}, prefs, stms.InMode(stms.Functional)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for col, entries := range sizes {
+		fmt.Printf("  history %7d entries/core -> coverage %5.1f%%\n",
+			entries, sweep.At(0, col).Res.Coverage()*100)
 	}
 	fmt.Println("\ncoverage snaps on once the history holds a whole iteration —")
 	fmt.Println("the bimodal scientific behaviour of Figure 5 (left).")

@@ -4,20 +4,46 @@
 // stride prefetcher in the baseline barely helps, while address
 // correlation eliminates roughly half of the off-chip misses.
 //
+// The whole comparison is one 5×3 run matrix: the Lab executes the
+// cells across a worker pool (matched trace seeds per row), streaming
+// progress as cells finish.
+//
 //	go run ./examples/oltp-speedup
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"os"
 
 	"stms"
 )
 
 func main() {
-	cfg := stms.DefaultConfig()
-	cfg.Scale = 0.125
+	lab, err := stms.New(
+		stms.WithScale(0.125),
+		stms.WithProgress(func(ev stms.ResultEvent) {
+			if ev.Kind == stms.CellFinished {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s/%s done\n",
+					ev.Done, ev.Total, ev.Cell.Workload, ev.Cell.Label)
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	workloads := []string{"web-apache", "web-zeus", "oltp-db2", "oltp-oracle", "dss-qry17"}
+	plan := lab.Plan(workloads, []stms.PrefSpec{
+		{Kind: stms.None},
+		{Kind: stms.Ideal},
+		{Kind: stms.STMS},
+	})
+	m, err := lab.Run(context.Background(), plan)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-12s %8s | %8s %8s | %8s %8s | %6s\n",
 		"workload", "MLP", "ideal", "stms", "ideal", "stms", "ratio")
@@ -25,14 +51,10 @@ func main() {
 		"", "", "cov", "cov", "speedup", "speedup", "")
 	fmt.Println("--------------------------------------------------------------------------")
 
-	for _, name := range workloads {
-		spec, err := stms.Workload(name)
-		if err != nil {
-			panic(err)
-		}
-		base := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.None})
-		ideal := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.Ideal})
-		pract := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.STMS})
+	for row, name := range m.Workloads {
+		base := m.At(row, 0).Res
+		ideal := m.At(row, 1).Res
+		pract := m.At(row, 2).Res
 
 		ratio := 0.0
 		if c := ideal.Coverage(); c > 0 {
@@ -41,7 +63,7 @@ func main() {
 		fmt.Printf("%-12s %8.2f | %7.1f%% %7.1f%% | %+7.1f%% %+7.1f%% | %5.0f%%\n",
 			name, base.MLP,
 			ideal.Coverage()*100, pract.Coverage()*100,
-			ideal.SpeedupOver(&base)*100, pract.SpeedupOver(&base)*100,
+			ideal.SpeedupOver(base)*100, pract.SpeedupOver(base)*100,
 			ratio*100)
 	}
 

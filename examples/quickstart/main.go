@@ -1,38 +1,51 @@
 // Quickstart: simulate one commercial workload on the Table 1 system and
 // compare the practical STMS prefetcher against the stride-only baseline
-// and the idealized (magic on-chip meta-data) prefetcher.
+// and the idealized (magic on-chip meta-data) prefetcher — one Lab
+// session, one 1×3 run matrix.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"stms"
 )
 
 func main() {
-	cfg := stms.DefaultConfig()
-	cfg.Scale = 0.125 // 1/8-scale caches, meta-data and working sets
-
-	spec, err := stms.Workload("web-apache")
+	lab, err := stms.New(
+		stms.WithScale(0.125), // 1/8-scale caches, meta-data and working sets
+		stms.WithSeed(42),
+	)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 
 	fmt.Println("simulating web-apache on a 4-core CMP (this takes a few seconds)...")
-	base := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.None})
-	ideal := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.Ideal})
-	pract := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.STMS}) // 12.5% sampling
+	plan := lab.Plan([]string{"web-apache"}, []stms.PrefSpec{
+		{Kind: stms.None},
+		{Kind: stms.Ideal},
+		{Kind: stms.STMS}, // 12.5% sampling
+	})
+	m, err := lab.Run(context.Background(), plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := m.At(0, 0).Res
+	ideal := m.At(0, 1).Res
+	pract := m.At(0, 2).Res
 
 	fmt.Printf("\n%-22s %10s %10s %10s\n", "", "baseline", "ideal TMS", "STMS")
 	fmt.Printf("%-22s %10.3f %10.3f %10.3f\n", "aggregate IPC", base.IPC, ideal.IPC, pract.IPC)
 	fmt.Printf("%-22s %10s %9.1f%% %9.1f%%\n", "miss coverage", "-",
 		ideal.Coverage()*100, pract.Coverage()*100)
 	fmt.Printf("%-22s %10s %9.1f%% %9.1f%%\n", "speedup", "-",
-		ideal.SpeedupOver(&base)*100, pract.SpeedupOver(&base)*100)
+		ideal.SpeedupOver(base)*100, pract.SpeedupOver(base)*100)
 
-	ratio := pract.SpeedupOver(&base) / ideal.SpeedupOver(&base)
+	ratio := pract.SpeedupOver(base) / ideal.SpeedupOver(base)
 	fmt.Printf("\nSTMS achieves %.0f%% of the idealized prefetcher's speedup while\n", ratio*100)
 	fmt.Printf("keeping all predictor meta-data in (simulated) main memory.\n")
 

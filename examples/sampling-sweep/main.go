@@ -5,11 +5,16 @@
 // block's index entry finds them) or frequent (some occurrence gets
 // sampled soon).
 //
+// The sweep is one plan: seven STMS columns differing only in sampling
+// probability, executed in parallel over identical traces.
+//
 //	go run ./examples/sampling-sweep [workload]
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"os"
 
 	"stms"
@@ -20,22 +25,31 @@ func main() {
 	if len(os.Args) > 1 {
 		name = os.Args[1]
 	}
-	spec, err := stms.Workload(name)
+
+	lab, err := stms.New(stms.WithScale(0.125))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	probs := []float64{1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.01}
+	prefs := make([]stms.PrefSpec, len(probs))
+	for i, p := range probs {
+		prefs[i] = stms.PrefSpec{Kind: stms.STMS, SampleProb: p}
+	}
+	plan := lab.Plan([]string{name}, prefs)
+	m, err := lab.Run(context.Background(), plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		fmt.Fprintf(os.Stderr, "workloads: %v\n", stms.Workloads())
 		os.Exit(1)
 	}
 
-	cfg := stms.DefaultConfig()
-	cfg.Scale = 0.125
-
 	fmt.Printf("sweeping update sampling probability on %s\n\n", name)
 	fmt.Printf("%9s %9s %12s %12s %12s\n", "sampling", "coverage", "update-ovh", "total-ovh", "accuracy")
 
 	var covAt100 float64
-	for _, p := range []float64{1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.01} {
-		r := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.STMS, SampleProb: p})
+	for col, p := range probs {
+		r := m.At(0, col).Res
 		ov := r.OverheadTraffic()
 		acc := 0.0
 		if r.Engine.Issued > 0 {

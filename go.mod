@@ -1,0 +1,3 @@
+module stms
+
+go 1.24

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"stms/internal/core"
+	"stms/internal/lab"
 	"stms/internal/prefetch"
 	"stms/internal/sim"
 	"stms/internal/stats"
@@ -14,7 +15,8 @@ import (
 // plot: the index-table organization study of §4.3/§5.4, the 8 KB bucket
 // buffer, the in-bucket associativity, the stream engine's runahead ramp
 // and abandonment threshold, and the pair-wise-vs-streaming gap that
-// motivates temporal streams in the first place (§2).
+// motivates temporal streams in the first place (§2). Each ablation is a
+// workload × knob-setting run matrix.
 
 // ablWorkloads is the representative subset used by the ablations: one
 // web, one OLTP, one scientific.
@@ -37,16 +39,24 @@ func (r *Runner) stmsWith(mutate func(*core.Config)) sim.PrefSpec {
 // the storage-density point; under pressure the flat tables pay with
 // conflicts (direct-mapped) or probe chains (open addressing).
 func (r *Runner) AblIndexOrg() *stats.Table {
+	orgs := []core.IndexOrg{core.OrgBucketLRU, core.OrgDirectMapped, core.OrgOpenAddress}
+	prefs := make([]sim.PrefSpec, len(orgs))
+	labels := make([]string, len(orgs))
+	for i, org := range orgs {
+		org := org
+		prefs[i] = r.stmsWith(func(c *core.Config) {
+			c.Org = org
+			c.IndexBytes /= 8
+		})
+		labels[i] = org.String()
+	}
+	m := r.timed(ablWorkloads, prefs, lab.WithLabels(labels...))
 	t := stats.NewTable(
 		"Ablation: index-table organization (tight equal storage, §4.3/§5.4)",
 		"workload", "organization", "coverage", "lookup ovh", "update ovh", "total ovh")
-	for _, w := range ablWorkloads {
-		for _, org := range []core.IndexOrg{core.OrgBucketLRU, core.OrgDirectMapped, core.OrgOpenAddress} {
-			org := org
-			res := r.Timed(w, r.stmsWith(func(c *core.Config) {
-				c.Org = org
-				c.IndexBytes /= 8
-			}))
+	for ri, w := range m.Workloads {
+		for ci, org := range orgs {
+			res := m.At(ri, ci).Res
 			ov := res.OverheadTraffic()
 			t.AddRow(shortName(w), org.String(), stats.Pct(res.Coverage()),
 				ov.Lookup, ov.Update, ov.Total())
@@ -58,23 +68,30 @@ func (r *Runner) AblIndexOrg() *stats.Table {
 // AblBucketBuffer sweeps the on-chip bucket buffer that coalesces index
 // read-modify-write traffic (the paper picks 8 KB).
 func (r *Runner) AblBucketBuffer() *stats.Table {
+	sizesKB := []int{0, 1, 8, 64}
+	prefs := make([]sim.PrefSpec, len(sizesKB))
+	labels := make([]string, len(sizesKB))
+	for i, kb := range sizesKB {
+		kb := kb
+		prefs[i] = r.stmsWith(func(c *core.Config) {
+			c.BucketBufferBytes = kb << 10
+			if kb == 0 {
+				c.BucketBufferBytes = 64 // one bucket: effectively none
+			}
+		})
+		labels[i] = fmt.Sprintf("%d KB", kb)
+		if kb == 0 {
+			labels[i] = "none"
+		}
+	}
+	m := r.timed([]string{"web-apache", "oltp-db2"}, prefs, lab.WithLabels(labels...))
 	t := stats.NewTable("Ablation: bucket buffer size (index RMW coalescing, §4.3)",
 		"workload", "buffer", "update ovh", "lookup ovh", "coverage")
-	for _, w := range []string{"web-apache", "oltp-db2"} {
-		for _, kb := range []int{0, 1, 8, 64} {
-			kb := kb
-			res := r.Timed(w, r.stmsWith(func(c *core.Config) {
-				c.BucketBufferBytes = kb << 10
-				if kb == 0 {
-					c.BucketBufferBytes = 64 // one bucket: effectively none
-				}
-			}))
+	for ri, w := range m.Workloads {
+		for ci := range sizesKB {
+			res := m.At(ri, ci).Res
 			ov := res.OverheadTraffic()
-			label := fmt.Sprintf("%d KB", kb)
-			if kb == 0 {
-				label = "none"
-			}
-			t.AddRow(shortName(w), label, ov.Update, ov.Lookup, stats.Pct(res.Coverage()))
+			t.AddRow(shortName(w), labels[ci], ov.Update, ov.Lookup, stats.Pct(res.Coverage()))
 		}
 	}
 	return t
@@ -83,13 +100,20 @@ func (r *Runner) AblBucketBuffer() *stats.Table {
 // AblBucketWays sweeps in-bucket associativity at constant index bytes;
 // fewer ways per 64-byte bucket waste line space and thrash hot buckets.
 func (r *Runner) AblBucketWays() *stats.Table {
+	ways := []int{2, 4, 8, 12}
+	prefs := make([]sim.PrefSpec, len(ways))
+	labels := make([]string, len(ways))
+	for i, n := range ways {
+		n := n
+		prefs[i] = r.stmsWith(func(c *core.Config) { c.BucketWays = n })
+		labels[i] = fmt.Sprintf("%d-way", n)
+	}
+	m := r.timed([]string{"web-apache", "oltp-db2"}, prefs, lab.WithLabels(labels...))
 	t := stats.NewTable("Ablation: entries per index bucket (12 fill one line, §5.4)",
 		"workload", "ways", "coverage")
-	for _, w := range []string{"web-apache", "oltp-db2"} {
-		for _, ways := range []int{2, 4, 8, 12} {
-			ways := ways
-			res := r.Timed(w, r.stmsWith(func(c *core.Config) { c.BucketWays = ways }))
-			t.AddRow(shortName(w), ways, stats.Pct(res.Coverage()))
+	for ri, w := range m.Workloads {
+		for ci, n := range ways {
+			t.AddRow(shortName(w), n, stats.Pct(m.At(ri, ci).Res.Coverage()))
 		}
 	}
 	return t
@@ -99,16 +123,25 @@ func (r *Runner) AblBucketWays() *stats.Table {
 // allowance of an unconfirmed stream trades erroneous-prefetch bandwidth
 // against ramp-up coverage.
 func (r *Runner) AblRunahead() *stats.Table {
+	inits := []int{2, 4, 8, 16, 32}
+	prefs := make([]sim.PrefSpec, len(inits))
+	labels := make([]string, len(inits))
+	perHit := 0
+	for i, init := range inits {
+		ecfg := prefetch.DefaultEngineConfig(4)
+		ecfg.InitialCredit = init
+		perHit = ecfg.CreditPerHit
+		prefs[i] = sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125, Engine: &ecfg}
+		labels[i] = fmt.Sprintf("init=%d", init)
+	}
+	m := r.timed([]string{"web-apache"}, prefs, lab.WithLabels(labels...))
 	t := stats.NewTable("Ablation: stream runahead ramp (initial credit / per-hit growth)",
 		"workload", "initial", "per-hit", "coverage", "erroneous ovh")
-	for _, w := range []string{"web-apache"} {
-		for _, init := range []int{2, 4, 8, 16, 32} {
-			ecfg := prefetch.DefaultEngineConfig(4)
-			ecfg.InitialCredit = init
-			res := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125, Engine: &ecfg})
+	for ri, w := range m.Workloads {
+		for ci, init := range inits {
+			res := m.At(ri, ci).Res
 			ov := res.OverheadTraffic()
-			t.AddRow(shortName(w), init, ecfg.CreditPerHit,
-				stats.Pct(res.Coverage()), ov.Erroneous)
+			t.AddRow(shortName(w), init, perHit, stats.Pct(res.Coverage()), ov.Erroneous)
 		}
 	}
 	return t
@@ -117,16 +150,24 @@ func (r *Runner) AblRunahead() *stats.Table {
 // AblAbandon sweeps how many unproductive trigger misses the engine
 // tolerates before abandoning a stream.
 func (r *Runner) AblAbandon() *stats.Table {
+	ns := []int{1, 2, 4, 8}
+	prefs := make([]sim.PrefSpec, len(ns))
+	labels := make([]string, len(ns))
+	for i, n := range ns {
+		ecfg := prefetch.DefaultEngineConfig(4)
+		ecfg.AbandonAfter = n
+		if ecfg.AdoptAfter > n {
+			ecfg.AdoptAfter = n
+		}
+		prefs[i] = sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125, Engine: &ecfg}
+		labels[i] = fmt.Sprintf("abandon=%d", n)
+	}
+	m := r.timed([]string{"web-apache", "dss-qry17"}, prefs, lab.WithLabels(labels...))
 	t := stats.NewTable("Ablation: stream abandonment threshold",
 		"workload", "abandon-after", "coverage", "erroneous ovh", "lookup ovh")
-	for _, w := range []string{"web-apache", "dss-qry17"} {
-		for _, n := range []int{1, 2, 4, 8} {
-			ecfg := prefetch.DefaultEngineConfig(4)
-			ecfg.AbandonAfter = n
-			if ecfg.AdoptAfter > n {
-				ecfg.AdoptAfter = n
-			}
-			res := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125, Engine: &ecfg})
+	for ri, w := range m.Workloads {
+		for ci, n := range ns {
+			res := m.At(ri, ci).Res
 			ov := res.OverheadTraffic()
 			t.AddRow(shortName(w), n, stats.Pct(res.Coverage()), ov.Erroneous, ov.Lookup)
 		}
@@ -138,14 +179,18 @@ func (r *Runner) AblAbandon() *stats.Table {
 // designs: the §2 argument that predicting one miss per lookup caps
 // coverage and lookahead.
 func (r *Runner) AblPairwise() *stats.Table {
+	m := r.timed([]string{"web-apache", "oltp-db2", "sci-em3d"}, []sim.PrefSpec{
+		{Kind: sim.Markov},
+		{Kind: sim.STMS, SampleProb: 0.125},
+		{Kind: sim.Ideal},
+	})
 	t := stats.NewTable("Ablation: pair-wise correlation vs. temporal streaming (§2)",
 		"workload", "markov cov", "stms cov", "ideal cov")
-	for _, w := range []string{"web-apache", "oltp-db2", "sci-em3d"} {
-		mk := r.Timed(w, sim.PrefSpec{Kind: sim.Markov})
-		st := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125})
-		id := r.Timed(w, sim.PrefSpec{Kind: sim.Ideal})
-		t.AddRow(shortName(w), stats.Pct(mk.Coverage()), stats.Pct(st.Coverage()),
-			stats.Pct(id.Coverage()))
+	for ri, w := range m.Workloads {
+		t.AddRow(shortName(w),
+			stats.Pct(m.At(ri, 0).Res.Coverage()),
+			stats.Pct(m.At(ri, 1).Res.Coverage()),
+			stats.Pct(m.At(ri, 2).Res.Coverage()))
 	}
 	return t
 }

@@ -8,8 +8,8 @@ import (
 
 // TestCalibrationTargets asserts the workload calibration of DESIGN.md §6
 // at the standard experiment scale: coverage, speedup and MLP bands per
-// workload, and the headline STMS-vs-ideal ratio. These are the numbers
-// EXPERIMENTS.md reports against the paper. Slow (~1 min): skipped with
+// workload, and the headline STMS-vs-ideal ratio — the numbers the
+// reproduction reports against the paper. Slow (~1 min): skipped with
 // -short.
 func TestCalibrationTargets(t *testing.T) {
 	if testing.Short() {

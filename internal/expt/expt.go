@@ -1,21 +1,23 @@
 // Package expt regenerates every table and figure of the paper's
 // evaluation (§5). Each experiment returns aligned-text tables carrying
-// the same rows/series the paper reports; DESIGN.md §4 maps experiment IDs
+// the same rows/series the paper reports; DESIGN.md maps experiment IDs
 // to paper artifacts.
 //
-// Experiments share a Runner so matched runs (the stride-only baseline,
-// the idealized prefetcher) are simulated once per workload and reused
-// across figures, exactly as the paper's matched-pair methodology reuses
-// checkpoints.
+// Experiments share one lab session, so matched runs (the stride-only
+// baseline, the idealized prefetcher) are simulated once per workload
+// and reused across figures, exactly as the paper's matched-pair
+// methodology reuses checkpoints — and each figure's workload × variant
+// cross-product executes in parallel across the session's worker pool.
 package expt
 
 import (
-	"fmt"
+	"context"
+	"runtime"
 	"sort"
 
+	"stms/internal/lab"
 	"stms/internal/sim"
 	"stms/internal/stats"
-	"stms/internal/trace"
 )
 
 // Options control experiment scale. The defaults target a few minutes for
@@ -27,6 +29,9 @@ type Options struct {
 	Seed uint64
 	// Warm and Measure are per-core record counts.
 	Warm, Measure uint64
+	// Parallel bounds the worker pool running matrix cells
+	// (0 = runtime.NumCPU()). Results are deterministic regardless.
+	Parallel int
 }
 
 // DefaultOptions is the standard experiment scale (1/8 of the paper's
@@ -54,61 +59,67 @@ func (o Options) Config() sim.Config {
 	return cfg
 }
 
-// Runner memoizes simulation runs across experiments.
+func (o Options) parallelism() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.NumCPU()
+}
+
+// Runner executes experiments over a shared lab session, which
+// memoizes simulation runs across experiments and fans each figure's
+// run matrix out over a worker pool.
 type Runner struct {
-	O     Options
-	cache map[string]sim.Results
+	O Options
+	l *lab.Lab
 }
 
 // NewRunner creates a runner for the given options.
 func NewRunner(o Options) *Runner {
-	return &Runner{O: o, cache: make(map[string]sim.Results)}
+	l, err := lab.New(
+		lab.WithBaseConfig(o.Config()),
+		lab.WithParallelism(o.parallelism()),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return &Runner{O: o, l: l}
 }
 
-func (r *Runner) key(mode, workload string, ps sim.PrefSpec) string {
-	scfg := ""
-	if ps.STMSCfg != nil {
-		c := ps.STMSCfg
-		scfg = fmt.Sprintf("h%d-i%d-p%g-w%d-b%d-o%d",
-			c.HistoryBytesPerCore, c.IndexBytes, c.SampleProb,
-			c.BucketWays, c.BucketBufferBytes, c.Org)
+// Lab exposes the underlying session (shared memo, worker pool) so
+// callers can mix bespoke plans with the canned experiments.
+func (r *Runner) Lab() *lab.Lab { return r.l }
+
+// run executes a plan, panicking on plan or execution errors —
+// experiment definitions are static, so failures here are programming
+// errors, matching the substrate's panic-on-invariant style.
+func (r *Runner) run(p *lab.RunPlan) *lab.Matrix {
+	m, err := r.l.Run(context.Background(), p)
+	if err != nil {
+		panic(err)
 	}
-	ecfg := ""
-	if ps.Engine != nil {
-		ecfg = fmt.Sprintf("e%+v", *ps.Engine)
-	}
-	return fmt.Sprintf("%s|%s|%v|d%d|h%d|i%d|p%g|%s|%s",
-		mode, workload, ps.Kind, ps.MaxDepth, ps.HistoryEntries, ps.IndexEntries, ps.SampleProb, scfg, ecfg)
+	return m
 }
 
-// Timed runs (or recalls) a timed simulation.
+// timed runs a workload × variant cross-product on the timed driver.
+func (r *Runner) timed(workloads []string, prefs []sim.PrefSpec, opts ...lab.PlanOption) *lab.Matrix {
+	return r.run(r.l.Plan(workloads, prefs, opts...))
+}
+
+// functional runs a cross-product on the zero-latency driver.
+func (r *Runner) functional(workloads []string, prefs []sim.PrefSpec, opts ...lab.PlanOption) *lab.Matrix {
+	opts = append(opts, lab.InMode(lab.Functional))
+	return r.run(r.l.Plan(workloads, prefs, opts...))
+}
+
+// Timed runs (or recalls) a single timed simulation.
 func (r *Runner) Timed(workload string, ps sim.PrefSpec) sim.Results {
-	k := r.key("t", workload, ps)
-	if res, ok := r.cache[k]; ok {
-		return res
-	}
-	spec, err := trace.ByName(workload)
-	if err != nil {
-		panic(err)
-	}
-	res := sim.RunTimed(r.O.Config(), spec, ps)
-	r.cache[k] = res
-	return res
+	return *r.timed([]string{workload}, []sim.PrefSpec{ps}).At(0, 0).Res
 }
 
-// Functional runs (or recalls) a functional simulation.
+// Functional runs (or recalls) a single functional simulation.
 func (r *Runner) Functional(workload string, ps sim.PrefSpec) sim.Results {
-	k := r.key("f", workload, ps)
-	if res, ok := r.cache[k]; ok {
-		return res
-	}
-	spec, err := trace.ByName(workload)
-	if err != nil {
-		panic(err)
-	}
-	res := sim.RunFunctional(r.O.Config(), spec, ps)
-	r.cache[k] = res
-	return res
+	return *r.functional([]string{workload}, []sim.PrefSpec{ps}).At(0, 0).Res
 }
 
 // shortName compresses workload names for column headers

@@ -255,8 +255,8 @@ func TestRunnerMemoization(t *testing.T) {
 	if a.ElapsedCycles != b.ElapsedCycles {
 		t.Fatal("memoized run differs")
 	}
-	if len(r.cache) != 1 {
-		t.Fatalf("cache entries = %d, want 1", len(r.cache))
+	if n := r.Lab().MemoSize(); n != 1 {
+		t.Fatalf("memoized cells = %d, want 1", n)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stms/internal/core"
+	"stms/internal/lab"
 	"stms/internal/mem"
 	"stms/internal/sim"
 	"stms/internal/stats"
@@ -16,12 +17,12 @@ func (r *Runner) scaleMB(fullMB float64) float64 { return fullMB * r.O.Scale }
 // Fig4 reproduces Figure 4: idealized TMS coverage (left) and speedup
 // (right) over the stride-only baseline, per workload.
 func (r *Runner) Fig4() *stats.Table {
+	m := r.timed(trace.FigureEight(), []sim.PrefSpec{{Kind: sim.None}, {Kind: sim.Ideal}})
 	t := stats.NewTable("Figure 4: idealized TMS prefetching potential",
 		"workload", "coverage", "speedup", "baseIPC", "idealIPC", "MLP(base)")
-	for _, w := range trace.FigureEight() {
-		base := r.Timed(w, sim.PrefSpec{Kind: sim.None})
-		ideal := r.Timed(w, sim.PrefSpec{Kind: sim.Ideal})
-		t.AddRow(shortName(w), stats.Pct(ideal.Coverage()), stats.Pct(ideal.SpeedupOver(&base)),
+	for row, w := range m.Workloads {
+		base, ideal := m.At(row, 0).Res, m.At(row, 1).Res
+		t.AddRow(shortName(w), stats.Pct(ideal.Coverage()), stats.Pct(ideal.SpeedupOver(base)),
 			base.IPC, ideal.IPC, base.MLP)
 	}
 	return t
@@ -30,11 +31,11 @@ func (r *Runner) Fig4() *stats.Table {
 // Table2 reproduces Table 2: baseline memory-level parallelism of off-chip
 // reads.
 func (r *Runner) Table2() *stats.Table {
+	m := r.timed(trace.FigureEight(), []sim.PrefSpec{{Kind: sim.None}})
 	t := stats.NewTable("Table 2: memory-level parallelism of off-chip reads (baseline)",
 		"workload", "MLP")
-	for _, w := range trace.FigureEight() {
-		base := r.Timed(w, sim.PrefSpec{Kind: sim.None})
-		t.AddRow(shortName(w), base.MLP)
+	for row, w := range m.Workloads {
+		t.AddRow(shortName(w), m.At(row, 0).Res.MLP)
 	}
 	return t
 }
@@ -46,21 +47,23 @@ func (r *Runner) Fig1Left() *stats.Table {
 		fmt.Sprintf("Figure 1 (left): coverage vs. correlation table entries (commercial avg, scale=%g)", r.O.Scale),
 		"entries(full-scale)", "entries(run)", "avg coverage")
 	fullScale := []uint64{10_000, 40_000, 160_000, 640_000, 2_560_000, 10_240_000}
-	for _, fs := range fullScale {
+	caps := make([]uint64, len(fullScale))
+	prefs := make([]sim.PrefSpec, len(fullScale))
+	for i, fs := range fullScale {
 		cap := uint64(float64(fs) * r.O.Scale)
 		if cap < 64 {
 			cap = 64
 		}
-		var covs []float64
-		for _, w := range trace.Commercial() {
-			res := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal, IndexEntries: cap})
-			covs = append(covs, res.Coverage())
-		}
+		caps[i] = cap
+		prefs[i] = sim.PrefSpec{Kind: sim.Ideal, IndexEntries: cap}
+	}
+	m := r.functional(trace.Commercial(), prefs)
+	for col, fs := range fullScale {
 		var sum float64
-		for _, c := range covs {
-			sum += c
+		for row := range m.Workloads {
+			sum += m.At(row, col).Res.Coverage()
 		}
-		t.AddRow(fs, cap, stats.Pct(sum/float64(len(covs))))
+		t.AddRow(fs, caps[col], stats.Pct(sum/float64(len(m.Workloads))))
 	}
 	return t
 }
@@ -73,16 +76,20 @@ func (r *Runner) Fig5History() *stats.Table {
 		cols = append(cols, shortName(w))
 	}
 	t := stats.NewTable("Figure 5 (left): coverage vs. history buffer size", cols...)
-	for _, fullMB := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128} {
-		runMB := r.scaleMB(fullMB)
-		entriesPerCore := uint64(runMB * float64(mem.MB) / 64 * 12 / 4)
+	sizesMB := []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128}
+	prefs := make([]sim.PrefSpec, len(sizesMB))
+	for i, fullMB := range sizesMB {
+		entriesPerCore := uint64(r.scaleMB(fullMB) * float64(mem.MB) / 64 * 12 / 4)
 		if entriesPerCore < 24 {
 			entriesPerCore = 24
 		}
-		row := []interface{}{fullMB, stats.FormatFloat(runMB)}
-		for _, w := range trace.FigureEight() {
-			res := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal, HistoryEntries: entriesPerCore})
-			row = append(row, stats.Pct(res.Coverage()))
+		prefs[i] = sim.PrefSpec{Kind: sim.Ideal, HistoryEntries: entriesPerCore}
+	}
+	m := r.functional(trace.FigureEight(), prefs)
+	for col, fullMB := range sizesMB {
+		row := []interface{}{fullMB, stats.FormatFloat(r.scaleMB(fullMB))}
+		for ri := range m.Workloads {
+			row = append(row, stats.Pct(m.At(ri, col).Res.Coverage()))
 		}
 		t.AddRow(row...)
 	}
@@ -97,25 +104,31 @@ func (r *Runner) Fig5Index() *stats.Table {
 		cols = append(cols, shortName(w))
 	}
 	t := stats.NewTable("Figure 5 (right): coverage vs. hash index table size", cols...)
-	for _, fullMB := range []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64} {
-		runMB := r.scaleMB(fullMB)
-		idxBytes := uint64(runMB * float64(mem.MB))
+	sizesMB := []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
+	prefs := make([]sim.PrefSpec, len(sizesMB))
+	labels := make([]string, len(sizesMB))
+	for i, fullMB := range sizesMB {
+		idxBytes := uint64(r.scaleMB(fullMB) * float64(mem.MB))
 		if idxBytes < 4096 {
 			idxBytes = 4096
 		}
-		row := []interface{}{fullMB, stats.FormatFloat(runMB)}
-		for _, w := range trace.FigureEight() {
-			cfg := core.Config{
-				Cores:               4,
-				HistoryBytesPerCore: 1 << 30, // effectively unbounded
-				IndexBytes:          idxBytes,
-				BucketWays:          12,
-				SampleProb:          1.0,
-				BucketBufferBytes:   8 << 10,
-				Seed:                r.O.Seed,
-			}
-			res := r.Functional(w, sim.PrefSpec{Kind: sim.STMS, STMSCfg: &cfg})
-			row = append(row, stats.Pct(res.Coverage()))
+		cfg := core.Config{
+			Cores:               4,
+			HistoryBytesPerCore: 1 << 30, // effectively unbounded
+			IndexBytes:          idxBytes,
+			BucketWays:          12,
+			SampleProb:          1.0,
+			BucketBufferBytes:   8 << 10,
+			Seed:                r.O.Seed,
+		}
+		prefs[i] = sim.PrefSpec{Kind: sim.STMS, STMSCfg: &cfg}
+		labels[i] = fmt.Sprintf("stms@idx=%gMB", fullMB)
+	}
+	m := r.functional(trace.FigureEight(), prefs, lab.WithLabels(labels...))
+	for col, fullMB := range sizesMB {
+		row := []interface{}{fullMB, stats.FormatFloat(r.scaleMB(fullMB))}
+		for ri := range m.Workloads {
+			row = append(row, stats.Pct(m.At(ri, col).Res.Coverage()))
 		}
 		t.AddRow(row...)
 	}
@@ -134,8 +147,9 @@ func (r *Runner) Fig6Lengths() *stats.Table {
 	}
 	cols = append(cols, "median")
 	t := stats.NewTable("Figure 6 (left): cum. % streamed blocks vs. stream length", cols...)
-	for _, w := range trace.Commercial() {
-		res := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal})
+	m := r.functional(trace.Commercial(), []sim.PrefSpec{{Kind: sim.Ideal}})
+	for ri, w := range m.Workloads {
+		res := m.At(ri, 0).Res
 		if res.StreamLens == nil || res.StreamLens.N() == 0 {
 			continue
 		}
@@ -160,15 +174,18 @@ func (r *Runner) Fig6Lengths() *stats.Table {
 func (r *Runner) Fig6Depth() *stats.Table {
 	depths := []int{1, 2, 4, 6, 8, 12, 15}
 	cols := []string{"workload", "unbounded cov"}
+	prefs := []sim.PrefSpec{{Kind: sim.Ideal}}
 	for _, d := range depths {
 		cols = append(cols, fmt.Sprintf("loss@%d", d))
+		prefs = append(prefs, sim.PrefSpec{Kind: sim.Ideal, MaxDepth: d})
 	}
 	t := stats.NewTable("Figure 6 (right): coverage loss vs. fixed prefetch depth", cols...)
-	for _, w := range trace.FigureEight() {
-		unb := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal})
+	m := r.functional(trace.FigureEight(), prefs)
+	for ri, w := range m.Workloads {
+		unb := m.At(ri, 0).Res
 		row := []interface{}{shortName(w), stats.Pct(unb.Coverage())}
-		for _, d := range depths {
-			capped := r.Functional(w, sim.PrefSpec{Kind: sim.Ideal, MaxDepth: d})
+		for di := range depths {
+			capped := m.At(ri, di+1).Res
 			loss := 0.0
 			if unb.Coverage() > 0 {
 				loss = (unb.Coverage() - capped.Coverage()) / unb.Coverage()

@@ -13,11 +13,17 @@ import (
 // without (100%) and with (12.5%) probabilistic update, per workload,
 // normalized to useful data bytes.
 func (r *Runner) Fig7() *stats.Table {
+	probs := []float64{1.0, 0.125}
+	prefs := make([]sim.PrefSpec, len(probs))
+	for i, p := range probs {
+		prefs[i] = sim.PrefSpec{Kind: sim.STMS, SampleProb: p}
+	}
+	m := r.timed(trace.FigureEight(), prefs)
 	t := stats.NewTable("Figure 7: overhead traffic breakdown (overhead bytes / useful data byte)",
 		"workload", "sampling", "record", "update", "lookup", "erroneous", "total", "coverage")
-	for _, w := range trace.FigureEight() {
-		for _, p := range []float64{1.0, 0.125} {
-			res := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: p})
+	for ri, w := range m.Workloads {
+		for ci, p := range probs {
+			res := m.At(ri, ci).Res
 			ov := res.OverheadTraffic()
 			t.AddRow(shortName(w), stats.Pct(p), ov.Record, ov.Update, ov.Lookup,
 				ov.Erroneous, ov.Total(), stats.Pct(res.Coverage()))
@@ -30,20 +36,23 @@ func (r *Runner) Fig7() *stats.Table {
 // as functions of the update sampling probability.
 func (r *Runner) Fig8() (traffic, coverage *stats.Table) {
 	probs := []float64{0.01, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0}
+	prefs := make([]sim.PrefSpec, len(probs))
 	cols := []string{"workload"}
-	for _, p := range probs {
+	for i, p := range probs {
+		prefs[i] = sim.PrefSpec{Kind: sim.STMS, SampleProb: p}
 		cols = append(cols, stats.Pct(p))
 	}
+	m := r.timed(trace.FigureEight(), prefs)
 	traffic = stats.NewTable("Figure 8 (left): overhead traffic vs. sampling probability", cols...)
 	coverage = stats.NewTable("Figure 8 (right): coverage vs. sampling probability", cols...)
 	var updReductions, totalReductions []float64
 	var maxLoss float64
-	for _, w := range trace.FigureEight() {
+	for ri, w := range m.Workloads {
 		trow := []interface{}{shortName(w)}
 		crow := []interface{}{shortName(w)}
 		var updFull, upd125, covFull, cov125, totFull, tot125 float64
-		for _, p := range probs {
-			res := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: p})
+		for ci, p := range probs {
+			res := m.At(ri, ci).Res
 			ov := res.OverheadTraffic()
 			trow = append(trow, ov.Total())
 			crow = append(crow, stats.Pct(res.Coverage()))
@@ -78,17 +87,22 @@ func (r *Runner) Fig8() (traffic, coverage *stats.Table) {
 // versus idealized TMS — coverage with the partial/full split, and
 // speedup over the stride-only baseline.
 func (r *Runner) Fig9() *stats.Table {
+	m := r.timed(trace.FigureEight(), []sim.PrefSpec{
+		{Kind: sim.None},
+		{Kind: sim.Ideal},
+		{Kind: sim.STMS, SampleProb: 0.125},
+	})
 	t := stats.NewTable("Figure 9: practical STMS vs. idealized TMS",
 		"workload", "ideal cov", "stms cov(full+part)", "stms full", "stms partial",
 		"ideal speedup", "stms speedup", "cov ratio", "speedup ratio")
 	var covRatios, spdRatios []float64
-	for _, w := range trace.FigureEight() {
-		base := r.Timed(w, sim.PrefSpec{Kind: sim.None})
-		ideal := r.Timed(w, sim.PrefSpec{Kind: sim.Ideal})
-		stms := r.Timed(w, sim.PrefSpec{Kind: sim.STMS, SampleProb: 0.125})
+	for ri, w := range m.Workloads {
+		base := m.At(ri, 0).Res
+		ideal := m.At(ri, 1).Res
+		stms := m.At(ri, 2).Res
 		covRatio := stats.Ratio(stms.Coverage(), ideal.Coverage())
-		spdI := ideal.SpeedupOver(&base)
-		spdS := stms.SpeedupOver(&base)
+		spdI := ideal.SpeedupOver(base)
+		spdS := stms.SpeedupOver(base)
 		spdRatio := stats.Ratio(spdS, spdI)
 		t.AddRow(shortName(w), stats.Pct(ideal.Coverage()), stats.Pct(stms.Coverage()),
 			stats.Pct(stms.FullCoverage()),
@@ -124,25 +138,28 @@ func meanOf(xs []float64) float64 {
 // appended for contrast (the paper's Figure 7 makes the same point in
 // bytes).
 func (r *Runner) Fig1Right() *stats.Table {
+	kinds := []sim.Kind{sim.EBCP, sim.ULMT, sim.TSE, sim.STMS}
+	prefs := make([]sim.PrefSpec, len(kinds))
+	for i, kind := range kinds {
+		prefs[i] = sim.PrefSpec{Kind: kind}
+		if kind == sim.STMS {
+			prefs[i].SampleProb = 0.125
+		}
+	}
+	m := r.timed(trace.Commercial(), prefs)
 	t := stats.NewTable("Figure 1 (right): overhead accesses per baseline read (commercial avg)",
 		"design", "erroneous", "lookup", "update", "total", "avg coverage")
-	for _, kind := range []sim.Kind{sim.EBCP, sim.ULMT, sim.TSE, sim.STMS} {
+	for ci, kind := range kinds {
 		var lk, up, er, cov float64
-		n := 0
-		for _, w := range trace.Commercial() {
-			ps := sim.PrefSpec{Kind: kind}
-			if kind == sim.STMS {
-				ps.SampleProb = 0.125
-			}
-			res := r.Timed(w, ps)
+		for ri := range m.Workloads {
+			res := m.At(ri, ci).Res
 			l, u, e := res.OverheadPerBaselineRead()
 			lk += l
 			up += u
 			er += e
 			cov += res.Coverage()
-			n++
 		}
-		fn := float64(n)
+		fn := float64(len(m.Workloads))
 		t.AddRow(kind.String(), er/fn, lk/fn, up/fn, (er+lk+up)/fn, stats.Pct(cov/fn))
 	}
 	return t

@@ -1,0 +1,174 @@
+// Package lab is the run-matrix execution engine behind the public
+// stms.Lab API. It decomposes "run the paper" into an explicit
+// lifecycle that callers compose:
+//
+//	session (New + options) → plan (workload × variant cross-product)
+//	→ parallel execute (worker pool, context cancellation, streaming
+//	progress events) → indexed Matrix of results with aggregation and
+//	export helpers.
+//
+// A Lab memoizes cell results across plans (keyed by the fully resolved
+// cell configuration), so matched runs — the stride-only baseline, the
+// idealized prefetcher — are simulated once and reused by every figure
+// that needs them, exactly as the paper's matched-pair methodology
+// reuses checkpoints. Every simulation is single-threaded and
+// deterministic, so the Matrix a plan produces is identical regardless
+// of parallelism.
+package lab
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"stms/internal/sim"
+)
+
+// Lab is a simulation session: a base system configuration, an
+// execution-parallelism budget, an optional progress sink, and a memo
+// of completed cells. A Lab is safe for concurrent use.
+type Lab struct {
+	base    sim.Config
+	par     int
+	onEvent func(ResultEvent)
+
+	mu   sync.Mutex
+	memo map[string]*sim.Results
+}
+
+// Option configures a Lab at construction time.
+type Option func(*Lab) error
+
+// New creates a session over the paper's Table 1 system, modified by
+// the given options. The resolved configuration is validated; option
+// errors and configuration errors are returned, never panicked.
+func New(opts ...Option) (*Lab, error) {
+	l := &Lab{
+		base: sim.DefaultConfig(),
+		par:  runtime.NumCPU(),
+		memo: make(map[string]*sim.Results),
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(l); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.base.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// WithScale shrinks caches, meta-data tables and workload footprints
+// together (1 = the paper's full scale).
+func WithScale(scale float64) Option {
+	return func(l *Lab) error {
+		if scale <= 0 || scale > 1 {
+			return fmt.Errorf("lab: scale must be in (0, 1], got %g", scale)
+		}
+		l.base.Scale = scale
+		return nil
+	}
+}
+
+// WithSeed sets the trace and sampling seed. Every cell of a plan
+// inherits it by default, so runs of the same workload under different
+// variants see identical traces (matched-pair methodology).
+func WithSeed(seed uint64) Option {
+	return func(l *Lab) error {
+		l.base.Seed = seed
+		return nil
+	}
+}
+
+// WithWindows sets the per-core warm-up and measurement record counts.
+func WithWindows(warm, measure uint64) Option {
+	return func(l *Lab) error {
+		if measure == 0 {
+			return fmt.Errorf("lab: measurement window must be non-empty")
+		}
+		l.base.WarmRecords = warm
+		l.base.MeasureRecords = measure
+		return nil
+	}
+}
+
+// WithParallelism bounds the worker pool executing plan cells
+// (default: runtime.NumCPU()).
+func WithParallelism(n int) Option {
+	return func(l *Lab) error {
+		if n < 1 {
+			return fmt.Errorf("lab: parallelism must be >= 1, got %d", n)
+		}
+		l.par = n
+		return nil
+	}
+}
+
+// WithBaseConfig replaces the base system configuration wholesale.
+// Apply it before WithScale/WithSeed/WithWindows if you want those to
+// override fields of cfg.
+func WithBaseConfig(cfg sim.Config) Option {
+	return func(l *Lab) error {
+		l.base = cfg
+		return nil
+	}
+}
+
+// WithProgress registers a sink for ResultEvents (cell started /
+// finished / failed). Events are delivered serialized, from worker
+// goroutines, while Run executes.
+func WithProgress(fn func(ResultEvent)) Option {
+	return func(l *Lab) error {
+		l.onEvent = fn
+		return nil
+	}
+}
+
+// BaseConfig returns the session's resolved base system configuration.
+func (l *Lab) BaseConfig() sim.Config { return l.base }
+
+// Parallelism returns the session's worker-pool bound.
+func (l *Lab) Parallelism() int { return l.par }
+
+// cellKey identifies a cell by everything that determines its result:
+// the driver mode, the fully resolved workload spec, system config and
+// prefetcher spec. Deterministic simulation makes memoization by this
+// key exact.
+func cellKey(c *Cell) string {
+	ps := c.Pref
+	scfg := ""
+	if ps.STMSCfg != nil {
+		scfg = fmt.Sprintf("%+v", *ps.STMSCfg)
+	}
+	ecfg := ""
+	if ps.Engine != nil {
+		ecfg = fmt.Sprintf("%+v", *ps.Engine)
+	}
+	return fmt.Sprintf("%d|spec=%+v|cfg=%+v|k=%d|d=%d|h=%d|i=%d|p=%g|s=%s|e=%s",
+		c.Mode, c.Spec, c.Config, ps.Kind, ps.MaxDepth,
+		ps.HistoryEntries, ps.IndexEntries, ps.SampleProb, scfg, ecfg)
+}
+
+// MemoSize reports how many distinct cells the session has memoized.
+func (l *Lab) MemoSize() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.memo)
+}
+
+func (l *Lab) lookup(key string) (*sim.Results, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.memo[key]
+	return r, ok
+}
+
+func (l *Lab) store(key string, r *sim.Results) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.memo[key] = r
+}

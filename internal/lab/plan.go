@@ -1,0 +1,189 @@
+package lab
+
+import (
+	"fmt"
+
+	"stms/internal/sim"
+	"stms/internal/trace"
+)
+
+// Mode selects the simulation driver for a plan's cells.
+type Mode int
+
+// Drivers: the cycle-level timed simulation (speedups, traffic) and the
+// fast zero-latency functional driver (coverage sweeps).
+const (
+	Timed Mode = iota
+	Functional
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Functional {
+		return "functional"
+	}
+	return "timed"
+}
+
+// Cell is one unit of work in a plan: a workload under a prefetcher
+// variant, with its fully resolved system configuration. Rows index
+// workloads, columns index variants.
+type Cell struct {
+	Row, Col int
+	Workload string     // display name (Spec.Name unless overridden)
+	Label    string     // column label (variant name unless overridden)
+	Spec     trace.Spec // full-scale workload spec; Config.Scale applies at run
+	Pref     sim.PrefSpec
+	Mode     Mode
+	Config   sim.Config // per-cell system config (seed, scale, windows, ...)
+}
+
+// RunPlan is an executable workload × variant cross-product. Build one
+// with Lab.Plan or Lab.PlanSpecs; construction errors surface from
+// Err() and from Lab.Run.
+type RunPlan struct {
+	Workloads []string // row labels, in order
+	Labels    []string // column labels, in order
+	Cells     []Cell   // row-major
+	err       error
+}
+
+// Err reports plan-construction errors (unknown workload names, invalid
+// specs, shape mismatches).
+func (p *RunPlan) Err() error { return p.err }
+
+// Size returns the plan's matrix shape.
+func (p *RunPlan) Size() (rows, cols int) { return len(p.Workloads), len(p.Labels) }
+
+// PlanOption adjusts how a plan is built.
+type PlanOption func(*planner)
+
+type planner struct {
+	mode    Mode
+	labels  []string
+	rowSeed func(workload string, row int) uint64
+	mutate  func(*Cell)
+}
+
+// InMode selects the simulation driver for every cell (default Timed).
+func InMode(m Mode) PlanOption {
+	return func(p *planner) { p.mode = m }
+}
+
+// WithLabels overrides the auto-derived column labels. The number of
+// labels must match the number of prefetcher specs.
+func WithLabels(labels ...string) PlanOption {
+	return func(p *planner) { p.labels = labels }
+}
+
+// WithRowSeed derives a per-workload seed (default: every cell inherits
+// the session seed, keeping variant columns matched-pair comparable).
+// The derivation must be deterministic for reproducible matrices; cells
+// in the same row always share a seed so their traces stay identical
+// across variants.
+func WithRowSeed(fn func(workload string, row int) uint64) PlanOption {
+	return func(p *planner) { p.rowSeed = fn }
+}
+
+// ForEachCell applies a final per-cell override hook — the escape hatch
+// for irregular matrices (per-cell windows, config tweaks). It runs
+// after all other options have resolved the cell.
+func ForEachCell(fn func(*Cell)) PlanOption {
+	return func(p *planner) { p.mutate = fn }
+}
+
+// Plan builds a run matrix from named workloads crossed with prefetcher
+// variants. Unknown workload names are reported by the plan's Err and
+// by Run.
+func (l *Lab) Plan(workloads []string, prefs []sim.PrefSpec, opts ...PlanOption) *RunPlan {
+	specs := make([]trace.Spec, 0, len(workloads))
+	for _, w := range workloads {
+		spec, err := trace.ByName(w)
+		if err != nil {
+			return &RunPlan{err: err}
+		}
+		specs = append(specs, spec)
+	}
+	return l.PlanSpecs(specs, prefs, opts...)
+}
+
+// PlanSpecs builds a run matrix from explicit workload specs (custom
+// synthetic workloads) crossed with prefetcher variants.
+func (l *Lab) PlanSpecs(specs []trace.Spec, prefs []sim.PrefSpec, opts ...PlanOption) *RunPlan {
+	pl := planner{}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&pl)
+		}
+	}
+	if len(specs) == 0 || len(prefs) == 0 {
+		return &RunPlan{err: fmt.Errorf("lab: empty plan (%d workloads × %d variants)", len(specs), len(prefs))}
+	}
+	labels := pl.labels
+	if labels == nil {
+		labels = autoLabels(prefs)
+	} else if len(labels) != len(prefs) {
+		return &RunPlan{err: fmt.Errorf("lab: %d labels for %d variants", len(labels), len(prefs))}
+	}
+	p := &RunPlan{
+		Workloads: make([]string, len(specs)),
+		Labels:    labels,
+		Cells:     make([]Cell, 0, len(specs)*len(prefs)),
+	}
+	for row, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return &RunPlan{err: err}
+		}
+		p.Workloads[row] = spec.Name
+		cfg := l.base
+		if pl.rowSeed != nil {
+			cfg.Seed = pl.rowSeed(spec.Name, row)
+		}
+		for col, ps := range prefs {
+			c := Cell{
+				Row: row, Col: col,
+				Workload: spec.Name,
+				Label:    labels[col],
+				Spec:     spec,
+				Pref:     ps,
+				Mode:     pl.mode,
+				Config:   cfg,
+			}
+			if pl.mutate != nil {
+				pl.mutate(&c)
+			}
+			p.Cells = append(p.Cells, c)
+		}
+	}
+	return p
+}
+
+// autoLabels derives distinct column labels from prefetcher specs: the
+// variant name, qualified by whichever knobs differ from defaults, with
+// an ordinal suffix if still ambiguous.
+func autoLabels(prefs []sim.PrefSpec) []string {
+	labels := make([]string, len(prefs))
+	seen := make(map[string]int, len(prefs))
+	for i, ps := range prefs {
+		lbl := ps.Kind.String()
+		if ps.SampleProb > 0 {
+			lbl += fmt.Sprintf("@p=%g", ps.SampleProb)
+		}
+		if ps.MaxDepth > 0 {
+			lbl += fmt.Sprintf("@d=%d", ps.MaxDepth)
+		}
+		if ps.HistoryEntries > 0 {
+			lbl += fmt.Sprintf("@h=%d", ps.HistoryEntries)
+		}
+		if ps.IndexEntries > 0 {
+			lbl += fmt.Sprintf("@i=%d", ps.IndexEntries)
+		}
+		if n := seen[lbl]; n > 0 {
+			labels[i] = fmt.Sprintf("%s#%d", lbl, n+1)
+		} else {
+			labels[i] = lbl
+		}
+		seen[lbl]++
+	}
+	return labels
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"stms/internal/cache"
 	"stms/internal/dram"
 	"stms/internal/prefetch"
@@ -56,8 +58,20 @@ func (e funcEnv) OnChip(core int, blk uint64) bool {
 // RunFunctional executes the functional driver and returns coverage
 // results (timing fields zero).
 func RunFunctional(cfg Config, spec trace.Spec, ps PrefSpec) Results {
-	if err := cfg.Validate(); err != nil {
+	r, err := RunFunctionalCtx(context.Background(), cfg, spec, ps, nil)
+	if err != nil {
 		panic(err)
+	}
+	return r
+}
+
+// RunFunctionalCtx is RunFunctional with cooperative cancellation and an
+// optional progress hook. The context is polled every few thousand
+// records; on cancellation ctx.Err() is returned. Configuration errors
+// are returned rather than panicking.
+func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
 	}
 	scaled := spec.Scaled(cfg.Scale)
 	s := &functional{
@@ -80,6 +94,14 @@ func RunFunctional(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 	total := warmTotal + cfg.MeasureRecords*uint64(cfg.Cores)
 	var rec trace.Record
 	for i := uint64(0); i < total; i++ {
+		if i%pollEvery == 0 && i > 0 {
+			if progress != nil {
+				progress(i, total)
+			}
+			if ctx.Err() != nil {
+				return Results{}, ctx.Err()
+			}
+		}
 		if i == warmTotal {
 			s.cntSnap = s.cnt
 			s.engSnap = engineCounts(s.pref.temporal.Stats())
@@ -110,7 +132,7 @@ func RunFunctional(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 	if eng := s.pref.engine; eng != nil {
 		r.StreamLens = &eng.Stats().StreamLens
 	}
-	return r
+	return r, nil
 }
 
 // step processes one reference through the hierarchy.

@@ -1,0 +1,14 @@
+package sim
+
+// Progress receives periodic completion callbacks from a running
+// simulation: done is the number of trace records processed so far
+// (across all cores, warm-up included), total the number expected.
+// Callbacks arrive from the goroutine driving the simulation, at most
+// once per pollEvery records; total is 0 when the run length is not
+// known up front (externally supplied generators).
+type Progress func(done, total uint64)
+
+// pollEvery is the record / event stride between context polls and
+// progress callbacks: frequent enough that cancellation lands within a
+// few microseconds of simulated work, rare enough to stay off profiles.
+const pollEvery = 4096

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"stms/internal/cache"
@@ -16,6 +17,13 @@ import (
 type timed struct {
 	cfg  Config
 	spec trace.Spec
+
+	// Cancellation and progress reporting (nil ctx = never cancelled).
+	ctx       context.Context
+	progress  Progress
+	totalRecs uint64
+	allRecs   uint64
+	aborted   bool
 
 	eng    *event.Engine
 	mc     *dram.Controller
@@ -118,8 +126,20 @@ func (e timedEnv) OnChip(core int, blk uint64) bool {
 // RunTimed executes one timed simulation of the workload under the given
 // prefetcher variant and returns windowed results.
 func RunTimed(cfg Config, spec trace.Spec, ps PrefSpec) Results {
-	if err := cfg.Validate(); err != nil {
+	r, err := RunTimedCtx(context.Background(), cfg, spec, ps, nil)
+	if err != nil {
 		panic(err)
+	}
+	return r
+}
+
+// RunTimedCtx is RunTimed with cooperative cancellation and an optional
+// progress hook. The context is polled every few thousand records; on
+// cancellation the simulation stops promptly and ctx.Err() is returned.
+// Configuration errors are returned rather than panicking.
+func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
 	}
 	scaled := spec.Scaled(cfg.Scale)
 	lib := trace.NewLibrary(scaled, cfg.Seed)
@@ -128,7 +148,7 @@ func RunTimed(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 	for i := range gens {
 		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
 	}
-	return runTimed(cfg, scaled, gens, ps)
+	return runTimed(ctx, cfg, scaled, gens, ps, progress, total*uint64(cfg.Cores))
 }
 
 // RunTimedTrace executes the timed simulation over externally supplied
@@ -137,22 +157,36 @@ func RunTimed(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 // own miss trace. The name labels results; dirtyFrac sets the writeback
 // model.
 func RunTimedTrace(cfg Config, name string, gens []trace.Generator, dirtyFrac float64, ps PrefSpec) Results {
-	if err := cfg.Validate(); err != nil {
+	r, err := RunTimedTraceCtx(context.Background(), cfg, name, gens, dirtyFrac, ps, nil)
+	if err != nil {
 		panic(err)
 	}
+	return r
+}
+
+// RunTimedTraceCtx is RunTimedTrace with cooperative cancellation and an
+// optional progress hook (total is unknown for external generators, so
+// progress callbacks report total = 0).
+func RunTimedTraceCtx(ctx context.Context, cfg Config, name string, gens []trace.Generator, dirtyFrac float64, ps PrefSpec, progress Progress) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
 	if len(gens) != cfg.Cores {
-		panic(fmt.Sprintf("sim: %d generators for %d cores", len(gens), cfg.Cores))
+		return Results{}, fmt.Errorf("sim: %d generators for %d cores", len(gens), cfg.Cores)
 	}
 	spec := trace.Spec{Name: name, DirtyFrac: dirtyFrac}
-	return runTimed(cfg, spec, gens, ps)
+	return runTimed(ctx, cfg, spec, gens, ps, progress, 0)
 }
 
 // runTimed wires and drains the event-driven system over the given
 // per-core generators.
-func runTimed(cfg Config, spec trace.Spec, gens []trace.Generator, ps PrefSpec) Results {
+func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Generator, ps PrefSpec, progress Progress, totalRecs uint64) (Results, error) {
 	s := &timed{
 		cfg:         cfg,
 		spec:        spec,
+		ctx:         ctx,
+		progress:    progress,
+		totalRecs:   totalRecs,
 		eng:         event.NewEngine(),
 		dirtyThresh: dirtyThreshold(spec.DirtyFrac),
 		recordsSeen: make([]uint64, cfg.Cores),
@@ -172,10 +206,24 @@ func runTimed(cfg Config, spec trace.Spec, gens []trace.Generator, ps PrefSpec) 
 		c.Start()
 	}
 	// Drain everything: cores stop when their bounded generators run dry;
-	// outstanding memory and meta-data events then settle.
-	s.eng.Drain(nil)
-
-	return s.results(ps)
+	// outstanding memory and meta-data events then settle. The stop
+	// predicate polls the context between events (on a stride, so the poll
+	// stays off profiles) — it also catches cancellation during the drain
+	// tail, after the generators have gone dry and noteRecord stops firing.
+	var steps uint64
+	s.eng.Drain(func() bool {
+		if s.aborted {
+			return true
+		}
+		if steps++; steps%pollEvery == 0 && ctx.Err() != nil {
+			s.aborted = true
+		}
+		return s.aborted
+	})
+	if s.aborted {
+		return Results{}, ctx.Err()
+	}
+	return s.results(ps), nil
 }
 
 // load implements cpu.LoadFunc.
@@ -303,8 +351,17 @@ func (s *timed) stridePrefetch(blk uint64) {
 	})
 }
 
-// noteRecord advances the warm-up/measurement window bookkeeping.
+// noteRecord advances the warm-up/measurement window bookkeeping and, on
+// a stride, reports progress and polls the context.
 func (s *timed) noteRecord(core int) {
+	if s.allRecs++; s.allRecs%pollEvery == 0 {
+		if s.progress != nil {
+			s.progress(s.allRecs, s.totalRecs)
+		}
+		if s.ctx.Err() != nil {
+			s.aborted = true
+		}
+	}
 	s.recordsSeen[core]++
 	if s.recordsSeen[core] == s.cfg.WarmRecords && !s.measuring {
 		s.crossedWarm++

@@ -5,41 +5,150 @@
 // in main memory, made practical by hash-based lookup, probabilistic
 // update sampling, and a split index/history organization.
 //
-// The package front-door wraps three layers:
+// The package front-door is the Lab session API, which decomposes "run
+// the paper" into an explicit lifecycle:
+//
+//	session → plan → parallel execute → stream results
+//
+// A Lab is constructed with functional options; Plan crosses workloads
+// with prefetcher variants into a RunPlan; Run executes the cells over
+// a worker pool with deterministic per-cell seeding, context
+// cancellation, and streaming progress events, returning an indexed
+// Matrix of Results with aggregation and JSON/CSV export helpers.
+//
+// # Quick start
+//
+//	lab, err := stms.New(stms.WithScale(0.125), stms.WithSeed(42))
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	plan := lab.Plan(stms.FigureEight(), []stms.PrefSpec{
+//		{Kind: stms.None}, {Kind: stms.Ideal}, {Kind: stms.STMS},
+//	})
+//	m, err := lab.Run(context.Background(), plan)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	t, _ := m.SpeedupTable("baseline")
+//	fmt.Print(t)
+//
+// The layers underneath:
 //
 //   - the STMS prefetcher itself and the idealized/comparator predictors
 //     (internal/core, internal/prefetch/...);
 //   - a deterministic 4-core CMP simulator with the paper's Table 1
 //     system model (internal/sim) and synthetic workloads calibrated to
 //     the paper's workload suite (internal/trace);
-//   - the experiment harness regenerating every table and figure of the
-//     paper's evaluation (internal/expt).
+//   - the run-matrix execution engine (internal/lab) and the experiment
+//     harness regenerating every table and figure of the paper's
+//     evaluation on top of it (internal/expt).
 //
-// # Quick start
-//
-//	cfg := stms.DefaultConfig()
-//	cfg.Scale = 0.125 // 1/8-scale caches, meta-data and footprints
-//	spec, _ := stms.Workload("web-apache")
-//	base  := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.None})
-//	ideal := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.Ideal})
-//	pract := stms.RunTimed(cfg, spec, stms.PrefSpec{Kind: stms.STMS})
-//	fmt.Printf("coverage %.0f%%, %.0f%% of ideal speedup\n",
-//		pract.Coverage()*100,
-//		100*pract.SpeedupOver(&base)/ideal.SpeedupOver(&base))
-//
-// See DESIGN.md for the system inventory and the per-experiment index,
-// and EXPERIMENTS.md for measured-vs-paper results.
+// See DESIGN.md for the Lab/Plan/Matrix lifecycle, the package
+// inventory and the per-experiment index, and README.md for a runnable
+// tour.
 package stms
 
 import (
+	"context"
 	"io"
 
 	"stms/internal/core"
 	"stms/internal/expt"
+	"stms/internal/lab"
 	"stms/internal/prefetch"
 	"stms/internal/sim"
 	"stms/internal/trace"
 )
+
+// Lab is a simulation session: base system configuration, parallelism
+// budget, progress sink, and a memo of completed runs. Construct with
+// New; build cross-product run matrices with Plan/PlanSpecs; execute
+// with Run. Safe for concurrent use.
+type Lab = lab.Lab
+
+// Option configures a Lab at construction.
+type Option = lab.Option
+
+// RunPlan is an executable workload × variant cross-product built by
+// Lab.Plan or Lab.PlanSpecs.
+type RunPlan = lab.RunPlan
+
+// PlanOption adjusts plan construction (driver mode, column labels,
+// per-row seeding, per-cell overrides).
+type PlanOption = lab.PlanOption
+
+// Cell is one unit of work in a plan: a workload under a prefetcher
+// variant with its fully resolved configuration.
+type Cell = lab.Cell
+
+// Matrix is the indexed result of running a plan: rows are workloads,
+// columns are prefetcher variants.
+type Matrix = lab.Matrix
+
+// CellResult is one executed cell of a Matrix.
+type CellResult = lab.CellResult
+
+// ResultEvent streams per-cell progress (started/finished/failed) out
+// of Lab.Run to the sink registered with WithProgress.
+type ResultEvent = lab.ResultEvent
+
+// EventKind classifies a ResultEvent.
+type EventKind = lab.EventKind
+
+// Mode selects the simulation driver for a plan's cells.
+type Mode = lab.Mode
+
+// Result-event kinds and driver modes, re-exported for plan options and
+// progress sinks.
+const (
+	CellStarted  = lab.CellStarted
+	CellFinished = lab.CellFinished
+	CellFailed   = lab.CellFailed
+
+	Timed      = lab.Timed
+	Functional = lab.Functional
+)
+
+// New creates a session over the paper's Table 1 system, modified by
+// options. Option and configuration errors are returned, not panicked.
+func New(opts ...Option) (*Lab, error) { return lab.New(opts...) }
+
+// WithScale shrinks caches, meta-data tables and workload footprints
+// together (1 = the paper's full scale).
+func WithScale(scale float64) Option { return lab.WithScale(scale) }
+
+// WithSeed sets the trace and sampling seed; all cells of a plan
+// inherit it, keeping variant columns matched-pair comparable.
+func WithSeed(seed uint64) Option { return lab.WithSeed(seed) }
+
+// WithWindows sets the per-core warm-up and measurement record counts.
+func WithWindows(warm, measure uint64) Option { return lab.WithWindows(warm, measure) }
+
+// WithParallelism bounds the worker pool executing plan cells
+// (default: runtime.NumCPU()). Results are identical regardless.
+func WithParallelism(n int) Option { return lab.WithParallelism(n) }
+
+// WithBaseConfig replaces the base system configuration wholesale.
+func WithBaseConfig(cfg Config) Option { return lab.WithBaseConfig(cfg) }
+
+// WithProgress registers a serialized sink for cell lifecycle events.
+func WithProgress(fn func(ResultEvent)) Option { return lab.WithProgress(fn) }
+
+// InMode selects the simulation driver for every cell of a plan
+// (default Timed).
+func InMode(m Mode) PlanOption { return lab.InMode(m) }
+
+// WithLabels overrides a plan's auto-derived column labels.
+func WithLabels(labels ...string) PlanOption { return lab.WithLabels(labels...) }
+
+// WithRowSeed derives a per-workload seed; cells in a row always share
+// one so traces stay identical across variant columns.
+func WithRowSeed(fn func(workload string, row int) uint64) PlanOption {
+	return lab.WithRowSeed(fn)
+}
+
+// ForEachCell applies a final per-cell override hook to a plan.
+func ForEachCell(fn func(*Cell)) PlanOption { return lab.ForEachCell(fn) }
 
 // Config is the system under test (Table 1 defaults via DefaultConfig).
 type Config = sim.Config
@@ -100,25 +209,48 @@ func Workloads() []string { return trace.Names() }
 // FigureEight returns the eight workloads in the paper's figure order.
 func FigureEight() []string { return trace.FigureEight() }
 
+// Commercial returns the commercial (web, OLTP, DSS) workload names.
+func Commercial() []string { return trace.Commercial() }
+
 // RunTimed executes the cycle-level simulation of spec under the given
 // prefetcher and returns measurement-window results (IPC, MLP, coverage,
 // per-class DRAM traffic).
+//
+// Deprecated: build a Lab with New and execute a plan with Lab.Run —
+// one blocking call per cell neither parallelizes nor memoizes. This
+// wrapper remains for scripts and is equivalent to a 1×1 timed matrix.
 func RunTimed(cfg Config, spec WorkloadSpec, ps PrefSpec) Results {
 	return sim.RunTimed(cfg, spec, ps)
 }
 
 // RunFunctional executes the fast zero-latency driver (idealized-lookup
 // coverage sweeps; timing fields of the result are zero).
+//
+// Deprecated: build a Lab with New and execute a plan with
+// lab.Plan(..., stms.InMode(stms.Functional)) instead.
 func RunFunctional(cfg Config, spec WorkloadSpec, ps PrefSpec) Results {
 	return sim.RunFunctional(cfg, spec, ps)
+}
+
+// RunTimedCtx is RunTimed with cooperative cancellation; Lab.Run uses
+// it per cell. Exposed for callers driving single runs with their own
+// scheduling.
+func RunTimedCtx(ctx context.Context, cfg Config, spec WorkloadSpec, ps PrefSpec) (Results, error) {
+	return sim.RunTimedCtx(ctx, cfg, spec, ps, nil)
+}
+
+// RunFunctionalCtx is RunFunctional with cooperative cancellation.
+func RunFunctionalCtx(ctx context.Context, cfg Config, spec WorkloadSpec, ps PrefSpec) (Results, error) {
+	return sim.RunFunctionalCtx(ctx, cfg, spec, ps, nil)
 }
 
 // DefaultOptions returns the standard experiment scale for the harness.
 func DefaultOptions() Options { return expt.DefaultOptions() }
 
 // RunExperiment regenerates one paper artifact by ID (table1, table2,
-// fig1l, fig1r, fig4, fig5l, fig5r, fig6l, fig6r, fig7, fig8, fig9, or
-// all), writing the tables to w.
+// fig1l, fig1r, fig4, fig5l, fig5r, fig6l, fig6r, fig7, fig8, fig9, abl,
+// or all), writing the tables to w. The harness executes each figure's
+// run matrix across o.Parallel workers.
 func RunExperiment(id string, o Options, w io.Writer) error {
 	return expt.NewRunner(o).ByID(id, w)
 }
