@@ -200,6 +200,30 @@ func BenchmarkFunctionalSimRecords(b *testing.B) {
 	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")
 }
 
+// BenchmarkTimedHotPath is the steady-state throughput benchmark of the
+// event-driven simulator: one long STMS run per iteration (400k records
+// over 4 cores), so per-run construction is amortized and the number
+// tracks the per-record hot path — the target of the allocation-free
+// engine/DRAM/MSHR/prefetch-buffer design. Records/sec counts every
+// simulated record (warm-up included); run with -benchmem to see
+// allocs/op.
+func BenchmarkTimedHotPath(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = 0.0625
+	cfg.WarmRecords = 10_000
+	cfg.MeasureRecords = 90_000
+	spec, err := trace.ByName("oltp-db2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	perRun := (cfg.WarmRecords + cfg.MeasureRecords) * uint64(cfg.Cores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunTimed(cfg, spec, sim.PrefSpec{Kind: sim.STMS})
+	}
+	b.ReportMetric(float64(perRun)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
 func BenchmarkTraceGeneration(b *testing.B) {
 	spec, err := trace.ByName("web-zeus")
 	if err != nil {

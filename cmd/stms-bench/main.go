@@ -7,6 +7,7 @@
 //	stms-bench [-run all|table1|table2|fig1l|fig1r|fig4|fig5l|fig5r|fig6l|fig6r|fig7|fig8|fig9|abl]
 //	           [-scale 0.125] [-seed 42] [-warm 80000] [-measure 120000]
 //	           [-par 0] [-out results.txt] [-json bench.json]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Sizes are scaled together (caches, meta-data tables, workload
 // footprints), preserving the paper's size relationships; -scale 1 runs
@@ -15,9 +16,12 @@
 // CPUs); results are identical regardless.
 //
 // With -json, a machine-readable benchmark document is also written: the
-// run options, wall time, and the headline workload × {baseline, ideal,
-// stms} matrix with per-cell IPC, coverage and speedup inputs — the
-// format future BENCH_*.json trajectories capture.
+// run options, wall time, simulator throughput (records/sec) and
+// allocation totals for a freshly-timed headline matrix, and the
+// workload × {baseline, ideal, stms} matrix with per-cell IPC, coverage
+// and speedup inputs — the format the BENCH_PR*.json trajectory
+// snapshots capture. -cpuprofile/-memprofile write pprof profiles of
+// the whole invocation.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"stms"
@@ -42,6 +48,8 @@ func main() {
 	par := flag.Int("par", 0, "matrix worker pool size (0 = all CPUs)")
 	out := flag.String("out", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark document to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -50,6 +58,35 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	o := expt.Options{Scale: *scale, Seed: *seed, Warm: *warm, Measure: *measure, Parallel: *par}
@@ -84,32 +121,60 @@ func main() {
 }
 
 // benchDoc is the machine-readable trajectory record: enough to compare
-// runs across commits without parsing the text tables.
+// runs across commits without parsing the text tables. RecordsPerSec and
+// TotalAllocs capture simulator throughput and allocation behaviour so
+// future PRs can track the perf trajectory (BENCH_PR2.json is the first
+// snapshot).
 type benchDoc struct {
-	Schema     string       `json:"schema"`
-	Experiment string       `json:"experiment"`
-	Scale      float64      `json:"scale"`
-	Seed       uint64       `json:"seed"`
-	Warm       uint64       `json:"warm_records"`
-	Measure    uint64       `json:"measure_records"`
-	ElapsedMS  float64      `json:"elapsed_ms"`
-	Matrix     *stms.Matrix `json:"matrix"`
+	Schema        string       `json:"schema"`
+	Experiment    string       `json:"experiment"`
+	Scale         float64      `json:"scale"`
+	Seed          uint64       `json:"seed"`
+	Warm          uint64       `json:"warm_records"`
+	Measure       uint64       `json:"measure_records"`
+	ElapsedMS     float64      `json:"elapsed_ms"`
+	MatrixCells   int          `json:"matrix_cells"`
+	MatrixRecords uint64       `json:"matrix_records"`
+	RecordsPerSec float64      `json:"records_per_sec"`
+	TotalAllocs   uint64       `json:"total_allocs"`
+	TotalAllocMB  float64      `json:"total_alloc_mb"`
+	Matrix        *stms.Matrix `json:"matrix"`
 }
 
-// writeBenchJSON runs the headline matrix (reusing the session memo, so
-// cells already simulated by the requested experiment are free) and
-// writes the benchmark document.
+// writeBenchJSON times the headline workload × {baseline, ideal, stms}
+// matrix on a fresh session (the shared session would serve memoized
+// results, hiding the simulator's real throughput) and writes the
+// benchmark document with throughput and allocation totals.
 func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elapsed time.Duration) error {
-	lab := r.Lab()
+	opts := []stms.Option{
+		stms.WithScale(o.Scale), stms.WithSeed(o.Seed),
+		stms.WithWindows(o.Warm, o.Measure),
+	}
+	if o.Parallel > 0 {
+		opts = append(opts, stms.WithParallelism(o.Parallel))
+	}
+	lab, err := stms.New(opts...)
+	if err != nil {
+		return err
+	}
 	plan := lab.Plan(stms.FigureEight(), []stms.PrefSpec{
 		{Kind: stms.None},
 		{Kind: stms.Ideal},
 		{Kind: stms.STMS, SampleProb: 0.125},
 	})
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
 	m, err := lab.Run(context.Background(), plan)
 	if err != nil {
 		return err
 	}
+	matrixElapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	cells := len(m.Workloads) * len(m.Labels)
+	// Every cell simulates warm+measure records on each core.
+	simRecords := uint64(cells) * (o.Warm + o.Measure) * uint64(stms.DefaultConfig().Cores)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -118,13 +183,18 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return enc.Encode(benchDoc{
-		Schema:     "stms-bench/v1",
-		Experiment: id,
-		Scale:      o.Scale,
-		Seed:       o.Seed,
-		Warm:       o.Warm,
-		Measure:    o.Measure,
-		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
-		Matrix:     m,
+		Schema:        "stms-bench/v2",
+		Experiment:    id,
+		Scale:         o.Scale,
+		Seed:          o.Seed,
+		Warm:          o.Warm,
+		Measure:       o.Measure,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+		MatrixCells:   cells,
+		MatrixRecords: simRecords,
+		RecordsPerSec: float64(simRecords) / matrixElapsed.Seconds(),
+		TotalAllocs:   after.Mallocs - before.Mallocs,
+		TotalAllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		Matrix:        m,
 	})
 }

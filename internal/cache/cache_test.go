@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -191,13 +192,13 @@ func TestLRUMatchesReferenceModel(t *testing.T) {
 }
 
 func TestMSHRMerge(t *testing.T) {
-	m := NewMSHR(4)
-	calls := 0
-	primary, ok := m.Allocate(1, func(uint64) { calls++ })
+	var got [][3]uint64
+	m := NewMSHR(4, func(now, a, b uint64) { got = append(got, [3]uint64{now, a, b}) })
+	primary, ok := m.AllocateW(1, 10, 11)
 	if !primary || !ok {
 		t.Fatal("first allocation should be primary")
 	}
-	primary, ok = m.Allocate(1, func(uint64) { calls++ })
+	primary, ok = m.AllocateW(1, 20, 21)
 	if primary || !ok {
 		t.Fatal("second allocation should merge")
 	}
@@ -205,8 +206,9 @@ func TestMSHRMerge(t *testing.T) {
 		t.Fatalf("merged = %d", m.Merged)
 	}
 	m.Complete(1, 100)
-	if calls != 2 {
-		t.Fatalf("waiters called %d times, want 2", calls)
+	want := [][3]uint64{{100, 10, 11}, {100, 20, 21}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("waiters delivered %v, want %v", got, want)
 	}
 	if m.Outstanding() != 0 {
 		t.Fatal("entry not freed")
@@ -214,13 +216,13 @@ func TestMSHRMerge(t *testing.T) {
 }
 
 func TestMSHRFull(t *testing.T) {
-	m := NewMSHR(2)
-	m.Allocate(1, nil)
-	m.Allocate(2, nil)
+	m := NewMSHR(2, nil)
+	m.Allocate(1)
+	m.Allocate(2)
 	if !m.Full() {
 		t.Fatal("should be full")
 	}
-	_, ok := m.Allocate(3, nil)
+	_, ok := m.Allocate(3)
 	if ok {
 		t.Fatal("allocation should fail when full")
 	}
@@ -228,7 +230,7 @@ func TestMSHRFull(t *testing.T) {
 		t.Fatalf("rejected = %d", m.Rejected)
 	}
 	// Merging into an existing entry still works when full.
-	primary, ok := m.Allocate(1, nil)
+	primary, ok := m.Allocate(1)
 	if primary || !ok {
 		t.Fatal("merge should succeed when full")
 	}
@@ -239,8 +241,85 @@ func TestMSHRFull(t *testing.T) {
 }
 
 func TestMSHRCompleteAbsent(t *testing.T) {
-	m := NewMSHR(2)
+	m := NewMSHR(2, nil)
 	m.Complete(99, 1) // must not panic
+}
+
+// TestMSHRReentrantComplete checks that a waiter callback may immediately
+// re-allocate (even the same block) while its completion is mid-delivery.
+func TestMSHRReentrantComplete(t *testing.T) {
+	var m *MSHR
+	var delivered []uint64
+	m = NewMSHR(2, func(now, a, b uint64) {
+		delivered = append(delivered, a)
+		if a == 1 {
+			if primary, ok := m.AllocateW(7, 99, 0); !primary || !ok {
+				t.Fatal("re-allocation inside callback failed")
+			}
+		}
+	})
+	m.AllocateW(7, 1, 0)
+	m.AllocateW(7, 2, 0)
+	m.Complete(7, 50)
+	if len(delivered) != 2 || delivered[0] != 1 || delivered[1] != 2 {
+		t.Fatalf("delivered %v, want [1 2]", delivered)
+	}
+	if !m.InFlight(7) {
+		t.Fatal("re-allocated entry missing")
+	}
+	m.Complete(7, 60)
+	if len(delivered) != 3 || delivered[2] != 99 {
+		t.Fatalf("delivered %v after second complete", delivered)
+	}
+}
+
+// TestMSHRRandomAgainstModel drives the MSHR through a random workload and
+// compares against a simple map-of-slices model.
+func TestMSHRRandomAgainstModel(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	var got []uint64
+	m := NewMSHR(8, func(now, a, b uint64) { got = append(got, a) })
+	model := map[uint64][]uint64{}
+	var want []uint64
+	tag := uint64(0)
+	for op := 0; op < 20000; op++ {
+		blk := uint64(rnd.Intn(12))
+		if rnd.Intn(3) < 2 {
+			tag++
+			_, ok := m.AllocateW(blk, tag, 0)
+			if _, exists := model[blk]; exists {
+				if !ok {
+					t.Fatalf("op %d: merge rejected", op)
+				}
+				model[blk] = append(model[blk], tag)
+			} else if len(model) < 8 {
+				if !ok {
+					t.Fatalf("op %d: allocation rejected with room", op)
+				}
+				model[blk] = []uint64{tag}
+			} else {
+				if ok {
+					t.Fatalf("op %d: allocation accepted when full", op)
+				}
+				tag-- // nothing queued
+			}
+		} else {
+			m.Complete(blk, uint64(op))
+			want = append(want, model[blk]...)
+			delete(model, blk)
+		}
+		if m.Outstanding() != len(model) {
+			t.Fatalf("op %d: outstanding %d, model %d", op, m.Outstanding(), len(model))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d waiters, model %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("waiter order diverged at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
 }
 
 func TestCacheGeometryPanics(t *testing.T) {

@@ -1,13 +1,28 @@
 package cache
 
-// MSHR models a file of miss-status holding registers: a bounded map from
-// in-flight block numbers to the waiters that should be notified when the
-// fill returns. Secondary misses to an in-flight block merge into the
-// existing entry instead of issuing another memory access (Table 1: 32
-// L1 MSHRs, 64 L2 MSHRs).
+import "stms/internal/mem"
+
+// MSHR models a file of miss-status holding registers: a bounded table of
+// in-flight block numbers and the waiters to notify when each fill
+// returns. Secondary misses to an in-flight block merge into the existing
+// entry instead of issuing another memory access (Table 1: 32 L1 MSHRs,
+// 64 L2 MSHRs).
+//
+// The file sits on the per-access path of the timed simulator, so it is
+// allocation-free in steady state: entries live in a fixed array indexed
+// through an open-addressed mem.BlockMap, and waiters are intrusive
+// (a, b) payload records drawn from a free list. What a waiter means is
+// the owner's business — the simulator packs (core, ROB token) into the
+// two words — and all waiters of a file are delivered through the single
+// onDone callback installed at construction, in allocation order.
 type MSHR struct {
 	cap     int
-	entries map[uint64]*mshrEntry
+	idx     *mem.BlockMap // blk -> entry index
+	entries []mshrEntry
+	freeEnt []int32
+	waiters []mshrWaiter
+	freeW   int32 // waiter free-list head (-1 = empty)
+	onDone  func(now, a, b uint64)
 
 	// Merged counts secondary misses absorbed by an existing entry.
 	Merged uint64
@@ -17,61 +32,125 @@ type MSHR struct {
 }
 
 type mshrEntry struct {
-	waiters []func(now uint64)
+	head, tail int32 // waiter list (-1 = empty)
 }
 
-// NewMSHR creates an MSHR file with capacity entries.
-func NewMSHR(capacity int) *MSHR {
-	return &MSHR{cap: capacity, entries: make(map[uint64]*mshrEntry, capacity)}
+type mshrWaiter struct {
+	a, b uint64
+	next int32
+}
+
+const mshrNil = int32(-1)
+
+// NewMSHR creates an MSHR file with capacity entries. onDone receives each
+// waiter's payload when its block's fill completes; it may be nil if the
+// file is used without waiters.
+func NewMSHR(capacity int, onDone func(now, a, b uint64)) *MSHR {
+	m := &MSHR{
+		cap:     capacity,
+		idx:     mem.NewBlockMap(capacity),
+		entries: make([]mshrEntry, 0, capacity),
+		freeW:   mshrNil,
+		onDone:  onDone,
+	}
+	return m
 }
 
 // Outstanding returns the number of live entries.
-func (m *MSHR) Outstanding() int { return len(m.entries) }
+func (m *MSHR) Outstanding() int { return m.idx.Len() }
 
 // Full reports whether no further primary misses can allocate.
-func (m *MSHR) Full() bool { return len(m.entries) >= m.cap }
+func (m *MSHR) Full() bool { return m.idx.Len() >= m.cap }
 
 // InFlight reports whether blk already has an entry.
-func (m *MSHR) InFlight(blk uint64) bool {
-	_, ok := m.entries[blk]
-	return ok
-}
+func (m *MSHR) InFlight(blk uint64) bool { return m.idx.Contains(blk) }
 
-// Allocate requests an entry for blk.
+// Allocate requests an entry for blk with no waiter attached.
 //
 // Returns (primary=true) when a new entry was created and the caller must
 // issue the memory access; (primary=false, ok=true) when the miss merged
 // into an existing entry; and ok=false when the file is full and the
 // caller must retry later.
-func (m *MSHR) Allocate(blk uint64, waiter func(now uint64)) (primary, ok bool) {
-	if e, exists := m.entries[blk]; exists {
-		if waiter != nil {
-			e.waiters = append(e.waiters, waiter)
-		}
+func (m *MSHR) Allocate(blk uint64) (primary, ok bool) {
+	if m.idx.Contains(blk) {
 		m.Merged++
 		return false, true
 	}
-	if len(m.entries) >= m.cap {
-		m.Rejected++
-		return false, false
-	}
-	e := &mshrEntry{}
-	if waiter != nil {
-		e.waiters = append(e.waiters, waiter)
-	}
-	m.entries[blk] = e
-	return true, true
+	_, ok = m.allocate(blk)
+	return ok, ok
 }
 
-// Complete retires the entry for blk and invokes all merged waiters with
-// the completion time. Completing an absent block is a no-op.
+// AllocateW is Allocate with a waiter payload: (a, b) is queued on the
+// entry (new or merged) and handed to the file's onDone callback when the
+// fill completes. On ok=false nothing is queued.
+func (m *MSHR) AllocateW(blk, a, b uint64) (primary, ok bool) {
+	if i, exists := m.idx.Get(blk); exists {
+		m.Merged++
+		m.appendWaiter(&m.entries[i], a, b)
+		return false, true
+	}
+	i, ok := m.allocate(blk)
+	if ok {
+		m.appendWaiter(&m.entries[i], a, b)
+	}
+	return ok, ok
+}
+
+func (m *MSHR) allocate(blk uint64) (idx int32, ok bool) {
+	if m.idx.Len() >= m.cap {
+		m.Rejected++
+		return 0, false
+	}
+	var i int32
+	if n := len(m.freeEnt); n > 0 {
+		i = m.freeEnt[n-1]
+		m.freeEnt = m.freeEnt[:n-1]
+	} else {
+		m.entries = append(m.entries, mshrEntry{})
+		i = int32(len(m.entries) - 1)
+	}
+	m.entries[i] = mshrEntry{head: mshrNil, tail: mshrNil}
+	m.idx.Put(blk, i)
+	return i, true
+}
+
+func (m *MSHR) appendWaiter(e *mshrEntry, a, b uint64) {
+	var w int32
+	if m.freeW != mshrNil {
+		w = m.freeW
+		m.freeW = m.waiters[w].next
+	} else {
+		m.waiters = append(m.waiters, mshrWaiter{})
+		w = int32(len(m.waiters) - 1)
+	}
+	m.waiters[w] = mshrWaiter{a: a, b: b, next: mshrNil}
+	if e.tail == mshrNil {
+		e.head = w
+	} else {
+		m.waiters[e.tail].next = w
+	}
+	e.tail = w
+}
+
+// Complete retires the entry for blk and invokes onDone for all merged
+// waiters, in allocation order, with the completion time. Completing an
+// absent block is a no-op. The entry is retired before any callback runs,
+// so callbacks may re-allocate freely (including for the same block).
 func (m *MSHR) Complete(blk uint64, now uint64) {
-	e, ok := m.entries[blk]
+	i, ok := m.idx.Get(blk)
 	if !ok {
 		return
 	}
-	delete(m.entries, blk)
-	for _, w := range e.waiters {
-		w(now)
+	head := m.entries[i].head
+	m.idx.Delete(blk)
+	m.freeEnt = append(m.freeEnt, i)
+	for w := head; w != mshrNil; {
+		// Copy out and release before the callback: it may append new
+		// waiters, growing the slice and reusing free records.
+		rec := m.waiters[w]
+		m.waiters[w].next = m.freeW
+		m.freeW = w
+		w = rec.next
+		m.onDone(now, rec.a, rec.b)
 	}
 }

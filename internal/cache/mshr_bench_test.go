@@ -1,0 +1,40 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMSHRChurn exercises the allocate/merge/complete cycle at the
+// occupancy the timed simulator actually runs (a 64-entry L2 file, a mix
+// of primary misses, merges, and completions).
+func BenchmarkMSHRChurn(b *testing.B) {
+	rnd := rand.New(rand.NewSource(7))
+	blks := make([]uint64, 4096)
+	for i := range blks {
+		blks[i] = uint64(rnd.Intn(96)) // collision-heavy working set
+	}
+	m := NewMSHR(64, func(now, a, b uint64) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blks[i&4095]
+		if primary, ok := m.AllocateW(blk, uint64(i), 0); !ok || (!primary && i&3 == 0) {
+			m.Complete(blk, uint64(i))
+		}
+	}
+}
+
+// BenchmarkMSHRInFlight measures the pure probe path (stride-prefetch
+// filtering calls it on every candidate).
+func BenchmarkMSHRInFlight(b *testing.B) {
+	m := NewMSHR(64, nil)
+	for i := uint64(0); i < 48; i++ {
+		m.Allocate(i * 131)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.InFlight(uint64(i) * 131 % 96)
+	}
+}

@@ -179,7 +179,7 @@ func TestEndToEndAltOrgCoverage(t *testing.T) {
 		eng.Record(0, seq[0], false)
 		covered := 0
 		for _, b := range seq[1:] {
-			if res := eng.Probe(0, b, nil); res.State == prefetch.ProbeReady {
+			if res := eng.Probe(0, b, nil, 0, 0, 0); res.State == prefetch.ProbeReady {
 				covered++
 				eng.Record(0, b, true)
 			} else {

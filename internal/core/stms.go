@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stms/internal/dram"
+	"stms/internal/event"
 	"stms/internal/mem"
 	"stms/internal/prefetch"
 	"stms/internal/rng"
@@ -113,6 +114,13 @@ type Stats struct {
 // Meta is the STMS meta-data engine: the prefetch.Metadata backend whose
 // storage lives in simulated main memory. Pair it with prefetch.NewEngine
 // to form the complete prefetcher (the New helper does).
+//
+// The backend is allocation-free in steady state: in-flight lookups and
+// history reads ride pooled records addressed by index through the
+// event.Handler completion payload, delivered cursors and address lines
+// live in per-Meta scratch (valid only during the done call, per the
+// Metadata contract), and the alternative index organizations — ablation
+// paths — keep the simpler closure style.
 type Meta struct {
 	cfg  Config
 	env  prefetch.Env
@@ -123,9 +131,45 @@ type Meta struct {
 	wc   []int // per-core write-combining fill counts
 	rnd  *rng.Rand
 	st   Stats
+
+	// Pooled in-flight operation records (see lookupRec/readRec).
+	lookups  []lookupRec
+	freeLook []int32
+	reads    []readRec
+	freeRead []int32
+
+	// Scratch for transient results handed to done callbacks.
+	scratchCur  prefetch.Cursor
+	scratchLine prefetch.Line
+}
+
+// Completion kinds for the event.Handler side of Meta.
+const (
+	mkLookupDone uint8 = iota // a = lookup record index
+	mkReadDone                // a = read record index
+	mkUpdateRead              // a = index bucket number
+)
+
+// lookupRec is one in-flight index lookup: the pointer resolved at issue
+// time plus the continuation.
+type lookupRec struct {
+	cur    prefetch.Cursor
+	ok     bool
+	bucket uint32
+	done   func(*prefetch.Cursor)
+}
+
+// readRec is one in-flight history line read: the position captured at
+// issue time plus the continuation.
+type readRec struct {
+	core int
+	pos  uint64
+	max  int
+	done func(addrs, positions []uint64, marked bool, markAddr uint64)
 }
 
 var _ prefetch.Metadata = (*Meta)(nil)
+var _ event.Handler = (*Meta)(nil)
 
 // NewMeta builds the STMS meta-data engine over env.
 func NewMeta(env prefetch.Env, cfg Config) *Meta {
@@ -213,31 +257,86 @@ func (m *Meta) Lookup(core int, blk uint64, done func(*prefetch.Cursor)) {
 		m.lookupAlt(blk, done)
 		return
 	}
-	cur := m.resolve(blk)
+	cur, ok := m.resolve(blk)
 	bi := m.idx.BucketOf(blk)
 	if m.bbuf.touch(bi, false) {
 		m.st.LookupBufHits++
-		done(cur)
+		m.deliverCursor(cur, ok, done)
 		return
 	}
 	m.st.LookupReads++
-	m.env.MetaRead(dram.IndexLookup, func(uint64) {
-		if m.bbuf.insert(bi, false) {
+	ri := m.getLookup()
+	m.lookups[ri] = lookupRec{cur: cur, ok: ok, bucket: bi, done: done}
+	m.env.MetaReadH(dram.IndexLookup, m, mkLookupDone, uint64(ri), 0)
+}
+
+// deliverCursor hands a resolved pointer to done through the per-Meta
+// scratch cursor (transient per the Metadata contract).
+func (m *Meta) deliverCursor(cur prefetch.Cursor, ok bool, done func(*prefetch.Cursor)) {
+	if !ok {
+		done(nil)
+		return
+	}
+	m.scratchCur = cur
+	done(&m.scratchCur)
+}
+
+func (m *Meta) getLookup() int32 {
+	if n := len(m.freeLook); n > 0 {
+		i := m.freeLook[n-1]
+		m.freeLook = m.freeLook[:n-1]
+		return i
+	}
+	m.lookups = append(m.lookups, lookupRec{})
+	return int32(len(m.lookups) - 1)
+}
+
+func (m *Meta) getRead() int32 {
+	if n := len(m.freeRead); n > 0 {
+		i := m.freeRead[n-1]
+		m.freeRead = m.freeRead[:n-1]
+		return i
+	}
+	m.reads = append(m.reads, readRec{})
+	return int32(len(m.reads) - 1)
+}
+
+// Handle implements event.Handler: completions of the backend's simulated
+// memory reads.
+func (m *Meta) Handle(now uint64, kind uint8, a, b uint64) {
+	switch kind {
+	case mkLookupDone:
+		rec := m.lookups[a]
+		m.lookups[a] = lookupRec{} // drop the continuation reference
+		m.freeLook = append(m.freeLook, int32(a))
+		if m.bbuf.insert(rec.bucket, false) {
 			m.env.MetaWrite(dram.IndexUpdateWr)
 			m.st.BucketWBs++
 		}
-		done(cur)
-	})
+		m.deliverCursor(rec.cur, rec.ok, rec.done)
+	case mkReadDone:
+		rec := m.reads[a]
+		m.reads[a] = readRec{}
+		m.freeRead = append(m.freeRead, int32(a))
+		n, marked, markAddr := m.hist[rec.core].ReadLine(rec.pos, rec.max, &m.scratchLine)
+		rec.done(m.scratchLine.Addrs[:n], m.scratchLine.Positions[:n], marked, markAddr)
+	case mkUpdateRead:
+		if m.bbuf.insert(uint32(a), true) {
+			m.env.MetaWrite(dram.IndexUpdateWr)
+			m.st.BucketWBs++
+		}
+	}
 }
 
 // lookupAlt serves a lookup from an alternative organization: the pointer
 // resolves at issue time (as always), and the probed lines are charged as
 // chained memory reads — the latency/bandwidth penalty §5.4 rejects.
+// (Ablation-only path; keeps the closure style.)
 func (m *Meta) lookupAlt(blk uint64, done func(*prefetch.Cursor)) {
 	ptr, ok, lines := m.alt.Lookup(blk)
-	var cur *prefetch.Cursor
+	var cur prefetch.Cursor
 	if ok {
-		cur = m.cursorFor(blk, ptr)
+		cur, ok = m.cursorFor(blk, ptr)
 	}
 	m.st.LookupReads += uint64(lines)
 	remaining := lines
@@ -248,37 +347,39 @@ func (m *Meta) lookupAlt(blk uint64, done func(*prefetch.Cursor)) {
 			m.env.MetaRead(dram.IndexLookup, step)
 			return
 		}
-		done(cur)
+		m.deliverCursor(cur, ok, done)
 	}
 	m.env.MetaRead(dram.IndexLookup, step)
 }
 
-func (m *Meta) resolve(blk uint64) *prefetch.Cursor {
+func (m *Meta) resolve(blk uint64) (prefetch.Cursor, bool) {
 	ptr, ok := m.idx.Lookup(blk)
 	if !ok {
-		return nil
+		return prefetch.Cursor{}, false
 	}
 	return m.cursorFor(blk, ptr)
 }
 
 // cursorFor validates a packed history pointer against the live history
 // contents and builds the successor cursor.
-func (m *Meta) cursorFor(blk, ptr uint64) *prefetch.Cursor {
+func (m *Meta) cursorFor(blk, ptr uint64) (prefetch.Cursor, bool) {
 	owner, pos := unpack(ptr)
 	if owner >= len(m.hist) {
-		return nil
+		return prefetch.Cursor{}, false
 	}
 	got, _, live := m.hist[owner].Get(pos)
 	if !live || got != blk {
 		m.st.IndexStale++
-		return nil
+		return prefetch.Cursor{}, false
 	}
-	return &prefetch.Cursor{Core: owner, Pos: pos + 1}
+	return prefetch.Cursor{Core: owner, Pos: pos + 1}, true
 }
 
 // ReadNext reads the history line containing the cursor with one memory
 // access and delivers the packed entries after it (§4.5): long streams
-// cost one read per 12 addresses.
+// cost one read per 12 addresses. The position is captured at call time
+// per the Metadata contract; the line itself is read when the simulated
+// access completes.
 func (m *Meta) ReadNext(cur *prefetch.Cursor, max int, done func(addrs, positions []uint64, marked bool, markAddr uint64)) {
 	h := m.hist[cur.Core]
 	if cur.Pos >= h.Head() {
@@ -293,13 +394,9 @@ func (m *Meta) ReadNext(cur *prefetch.Cursor, max int, done func(addrs, position
 		return
 	}
 	m.st.HistoryReads++
-	m.env.MetaRead(dram.HistoryRead, func(uint64) {
-		addrs, positions, marked, markAddr := h.ReadLine(cur.Pos, max)
-		if n := len(addrs); n > 0 {
-			cur.Pos = positions[n-1] + 1
-		}
-		done(addrs, positions, marked, markAddr)
-	})
+	ri := m.getRead()
+	m.reads[ri] = readRec{core: cur.Core, pos: cur.Pos, max: max, done: done}
+	m.env.MetaReadH(dram.HistoryRead, m, mkReadDone, uint64(ri), 0)
 }
 
 // SkipMark advances the cursor past an end annotation after the core
@@ -346,12 +443,7 @@ func (m *Meta) Record(core int, blk uint64, prefetchHit bool) {
 		return
 	}
 	m.st.UpdateReads++
-	m.env.MetaRead(dram.IndexUpdateRd, func(uint64) {
-		if m.bbuf.insert(bi, true) {
-			m.env.MetaWrite(dram.IndexUpdateWr)
-			m.st.BucketWBs++
-		}
-	})
+	m.env.MetaReadH(dram.IndexUpdateRd, m, mkUpdateRead, uint64(bi), 0)
 }
 
 // MarkEnd writes a stream-end annotation at pos in core's history (§4.5);

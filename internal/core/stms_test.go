@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"stms/internal/dram"
+	"stms/internal/event"
 	"stms/internal/prefetch"
 )
 
@@ -28,12 +29,21 @@ func (e *fakeEnv) MetaRead(class dram.Class, done func(uint64)) {
 	}
 }
 
+func (e *fakeEnv) MetaReadH(class dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	e.reads[class]++
+	h.Handle(e.now, kind, a, b)
+}
+
 func (e *fakeEnv) MetaWrite(class dram.Class) { e.writes[class]++ }
 
 func (e *fakeEnv) Fetch(core int, blk uint64, done func(uint64)) {
 	if done != nil {
 		done(e.now)
 	}
+}
+
+func (e *fakeEnv) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	h.Handle(e.now, kind, a, b)
 }
 
 func (e *fakeEnv) OnChip(int, uint64) bool { return false }
@@ -308,7 +318,7 @@ func TestEndToEndWithEngine(t *testing.T) {
 	eng.Record(0, seq[0], false)
 	covered := 0
 	for _, b := range seq[1:] {
-		res := eng.Probe(0, b, nil)
+		res := eng.Probe(0, b, nil, 0, 0, 0)
 		if res.State == prefetch.ProbeReady {
 			covered++
 			eng.Record(0, b, true)

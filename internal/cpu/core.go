@@ -45,9 +45,14 @@ type LoadResult struct {
 
 // LoadFunc is the memory system seen by a core. The core calls it once per
 // load with the issue time (which may be up to Quantum cycles ahead of
-// engine time). Implementations either resolve synchronously (returning
-// Sync=true) or call done exactly once with the completion time.
-type LoadFunc func(core int, pc uint32, blk uint64, issueAt uint64, done func(completeAt uint64)) LoadResult
+// engine time) and an opaque completion token. Implementations either
+// resolve synchronously (returning Sync=true) or later call the core's
+// Complete(token, t) exactly once with the completion time.
+//
+// The token replaces the per-load done closure of earlier versions: the
+// memory system threads it (two machine words alongside the block number)
+// through its own queues, so issuing a load allocates nothing.
+type LoadFunc func(core int, pc uint32, blk uint64, issueAt uint64, token uint32) LoadResult
 
 type robEntry struct {
 	instrEnd uint64 // cumulative instruction index at this record's end
@@ -150,8 +155,12 @@ func (c *Core) FinishTime() uint64 { return c.finish }
 
 // Start schedules the core's first dispatch step.
 func (c *Core) Start() {
-	c.eng.Schedule(0, c.step)
+	c.eng.ScheduleH(0, c, 0, 0, 0)
 }
+
+// Handle implements event.Handler: every event a core schedules for
+// itself is a dispatch step.
+func (c *Core) Handle(now uint64, kind uint8, a, b uint64) { c.step() }
 
 func (c *Core) retireHead() {
 	e := &c.ring[c.head]
@@ -242,16 +251,13 @@ func (c *Core) step() {
 
 		rec := c.rec
 		c.haveRec = false
-		res := c.load(c.id, rec.PC, rec.Block, issue, func(completeAt uint64) {
-			c.completeLoad(idx, completeAt)
-		})
+		res := c.load(c.id, rec.PC, rec.Block, issue, uint32(idx))
 		if res.Sync {
 			c.completeLoadInline(idx, res.CompleteAt)
 		}
 		// Yield if the local clock ran too far ahead of global time.
 		if c.dispatch > now+c.cfg.Quantum {
-			at := c.dispatch
-			c.eng.At(at, c.step)
+			c.eng.AtH(c.dispatch, c, 0, 0, 0)
 			return
 		}
 	}
@@ -280,10 +286,12 @@ func (c *Core) completeLoadInline(idx int, t uint64) {
 	}
 }
 
-// completeLoad is the asynchronous completion path: record completion and
-// resume dispatch, which may have been blocked on this load.
-func (c *Core) completeLoad(idx int, t uint64) {
-	c.completeLoadInline(idx, t)
+// Complete is the asynchronous completion path: the memory system calls it
+// with the token it received from LoadFunc once the load's data is
+// available. It records completion and resumes dispatch, which may have
+// been blocked on this load.
+func (c *Core) Complete(token uint32, t uint64) {
+	c.completeLoadInline(int(token), t)
 	c.step()
 }
 

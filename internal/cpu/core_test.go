@@ -13,7 +13,7 @@ type fixedMem struct {
 	loads   int
 }
 
-func (f *fixedMem) load(core int, pc uint32, blk uint64, issueAt uint64, done func(uint64)) LoadResult {
+func (f *fixedMem) load(core int, pc uint32, blk uint64, issueAt uint64, token uint32) LoadResult {
 	f.loads++
 	return LoadResult{Sync: true, CompleteAt: issueAt + f.latency}
 }
@@ -108,14 +108,16 @@ func TestROBLimitsOverlap(t *testing.T) {
 	}
 }
 
-// asyncMem completes loads via callback after a delay on the engine.
+// asyncMem completes loads through Core.Complete after a delay on the
+// engine, exercising the token path the timed simulator uses.
 type asyncMem struct {
 	eng     *event.Engine
+	core    *Core
 	latency uint64
 }
 
-func (a *asyncMem) load(core int, pc uint32, blk uint64, issueAt uint64, done func(uint64)) LoadResult {
-	a.eng.At(issueAt+a.latency, func() { done(a.eng.Now()) })
+func (a *asyncMem) load(core int, pc uint32, blk uint64, issueAt uint64, token uint32) LoadResult {
+	a.eng.At(issueAt+a.latency, func() { a.core.Complete(token, a.eng.Now()) })
 	return LoadResult{}
 }
 
@@ -130,6 +132,7 @@ func TestAsyncCompletionPath(t *testing.T) {
 	mem := &asyncMem{eng: eng, latency: 50}
 	gen := &trace.SliceGenerator{Records: recs}
 	c := New(0, DefaultConfig(), eng, gen, mem.load)
+	mem.core = c
 	c.Start()
 	eng.Drain(nil)
 	if c.Committed() != 200 {
@@ -211,6 +214,7 @@ func TestDeterminism(t *testing.T) {
 		mem := &asyncMem{eng: eng, latency: 80}
 		gen := &trace.SliceGenerator{Records: recs}
 		c := New(0, DefaultConfig(), eng, gen, mem.load)
+		mem.core = c
 		c.Start()
 		eng.Drain(nil)
 		return c.Committed(), eng.Now()

@@ -37,6 +37,7 @@ func TestIPCNeverExceedsWorkBound(t *testing.T) {
 		eng := event.NewEngine()
 		mem := &asyncMem{eng: eng, latency: uint64(20 + rnd(200))}
 		c := New(0, DefaultConfig(), eng, &trace.SliceGenerator{Records: recs}, mem.load)
+		mem.core = c
 		c.Start()
 		eng.Drain(nil)
 		if c.FinishTime() < totalWork {
@@ -71,6 +72,7 @@ func TestLatencyMonotonicity(t *testing.T) {
 		eng := event.NewEngine()
 		mem := &asyncMem{eng: eng, latency: lat}
 		c := New(0, DefaultConfig(), eng, &trace.SliceGenerator{Records: build()}, mem.load)
+		mem.core = c
 		c.Start()
 		eng.Drain(nil)
 		if c.FinishTime() < prev {
@@ -97,6 +99,7 @@ func TestSmallerROBNeverFaster(t *testing.T) {
 		eng := event.NewEngine()
 		mem := &asyncMem{eng: eng, latency: 180}
 		c := New(0, Config{ROB: rob, Quantum: 256}, eng, &trace.SliceGenerator{Records: build()}, mem.load)
+		mem.core = c
 		c.Start()
 		eng.Drain(nil)
 		return c.FinishTime()
@@ -130,6 +133,7 @@ func TestQuantumDoesNotChangeResults(t *testing.T) {
 		eng := event.NewEngine()
 		mem := &asyncMem{eng: eng, latency: 120}
 		c := New(0, Config{ROB: 96, Quantum: q}, eng, &trace.SliceGenerator{Records: build()}, mem.load)
+		mem.core = c
 		c.Start()
 		eng.Drain(nil)
 		return c.Committed(), c.FinishTime()

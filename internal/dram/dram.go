@@ -98,12 +98,65 @@ func (t Traffic) Sub(old Traffic) Traffic {
 	return d
 }
 
+// request is one queued transfer. Completion is delivered either through a
+// typed handler (h/kind/a/b — the allocation-free hot path) or through a
+// caller closure (done — the compatibility path); requests live in the
+// controller's ring buffers, never individually on the heap.
 type request struct {
 	class    Class
 	isWrite  bool
+	kind     uint8
+	h        event.Handler
 	done     func(now uint64)
+	a, b     uint64
 	enqueued uint64
 }
+
+// reqQueue is a growable FIFO ring. The old slice-based queues re-sliced
+// on pop and re-allocated on push, which made the controller the single
+// biggest allocator in timed runs.
+type reqQueue struct {
+	buf  []request
+	head int
+	n    int
+}
+
+func (q *reqQueue) len() int { return q.n }
+
+func (q *reqQueue) push(r request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
+	q.n++
+}
+
+func (q *reqQueue) pop() request {
+	r := q.buf[q.head]
+	q.buf[q.head] = request{} // drop handler/closure references
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return r
+}
+
+func (q *reqQueue) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]request, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// Controller event kinds.
+const (
+	kXferDone uint8 = iota // channel transfer slot freed
+	kDeliver               // closure-path data delivery (a = slot index)
+)
 
 // Controller is the event-driven memory controller. All requests transfer
 // exactly one 64-byte block.
@@ -111,9 +164,14 @@ type Controller struct {
 	cfg Config
 	eng *event.Engine
 
-	hi, lo  []request // FIFO queues per priority
+	hi, lo  reqQueue // FIFO queues per priority
 	busy    bool
 	traffic Traffic
+
+	// slots parks closure-path done callbacks between service start and
+	// data delivery; free is its free list.
+	slots []func(now uint64)
+	free  []int32
 
 	// busyCycles integrates channel occupancy for utilization reporting.
 	busyCycles uint64
@@ -122,6 +180,8 @@ type Controller struct {
 	servedCount  uint64
 	createdCycle uint64
 }
+
+var _ event.Handler = (*Controller)(nil)
 
 // New builds a controller on the given engine.
 func New(eng *event.Engine, cfg Config) *Controller {
@@ -160,13 +220,21 @@ func (c *Controller) ResetStats() {
 }
 
 // QueueLen returns current queue occupancy (high, low).
-func (c *Controller) QueueLen() (hi, lo int) { return len(c.hi), len(c.lo) }
+func (c *Controller) QueueLen() (hi, lo int) { return c.hi.len(), c.lo.len() }
 
 // Read issues a block read of the given class. done fires when the data is
 // available (service start + access latency). hiPri selects the priority
 // queue; only demand traffic should be high priority.
 func (c *Controller) Read(class Class, hiPri bool, done func(now uint64)) {
 	c.enqueue(request{class: class, done: done, enqueued: c.eng.Now()}, hiPri)
+}
+
+// ReadH is Read with a typed completion: when the data is available,
+// h.Handle(now, kind, a, b) runs. Unlike Read, no per-request closure
+// exists anywhere — the request rides the controller's ring and the
+// delivery rides a pooled engine event.
+func (c *Controller) ReadH(class Class, hiPri bool, h event.Handler, kind uint8, a, b uint64) {
+	c.enqueue(request{class: class, h: h, kind: kind, a: a, b: b, enqueued: c.eng.Now()}, hiPri)
 }
 
 // Write issues a block write of the given class. Writes are fire-and-forget
@@ -179,9 +247,9 @@ func (c *Controller) Write(class Class, hiPri bool) {
 func (c *Controller) enqueue(r request, hiPri bool) {
 	c.traffic.Accesses[r.class]++
 	if hiPri {
-		c.hi = append(c.hi, r)
+		c.hi.push(r)
 	} else {
-		c.lo = append(c.lo, r)
+		c.lo.push(r)
 	}
 	c.tryStart()
 }
@@ -192,12 +260,10 @@ func (c *Controller) tryStart() {
 	}
 	var r request
 	switch {
-	case len(c.hi) > 0:
-		r = c.hi[0]
-		c.hi = c.hi[1:]
-	case len(c.lo) > 0:
-		r = c.lo[0]
-		c.lo = c.lo[1:]
+	case c.hi.len() > 0:
+		r = c.hi.pop()
+	case c.lo.len() > 0:
+		r = c.lo.pop()
 	default:
 		return
 	}
@@ -207,13 +273,44 @@ func (c *Controller) tryStart() {
 	c.servedCount++
 	c.busyCycles += c.cfg.XferCycles
 	// Channel is occupied for one transfer slot; data is available after
-	// the full access latency.
-	c.eng.Schedule(c.cfg.XferCycles, func() {
+	// the full access latency. The transfer-done event is scheduled before
+	// the delivery so both land in the same relative order the old
+	// closure-based controller used.
+	c.eng.ScheduleH(c.cfg.XferCycles, c, kXferDone, 0, 0)
+	if r.isWrite {
+		return
+	}
+	if r.h != nil {
+		c.eng.ScheduleH(c.cfg.LatencyCycles, r.h, r.kind, r.a, r.b)
+		return
+	}
+	if r.done != nil {
+		c.eng.ScheduleH(c.cfg.LatencyCycles, c, kDeliver, uint64(c.park(r.done)), 0)
+	}
+}
+
+// park stores a closure-path callback until its delivery event fires.
+func (c *Controller) park(done func(now uint64)) int32 {
+	if n := len(c.free); n > 0 {
+		i := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.slots[i] = done
+		return i
+	}
+	c.slots = append(c.slots, done)
+	return int32(len(c.slots) - 1)
+}
+
+// Handle implements event.Handler for the controller's internal events.
+func (c *Controller) Handle(now uint64, kind uint8, a, b uint64) {
+	switch kind {
+	case kXferDone:
 		c.busy = false
 		c.tryStart()
-	})
-	if !r.isWrite && r.done != nil {
-		done := r.done
-		c.eng.Schedule(c.cfg.LatencyCycles, func() { done(c.eng.Now()) })
+	case kDeliver:
+		done := c.slots[a]
+		c.slots[a] = nil
+		c.free = append(c.free, int32(a))
+		done(now)
 	}
 }

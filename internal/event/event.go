@@ -5,32 +5,118 @@
 // at absolute cycle times on a single engine. Events at equal times fire in
 // scheduling order (a monotonically increasing sequence number breaks ties),
 // which makes every simulation bit-for-bit reproducible.
+//
+// # Performance architecture
+//
+// The engine is built for the simulator's hot path: tens of millions of
+// events per run, almost all scheduled a short distance into the future
+// (DRAM transfer slots, hit latencies, core quanta — cycles to a few
+// hundred cycles). Two structural choices follow:
+//
+//   - Event records are pooled. ScheduleH/AtH take a Handler interface plus
+//     a small typed payload (kind + two uint64s) instead of a closure, so a
+//     steady-state simulation performs zero allocations per event. The
+//     closure-based Schedule/At remain for cold paths and tests; they reuse
+//     the same pooled records (only the caller's closure itself allocates).
+//   - The priority queue is a hierarchical calendar queue: a
+//     1024-cycle timing wheel of FIFO buckets (with an occupancy bitmap for
+//     constant-time next-event scans) absorbs the short delays, and a
+//     binary min-heap holds the far-future overflow. Events migrate from
+//     the heap into the wheel as time advances, preserving exact
+//     (time, sequence) firing order — the engine is bit-for-bit
+//     order-identical to a single global heap.
+//
+// Event records are owned by the engine: they are recycled onto an internal
+// free list immediately before the handler runs, so handlers never see or
+// retain them. Handlers receive the fire time and the payload by value.
 package event
+
+import "math/bits"
+
+// Handler consumes a fired event or a completion callback. Implementations
+// dispatch on kind (caller-defined) and receive the payload words a and b
+// exactly as scheduled. The same interface doubles as the completion
+// callback type for components that deliver results through the engine
+// (e.g. the DRAM controller), which lets a completion be scheduled without
+// any intermediate closure.
+type Handler interface {
+	Handle(now uint64, kind uint8, a, b uint64)
+}
+
+// wheelBits sets the timing-wheel horizon: delays shorter than wheelSize
+// cycles go straight into a bucket; longer ones wait in the overflow heap.
+// 1024 covers every latency constant in the simulator (DRAM access = 180,
+// core quantum = 256) with headroom.
+const (
+	wheelBits = 10
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// Event is a pooled scheduler record. It is internal to the engine's
+// queues; external code interacts through Handler and the Schedule
+// variants. (Exported so diagnostics and benchmarks can size it.)
+type Event struct {
+	when uint64
+	seq  uint64
+	h    Handler
+	fn   func()
+	kind uint8
+	a, b uint64
+	next *Event // bucket FIFO link / free-list link
+}
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // not usable; call NewEngine.
 type Engine struct {
-	now   uint64
-	seq   uint64
-	items []item
+	now  uint64
+	seq  uint64
+	n    int    // total pending events
+	base uint64 // wheel start cycle; wheel covers [base, base+wheelSize)
+
+	bucket   [wheelSize]bucket
+	occupied [wheelSize / 64]uint64
+	wheelN   int
+
+	overflow []*Event // min-heap on (when, seq); all whens >= base+wheelSize
+
+	free *Event // recycled records
 }
 
-type item struct {
-	when uint64
-	seq  uint64
-	fn   func()
+type bucket struct {
+	head, tail *Event
 }
 
 // NewEngine returns an empty engine at cycle 0.
 func NewEngine() *Engine {
-	return &Engine{items: make([]item, 0, 1024)}
+	return &Engine{}
 }
 
 // Now returns the current simulation time in cycles.
 func (e *Engine) Now() uint64 { return e.now }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.items) }
+func (e *Engine) Pending() int { return e.n }
+
+// get draws a pooled event record.
+func (e *Engine) get() *Event {
+	ev := e.free
+	if ev == nil {
+		return &Event{}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// put recycles a record. References are cleared so the pool never pins
+// handlers or closures.
+func (e *Engine) put(ev *Event) {
+	ev.h = nil
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // Schedule arranges for fn to run delay cycles from now.
 func (e *Engine) Schedule(delay uint64, fn func()) {
@@ -41,88 +127,203 @@ func (e *Engine) Schedule(delay uint64, fn func()) {
 // clamped to the present: the event fires at Now() but after events already
 // scheduled for Now().
 func (e *Engine) At(when uint64, fn func()) {
+	ev := e.get()
+	ev.fn = fn
+	e.insert(when, ev)
+}
+
+// ScheduleH arranges for h.Handle(firetime, kind, a, b) to run delay cycles
+// from now. No allocation occurs: the event record comes from the engine's
+// free list.
+func (e *Engine) ScheduleH(delay uint64, h Handler, kind uint8, a, b uint64) {
+	e.AtH(e.now+delay, h, kind, a, b)
+}
+
+// AtH is ScheduleH at an absolute time, with the same past-time clamping as
+// At.
+func (e *Engine) AtH(when uint64, h Handler, kind uint8, a, b uint64) {
+	ev := e.get()
+	ev.h = h
+	ev.kind = kind
+	ev.a = a
+	ev.b = b
+	e.insert(when, ev)
+}
+
+func (e *Engine) insert(when uint64, ev *Event) {
 	if when < e.now {
 		when = e.now
 	}
 	e.seq++
-	e.items = append(e.items, item{when: when, seq: e.seq, fn: fn})
-	e.up(len(e.items) - 1)
+	ev.when = when
+	ev.seq = e.seq
+	e.n++
+	if when < e.base+wheelSize {
+		e.pushBucket(ev)
+		return
+	}
+	e.heapPush(ev)
+}
+
+// pushBucket appends ev to its cycle's FIFO. Buckets hold exactly one
+// distinct cycle at a time (the one in [base, base+wheelSize) congruent to
+// the index), so FIFO order within a bucket is seq order.
+func (e *Engine) pushBucket(ev *Event) {
+	i := ev.when & wheelMask
+	b := &e.bucket[i]
+	if b.tail == nil {
+		b.head = ev
+		e.occupied[i>>6] |= 1 << (i & 63)
+		e.wheelN++
+	} else {
+		b.tail.next = ev
+	}
+	b.tail = ev
+}
+
+// nextTime returns the fire time of the earliest pending event. Wheel
+// events always precede overflow events (the overflow invariant keeps all
+// heap whens at or beyond the wheel horizon).
+func (e *Engine) nextTime() uint64 {
+	if e.wheelN > 0 {
+		start := e.base & wheelMask
+		i := e.scanFrom(start)
+		return e.base + ((i - start) & wheelMask)
+	}
+	return e.overflow[0].when
+}
+
+// scanFrom returns the first occupied bucket index at or (circularly)
+// after start, using the occupancy bitmap. The caller guarantees at least
+// one occupied bucket.
+func (e *Engine) scanFrom(start uint64) uint64 {
+	word := start >> 6
+	if w := e.occupied[word] &^ ((1 << (start & 63)) - 1); w != 0 {
+		return word<<6 + uint64(bits.TrailingZeros64(w))
+	}
+	for k := 1; k <= len(e.occupied); k++ {
+		word = (start>>6 + uint64(k)) % uint64(len(e.occupied))
+		if w := e.occupied[word]; w != 0 {
+			return word<<6 + uint64(bits.TrailingZeros64(w))
+		}
+	}
+	panic("event: scanFrom on empty wheel")
+}
+
+// advance moves the clock (and the wheel base) to t and migrates overflow
+// events that have come within the wheel horizon. Migration pops the heap
+// in (when, seq) order, and any event later scheduled for the same cycle
+// gets a larger seq and lands behind it in the bucket FIFO, so global
+// firing order is exactly (when, seq).
+func (e *Engine) advance(t uint64) {
+	e.base = t
+	e.now = t
+	horizon := t + wheelSize
+	for len(e.overflow) > 0 && e.overflow[0].when < horizon {
+		e.pushBucket(e.heapPop())
+	}
 }
 
 // Step fires the earliest pending event and advances time to it.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	if len(e.items) == 0 {
+	if e.n == 0 {
 		return false
 	}
-	top := e.items[0]
-	n := len(e.items) - 1
-	e.items[0] = e.items[n]
-	e.items = e.items[:n]
-	if n > 0 {
-		e.down(0)
-	}
-	e.now = top.when
-	top.fn()
+	e.fireNext()
 	return true
+}
+
+func (e *Engine) fireNext() {
+	t := e.nextTime()
+	if t != e.base {
+		e.advance(t)
+	}
+	i := t & wheelMask
+	b := &e.bucket[i]
+	ev := b.head
+	b.head = ev.next
+	if b.head == nil {
+		b.tail = nil
+		e.occupied[i>>6] &^= 1 << (i & 63)
+		e.wheelN--
+	}
+	e.n--
+	// Copy out and recycle before firing: the handler may schedule new
+	// events, which can immediately reuse this record.
+	h, fn, kind, a, bb := ev.h, ev.fn, ev.kind, ev.a, ev.b
+	e.put(ev)
+	if fn != nil {
+		fn()
+		return
+	}
+	h.Handle(e.now, kind, a, bb)
 }
 
 // RunUntil fires events in order until the next event would be later than t
 // (or no events remain), then advances time to t.
 func (e *Engine) RunUntil(t uint64) {
-	for len(e.items) > 0 && e.items[0].when <= t {
-		e.Step()
+	for e.n > 0 && e.nextTime() <= t {
+		e.fireNext()
 	}
 	if e.now < t {
-		e.now = t
+		e.advance(t)
 	}
 }
 
 // Drain fires events until none remain or until the predicate stop returns
 // true (checked between events). A nil stop drains everything.
 func (e *Engine) Drain(stop func() bool) {
-	for len(e.items) > 0 {
+	for e.n > 0 {
 		if stop != nil && stop() {
 			return
 		}
-		e.Step()
+		e.fireNext()
 	}
 }
 
-func (e *Engine) less(i, j int) bool {
-	a, b := &e.items[i], &e.items[j]
+// --- overflow min-heap on (when, seq) ---
+
+func overflowLess(a, b *Event) bool {
 	if a.when != b.when {
 		return a.when < b.when
 	}
 	return a.seq < b.seq
 }
 
-func (e *Engine) up(i int) {
+func (e *Engine) heapPush(ev *Event) {
+	e.overflow = append(e.overflow, ev)
+	i := len(e.overflow) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !e.less(i, parent) {
+		if !overflowLess(e.overflow[i], e.overflow[parent]) {
 			break
 		}
-		e.items[i], e.items[parent] = e.items[parent], e.items[i]
+		e.overflow[i], e.overflow[parent] = e.overflow[parent], e.overflow[i]
 		i = parent
 	}
 }
 
-func (e *Engine) down(i int) {
-	n := len(e.items)
+func (e *Engine) heapPop() *Event {
+	top := e.overflow[0]
+	n := len(e.overflow) - 1
+	e.overflow[0] = e.overflow[n]
+	e.overflow[n] = nil
+	e.overflow = e.overflow[:n]
+	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && e.less(l, smallest) {
+		if l < n && overflowLess(e.overflow[l], e.overflow[smallest]) {
 			smallest = l
 		}
-		if r < n && e.less(r, smallest) {
+		if r < n && overflowLess(e.overflow[r], e.overflow[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
-			return
+			return top
 		}
-		e.items[i], e.items[smallest] = e.items[smallest], e.items[i]
+		e.overflow[i], e.overflow[smallest] = e.overflow[smallest], e.overflow[i]
 		i = smallest
 	}
 }

@@ -1,0 +1,134 @@
+package mem
+
+import "math/bits"
+
+// BlockMap is a small open-addressed hash table from block numbers to
+// int32 values, built for the simulator's per-access hot paths (MSHR
+// files, prefetch buffers) where a built-in map's hashing, bucket
+// chasing, and incremental-growth machinery dominate the profile.
+//
+// Linear probing with backward-shift deletion keeps lookups to a short
+// contiguous scan with no tombstones; the table stays at a fixed
+// power-of-two size chosen from the expected population (these structures
+// are architecturally bounded — 64 MSHRs, 32 buffer blocks), growing only
+// if the caller overshoots the hint.
+type BlockMap struct {
+	keys []uint64
+	vals []int32
+	live []bool
+	n    int
+	mask uint64
+}
+
+// NewBlockMap returns a map sized so that hint live entries stay under
+// ~50% load.
+func NewBlockMap(hint int) *BlockMap {
+	if hint < 4 {
+		hint = 4
+	}
+	size := 1 << bits.Len(uint(2*hint-1))
+	m := &BlockMap{}
+	m.init(size)
+	return m
+}
+
+func (m *BlockMap) init(size int) {
+	m.keys = make([]uint64, size)
+	m.vals = make([]int32, size)
+	m.live = make([]bool, size)
+	m.mask = uint64(size - 1)
+}
+
+// Len returns the live entry count.
+func (m *BlockMap) Len() int { return m.n }
+
+// home is the preferred slot for key k (Fibonacci hashing: block numbers
+// are often sequential, and the golden-ratio multiply spreads runs).
+func (m *BlockMap) home(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> 32 & m.mask
+}
+
+// Get returns the value stored for k.
+func (m *BlockMap) Get(k uint64) (int32, bool) {
+	for i := m.home(k); m.live[i]; i = (i + 1) & m.mask {
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether k is present.
+func (m *BlockMap) Contains(k uint64) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Put inserts or replaces the value for k.
+func (m *BlockMap) Put(k uint64, v int32) {
+	if 2*(m.n+1) > len(m.keys) {
+		m.grow()
+	}
+	i := m.home(k)
+	for m.live[i] {
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.keys[i] = k
+	m.vals[i] = v
+	m.live[i] = true
+	m.n++
+}
+
+// Delete removes k, reporting whether it was present. Removal backward-
+// shifts the following probe run so no tombstones accumulate.
+func (m *BlockMap) Delete(k uint64) bool {
+	i := m.home(k)
+	for {
+		if !m.live[i] {
+			return false
+		}
+		if m.keys[i] == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	// Backward-shift: pull any entry whose probe run passes through the
+	// hole back into it, then continue from the entry's old slot.
+	j := i
+	for {
+		m.live[j] = false
+		s := j
+		for {
+			s = (s + 1) & m.mask
+			if !m.live[s] {
+				m.n--
+				return true
+			}
+			h := m.home(m.keys[s])
+			// The entry at s may fill the hole at j iff its home lies at
+			// or cyclically before j (its probe run passes through j).
+			if (s-h)&m.mask >= (s-j)&m.mask {
+				m.keys[j] = m.keys[s]
+				m.vals[j] = m.vals[s]
+				m.live[j] = true
+				j = s
+				break
+			}
+		}
+	}
+}
+
+func (m *BlockMap) grow() {
+	keys, vals, live := m.keys, m.vals, m.live
+	m.init(2 * len(keys))
+	m.n = 0
+	for i, ok := range live {
+		if ok {
+			m.Put(keys[i], vals[i])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBlockMapAgainstBuiltin drives BlockMap and a builtin map through the
+// same random operation stream (inserts, replacements, deletions, misses,
+// clustered sequential keys) and demands identical observable state.
+func TestBlockMapAgainstBuiltin(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		bm := NewBlockMap(8)
+		ref := map[uint64]int32{}
+		keyOf := func() uint64 {
+			if rnd.Intn(2) == 0 {
+				return uint64(rnd.Intn(64)) // clustered, collision-heavy
+			}
+			return rnd.Uint64()>>1 + 1
+		}
+		keys := make([]uint64, 0, 256)
+		for op := 0; op < 5000; op++ {
+			switch rnd.Intn(4) {
+			case 0, 1:
+				k, v := keyOf(), int32(rnd.Int31())
+				bm.Put(k, v)
+				ref[k] = v
+				keys = append(keys, k)
+			case 2:
+				var k uint64
+				if len(keys) > 0 && rnd.Intn(3) > 0 {
+					k = keys[rnd.Intn(len(keys))]
+				} else {
+					k = keyOf()
+				}
+				gotV, gotOK := bm.Get(k)
+				wantV, wantOK := ref[k]
+				if gotOK != wantOK || (gotOK && gotV != wantV) {
+					t.Fatalf("seed %d op %d: Get(%d) = (%d,%v), want (%d,%v)",
+						seed, op, k, gotV, gotOK, wantV, wantOK)
+				}
+			case 3:
+				var k uint64
+				if len(keys) > 0 && rnd.Intn(3) > 0 {
+					k = keys[rnd.Intn(len(keys))]
+				} else {
+					k = keyOf()
+				}
+				_, wantOK := ref[k]
+				delete(ref, k)
+				if got := bm.Delete(k); got != wantOK {
+					t.Fatalf("seed %d op %d: Delete(%d) = %v, want %v", seed, op, k, got, wantOK)
+				}
+			}
+			if bm.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len() = %d, want %d", seed, op, bm.Len(), len(ref))
+			}
+		}
+		// Every surviving key must be retrievable.
+		for k, v := range ref {
+			got, ok := bm.Get(k)
+			if !ok || got != v {
+				t.Fatalf("seed %d: final Get(%d) = (%d,%v), want (%d,true)", seed, k, got, ok, v)
+			}
+		}
+	}
+}
+
+func TestBlockMapZeroKey(t *testing.T) {
+	m := NewBlockMap(4)
+	m.Put(0, 7)
+	if v, ok := m.Get(0); !ok || v != 7 {
+		t.Fatalf("Get(0) = (%d,%v), want (7,true)", v, ok)
+	}
+	if !m.Delete(0) {
+		t.Fatal("Delete(0) = false, want true")
+	}
+	if m.Contains(0) {
+		t.Fatal("Contains(0) after delete")
+	}
+}
+
+func TestBlockMapGrowth(t *testing.T) {
+	m := NewBlockMap(4)
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i, int32(i))
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len() = %d, want 1000", m.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := m.Get(i); !ok || v != int32(i) {
+			t.Fatalf("Get(%d) = (%d,%v) after growth", i, v, ok)
+		}
+	}
+}

@@ -1,5 +1,10 @@
 package prefetch
 
+import (
+	"stms/internal/event"
+	"stms/internal/mem"
+)
+
 // Buffer is one core's prefetch buffer: a small fully-associative holding
 // area for blocks that were prefetched but not yet requested by the core
 // (§4.2). Keeping streamed blocks here instead of in the caches avoids
@@ -12,17 +17,23 @@ package prefetch
 // space is needed — those evictions are the "erroneous prefetches" of
 // Figures 1 and 7.
 //
-// The implementation keeps an intrusive insertion-order list and an O(1)
-// count of evictable entries so the stream engine's hot path (HasSpace,
-// Insert, Probe) does constant work.
+// The implementation is allocation-free in steady state: the block index
+// is an open-addressed mem.BlockMap (no built-in map traffic on the
+// per-access Probe/Contains path), nodes and partial-hit waiter records
+// live in free-listed slices, and an intrusive insertion-order list plus
+// an O(1) count of evictable entries keep the stream engine's hot path
+// (HasSpaceFor, Insert, Probe) at constant work.
 type Buffer struct {
 	cap   int
-	m     map[uint64]int32
+	m     *mem.BlockMap
 	nodes []pbNode
 	free  []int32
 	head  int32 // oldest
 	tail  int32 // newest
 	ready int   // ready && !claimed entries (evictable)
+
+	waiters []pbWaiter
+	freeW   int32
 
 	// Stats.
 	Issued        uint64 // blocks inserted (fetches issued)
@@ -39,9 +50,19 @@ type pbNode struct {
 	claimed bool
 	stream  uint64
 	pos     uint64
-	waiters []func(readyAt uint64)
+	wHead   int32 // waiter list (-1 = none)
+	wTail   int32
 	prev    int32
 	next    int32
+}
+
+// pbWaiter is a pooled partial-hit notification record: when the block
+// arrives, h.Handle(readyAt, kind, a, b) runs.
+type pbWaiter struct {
+	h    event.Handler
+	kind uint8
+	a, b uint64
+	next int32
 }
 
 const pbNil = int32(-1)
@@ -51,20 +72,23 @@ func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &Buffer{cap: capacity, m: make(map[uint64]int32, capacity), head: pbNil, tail: pbNil}
+	return &Buffer{
+		cap:   capacity,
+		m:     mem.NewBlockMap(capacity),
+		head:  pbNil,
+		tail:  pbNil,
+		freeW: pbNil,
+	}
 }
 
 // Len returns the number of live entries (ready + in flight).
-func (b *Buffer) Len() int { return len(b.m) }
+func (b *Buffer) Len() int { return b.m.Len() }
 
 // Cap returns the buffer capacity in blocks.
 func (b *Buffer) Cap() int { return b.cap }
 
 // Contains reports whether blk is present (ready or in flight).
-func (b *Buffer) Contains(blk uint64) bool {
-	_, ok := b.m[blk]
-	return ok
-}
+func (b *Buffer) Contains(blk uint64) bool { return b.m.Contains(blk) }
 
 // HasSpaceFor reports whether an insert on behalf of stream can proceed,
 // evicting an unused ready block of a *different* stream if necessary.
@@ -72,7 +96,7 @@ func (b *Buffer) Contains(blk uint64) bool {
 // buffer — the engine stops issuing until the core consumes something —
 // rather than racing ahead of demand and discarding its own work.
 func (b *Buffer) HasSpaceFor(stream uint64) bool {
-	if len(b.m) < b.cap {
+	if b.m.Len() < b.cap {
 		return true
 	}
 	if b.ready == 0 {
@@ -115,10 +139,11 @@ func (b *Buffer) pushBack(i int32) {
 	}
 }
 
+// release frees node i. Any waiter records must have been detached first.
 func (b *Buffer) release(i int32) {
-	delete(b.m, b.nodes[i].blk)
+	b.m.Delete(b.nodes[i].blk)
 	b.detach(i)
-	b.nodes[i].waiters = nil
+	b.nodes[i].wHead, b.nodes[i].wTail = pbNil, pbNil
 	b.free = append(b.free, i)
 }
 
@@ -128,10 +153,10 @@ func (b *Buffer) release(i int32) {
 // nothing) when the buffer has no space for this stream or the block is
 // already present.
 func (b *Buffer) Insert(blk uint64, stream, pos uint64) bool {
-	if _, ok := b.m[blk]; ok {
+	if b.m.Contains(blk) {
 		return false
 	}
-	if len(b.m) >= b.cap && !b.evictOne(stream) {
+	if b.m.Len() >= b.cap && !b.evictOne(stream) {
 		return false
 	}
 	var i int32
@@ -142,8 +167,8 @@ func (b *Buffer) Insert(blk uint64, stream, pos uint64) bool {
 		b.nodes = append(b.nodes, pbNode{})
 		i = int32(len(b.nodes) - 1)
 	}
-	b.nodes[i] = pbNode{blk: blk, stream: stream, pos: pos, prev: pbNil, next: pbNil}
-	b.m[blk] = i
+	b.nodes[i] = pbNode{blk: blk, stream: stream, pos: pos, wHead: pbNil, wTail: pbNil, prev: pbNil, next: pbNil}
+	b.m.Put(blk, i)
 	b.pushBack(i)
 	b.Issued++
 	return true
@@ -164,11 +189,44 @@ func (b *Buffer) evictOne(stream uint64) bool {
 	return false
 }
 
+// addWaiter appends a pooled waiter record to node i's list.
+func (b *Buffer) addWaiter(i int32, h event.Handler, kind uint8, a, bb uint64) {
+	var w int32
+	if b.freeW != pbNil {
+		w = b.freeW
+		b.freeW = b.waiters[w].next
+	} else {
+		b.waiters = append(b.waiters, pbWaiter{})
+		w = int32(len(b.waiters) - 1)
+	}
+	b.waiters[w] = pbWaiter{h: h, kind: kind, a: a, b: bb, next: pbNil}
+	n := &b.nodes[i]
+	if n.wTail == pbNil {
+		n.wHead = w
+	} else {
+		b.waiters[n.wTail].next = w
+	}
+	n.wTail = w
+}
+
+// fireWaiters delivers and releases the waiter list starting at head.
+// Records are copied out and recycled before each callback, so callbacks
+// may insert and probe freely.
+func (b *Buffer) fireWaiters(head int32, t uint64) {
+	for w := head; w != pbNil; {
+		rec := b.waiters[w]
+		b.waiters[w] = pbWaiter{next: b.freeW}
+		b.freeW = w
+		w = rec.next
+		rec.h.Handle(t, rec.kind, rec.a, rec.b)
+	}
+}
+
 // Arrived marks blk's data as available at time t. Claimed entries (a
 // demand access arrived while the block was in flight) leave the buffer
 // immediately, headed for the L1, and their waiters are notified.
 func (b *Buffer) Arrived(blk uint64, t uint64) (stream, pos uint64, claimed, ok bool) {
-	i, found := b.m[blk]
+	i, found := b.m.Get(blk)
 	if !found {
 		return 0, 0, false, false
 	}
@@ -177,11 +235,10 @@ func (b *Buffer) Arrived(blk uint64, t uint64) (stream, pos uint64, claimed, ok 
 	n.readyAt = t
 	if n.claimed {
 		stream, pos = n.stream, n.pos
-		waiters := n.waiters
+		head := n.wHead
+		n.wHead, n.wTail = pbNil, pbNil
 		b.release(i)
-		for _, w := range waiters {
-			w(t)
-		}
+		b.fireWaiters(head, t)
 		return stream, pos, true, true
 	}
 	b.ready++
@@ -189,12 +246,12 @@ func (b *Buffer) Arrived(blk uint64, t uint64) (stream, pos uint64, claimed, ok 
 }
 
 // Probe services a demand access to blk. Ready blocks are consumed (they
-// move to the L1); in-flight blocks are claimed, and waiter — if non-nil —
-// fires when the data arrives (a partially covered miss). The returned
-// stream/pos identify the supplying stream for engine bookkeeping when
-// state != ProbeMiss.
-func (b *Buffer) Probe(blk uint64, waiter func(readyAt uint64)) (res ProbeResult, stream, pos uint64) {
-	i, ok := b.m[blk]
+// move to the L1); in-flight blocks are claimed, and w — if non-nil —
+// fires via w.Handle(readyAt, wkind, wa, wb) when the data arrives (a
+// partially covered miss). The returned stream/pos identify the supplying
+// stream for engine bookkeeping when state != ProbeMiss.
+func (b *Buffer) Probe(blk uint64, w event.Handler, wkind uint8, wa, wb uint64) (res ProbeResult, stream, pos uint64) {
+	i, ok := b.m.Get(blk)
 	if !ok {
 		return ProbeResult{State: ProbeMiss}, 0, 0
 	}
@@ -213,8 +270,8 @@ func (b *Buffer) Probe(blk uint64, waiter func(readyAt uint64)) (res ProbeResult
 		n.claimed = true
 		b.PartialHits++
 	}
-	if waiter != nil {
-		n.waiters = append(n.waiters, waiter)
+	if w != nil {
+		b.addWaiter(i, w, wkind, wa, wb)
 	}
 	return ProbeResult{State: ProbeInFlight}, n.stream, n.pos
 }

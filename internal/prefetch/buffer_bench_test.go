@@ -1,0 +1,43 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkBufferStreamCycle drives one core's prefetch buffer through
+// the engine's steady-state pattern: insert a streamed block, mark it
+// arrived, probe a mix of hits and misses, evict under pressure.
+func BenchmarkBufferStreamCycle(b *testing.B) {
+	rnd := rand.New(rand.NewSource(11))
+	blks := make([]uint64, 4096)
+	for i := range blks {
+		blks[i] = uint64(rnd.Intn(4096))
+	}
+	buf := NewBuffer(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blks[i&4095]
+		stream := uint64(i >> 8) // streams turn over every 256 ops
+		if buf.HasSpaceFor(stream) && buf.Insert(blk, stream, uint64(i)) {
+			buf.Arrived(blk, uint64(i))
+		}
+		buf.Probe(blks[(i*7)&4095], nil, 0, 0, 0)
+	}
+}
+
+// BenchmarkBufferProbeMiss measures the pure miss path: every demand L1
+// miss probes the buffer, and almost all of them miss.
+func BenchmarkBufferProbeMiss(b *testing.B) {
+	buf := NewBuffer(32)
+	for i := uint64(0); i < 32; i++ {
+		buf.Insert(i*977, 1, i)
+		buf.Arrived(i*977, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Probe(uint64(i)|1<<40, nil, 0, 0, 0)
+	}
+}

@@ -11,14 +11,14 @@ func TestBufferInsertProbeReady(t *testing.T) {
 		t.Fatal("insert failed")
 	}
 	// Still in flight.
-	res, _, _ := b.Probe(10, nil)
+	res, _, _ := b.Probe(10, nil, 0, 0, 0)
 	if res.State != ProbeInFlight {
 		t.Fatalf("state = %v, want in-flight", res.State)
 	}
 	b2 := NewBuffer(4)
 	b2.Insert(10, 1, 100)
 	b2.Arrived(10, 50)
-	res, stream, pos := b2.Probe(10, nil)
+	res, stream, pos := b2.Probe(10, nil, 0, 0, 0)
 	if res.State != ProbeReady || res.ReadyAt != 50 {
 		t.Fatalf("res = %+v", res)
 	}
@@ -26,7 +26,7 @@ func TestBufferInsertProbeReady(t *testing.T) {
 		t.Fatalf("stream/pos = %d/%d", stream, pos)
 	}
 	// Consumed: next probe misses.
-	res, _, _ = b2.Probe(10, nil)
+	res, _, _ = b2.Probe(10, nil, 0, 0, 0)
 	if res.State != ProbeMiss {
 		t.Fatal("block should have been consumed")
 	}
@@ -85,16 +85,22 @@ func TestBufferInFlightUnevictable(t *testing.T) {
 	}
 }
 
+// testWaiter records fire times through the event.Handler waiter
+// interface (the payload words are ignored).
+type testWaiter struct{ log *[]uint64 }
+
+func (w testWaiter) Handle(now uint64, kind uint8, a, b uint64) { *w.log = append(*w.log, now) }
+
 func TestBufferPartialHitWaiters(t *testing.T) {
 	b := NewBuffer(4)
 	b.Insert(5, 1, 0)
 	var notified []uint64
-	res, _, _ := b.Probe(5, func(at uint64) { notified = append(notified, at) })
+	res, _, _ := b.Probe(5, testWaiter{&notified}, 0, 0, 0)
 	if res.State != ProbeInFlight {
 		t.Fatal("expected in-flight")
 	}
 	// Second demand for the same in-flight block.
-	b.Probe(5, func(at uint64) { notified = append(notified, at) })
+	b.Probe(5, testWaiter{&notified}, 0, 0, 0)
 	if b.PartialHits != 1 {
 		t.Fatalf("partial hits = %d, want 1 (claim counted once)", b.PartialHits)
 	}
@@ -156,7 +162,7 @@ func TestBufferCapacityInvariant(t *testing.T) {
 			case 1:
 				b.Arrived(blk, uint64(op))
 			case 2:
-				b.Probe(blk, nil)
+				b.Probe(blk, nil, 0, 0, 0)
 			}
 			if b.Len() > 8 {
 				return false
@@ -222,18 +228,19 @@ func TestHistoryReadLineStopsAtLineEnd(t *testing.T) {
 	for i := uint64(0); i < 30; i++ {
 		h.Append(1000 + i)
 	}
-	addrs, positions, marked, _ := h.ReadLine(2, 100)
+	var line Line
+	n, marked, _ := h.ReadLine(2, 100, &line)
 	// Line 0 holds positions 0..11, so from 2 we get 10 entries.
-	if len(addrs) != 10 || marked {
-		t.Fatalf("got %d addrs, marked=%v", len(addrs), marked)
+	if n != 10 || marked {
+		t.Fatalf("got %d addrs, marked=%v", n, marked)
 	}
-	if addrs[0] != 1002 || positions[9] != 11 {
-		t.Fatalf("addrs/positions wrong: %v %v", addrs[0], positions[9])
+	if line.Addrs[0] != 1002 || line.Positions[9] != 11 {
+		t.Fatalf("addrs/positions wrong: %v %v", line.Addrs[0], line.Positions[9])
 	}
 	// Next line read.
-	addrs, _, _, _ = h.ReadLine(12, 100)
-	if len(addrs) != 12 {
-		t.Fatalf("full line read returned %d", len(addrs))
+	n, _, _ = h.ReadLine(12, 100, &line)
+	if n != 12 {
+		t.Fatalf("full line read returned %d", n)
 	}
 }
 
@@ -243,9 +250,10 @@ func TestHistoryReadLineStopsAtMark(t *testing.T) {
 		h.Append(i)
 	}
 	h.Mark(5)
-	addrs, _, marked, markAddr := h.ReadLine(2, 100)
-	if len(addrs) != 3 { // positions 2,3,4
-		t.Fatalf("addrs = %v", addrs)
+	var line Line
+	n, marked, markAddr := h.ReadLine(2, 100, &line)
+	if n != 3 { // positions 2,3,4
+		t.Fatalf("n = %d", n)
 	}
 	if !marked || markAddr != 5 {
 		t.Fatalf("marked=%v addr=%d", marked, markAddr)
@@ -257,17 +265,19 @@ func TestHistoryReadLineRespectsMax(t *testing.T) {
 	for i := uint64(0); i < 12; i++ {
 		h.Append(i)
 	}
-	addrs, _, _, _ := h.ReadLine(0, 4)
-	if len(addrs) != 4 {
-		t.Fatalf("max ignored: %d", len(addrs))
+	var line Line
+	n, _, _ := h.ReadLine(0, 4, &line)
+	if n != 4 {
+		t.Fatalf("max ignored: %d", n)
 	}
 }
 
 func TestHistoryReadLineAtHead(t *testing.T) {
 	h := NewHistory(64)
 	h.Append(1)
-	addrs, _, marked, _ := h.ReadLine(1, 10)
-	if len(addrs) != 0 || marked {
+	var line Line
+	n, marked, _ := h.ReadLine(1, 10, &line)
+	if n != 0 || marked {
 		t.Fatal("reading at head should be empty")
 	}
 }

@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"stms/internal/event"
 	"stms/internal/stats"
 )
 
@@ -77,10 +78,19 @@ type queued struct {
 }
 
 type coreState struct {
-	buf   *Buffer
-	queue []queued
+	buf *Buffer
 
-	cur        *Cursor
+	// q is the FIFO address queue as a fixed ring (capacity QueueCap):
+	// the engine tops it up by at most the remaining room, so it never
+	// grows and never re-allocates.
+	q     []queued
+	qHead int
+	qLen  int
+
+	// cur is the followed stream's cursor, owned by the engine: adoption
+	// copies the backend's (transient) lookup cursor into this storage,
+	// and the engine advances it from delivered positions.
+	cur        Cursor
 	curSeq     uint64
 	active     bool
 	paused     bool
@@ -92,6 +102,27 @@ type coreState struct {
 	lastHitPos uint64
 	depth      int
 	credit     int // remaining fetch allowance before more hits arrive
+
+	// lookupDone is the premade continuation (one allocation at
+	// construction) handed to Metadata.Lookup, replacing a per-call
+	// closure. At most one lookup is in flight per core (lookBusy), so a
+	// single shared continuation is unambiguous. History reads do NOT
+	// share this property — an adopt can leave a stale read in flight
+	// while the new stream issues its own — so those use pooled readOp
+	// records instead.
+	lookupDone func(*Cursor)
+}
+
+func (st *coreState) qPush(v queued) {
+	st.q[(st.qHead+st.qLen)%len(st.q)] = v
+	st.qLen++
+}
+
+func (st *coreState) qPop() queued {
+	v := st.q[st.qHead]
+	st.qHead = (st.qHead + 1) % len(st.q)
+	st.qLen--
+	return v
 }
 
 // Engine is the stream-following half of a temporal prefetcher (§4.2): it
@@ -106,9 +137,71 @@ type Engine struct {
 	core []coreState
 	seq  uint64
 	st   EngineStats
+
+	// freeOps recycles history-read continuation records. Each record's
+	// closure is created once (capturing the record) and reused for the
+	// record's whole life, so steady-state reads allocate nothing.
+	freeOps []*readOp
+}
+
+// readOp identifies one in-flight Metadata.ReadNext: which core issued it
+// and for which stream generation. Records outlive stream replacement, so
+// a stale read completing after an adopt is recognized and dropped —
+// exactly the captured-sequence guard the closure-based engine used.
+type readOp struct {
+	e    *Engine
+	core int
+	seq  uint64
+	done func(addrs, positions []uint64, marked bool, markAddr uint64)
+}
+
+func (e *Engine) getReadOp(core int, seq uint64) *readOp {
+	var op *readOp
+	if n := len(e.freeOps); n > 0 {
+		op = e.freeOps[n-1]
+		e.freeOps = e.freeOps[:n-1]
+	} else {
+		op = &readOp{e: e}
+		op.done = op.fire
+	}
+	op.core, op.seq = core, seq
+	return op
+}
+
+// fire is the read's completion. The record is released before any
+// processing so nested refills can reuse it.
+func (op *readOp) fire(addrs, positions []uint64, marked bool, markAddr uint64) {
+	e, core, seq := op.e, op.core, op.seq
+	e.freeOps = append(e.freeOps, op)
+	st := &e.core[core]
+	if st.curSeq != seq || !st.active {
+		return // stream replaced while the read was in flight
+	}
+	st.readBusy = false
+	for i, a := range addrs {
+		st.qPush(queued{addr: a, pos: positions[i]})
+	}
+	if n := len(addrs); n > 0 {
+		st.cur.Pos = positions[n-1] + 1
+	}
+	if marked {
+		st.paused = true
+		st.markAddr = markAddr
+	} else if len(addrs) == 0 {
+		// Caught up with the history head: nothing more recorded.
+		e.st.Exhausted++
+		e.abandon(core)
+		return
+	}
+	e.refill(core)
 }
 
 var _ Temporal = (*Engine)(nil)
+
+// Engine event kinds (for completions delivered through Handle).
+const engFetchArrived uint8 = 0
+
+var _ event.Handler = (*Engine)(nil)
 
 // NewEngine builds a stream engine over the given backend.
 func NewEngine(env Env, meta Metadata, cfg EngineConfig) *Engine {
@@ -117,10 +210,19 @@ func NewEngine(env Env, meta Metadata, cfg EngineConfig) *Engine {
 	}
 	e := &Engine{env: env, meta: meta, cfg: cfg, core: make([]coreState, cfg.Cores)}
 	for i := range e.core {
-		e.core[i].buf = NewBuffer(cfg.BufferBlocks)
-		e.core[i].queue = make([]queued, 0, cfg.QueueCap)
+		st := &e.core[i]
+		st.buf = NewBuffer(cfg.BufferBlocks)
+		st.q = make([]queued, cfg.QueueCap)
+		core := i
+		st.lookupDone = func(cur *Cursor) { e.lookupDone(core, cur) }
 	}
 	return e
+}
+
+// Handle implements event.Handler for the engine's typed completions:
+// engFetchArrived marks a streamed block's arrival in core b's buffer.
+func (e *Engine) Handle(now uint64, kind uint8, a, b uint64) {
+	e.core[b].buf.Arrived(a, now)
 }
 
 // Name returns the backend's name.
@@ -133,9 +235,9 @@ func (e *Engine) Stats() *EngineStats { return &e.st }
 func (e *Engine) Metadata() Metadata { return e.meta }
 
 // Probe services a demand L1 miss from the core's prefetch buffer.
-func (e *Engine) Probe(core int, blk uint64, waiter func(uint64)) ProbeResult {
+func (e *Engine) Probe(core int, blk uint64, w event.Handler, wkind uint8, wa, wb uint64) ProbeResult {
 	st := &e.core[core]
-	res, stream, pos := st.buf.Probe(blk, waiter)
+	res, stream, pos := st.buf.Probe(blk, w, wkind, wa, wb)
 	if res.State == ProbeMiss {
 		return res
 	}
@@ -167,7 +269,7 @@ func (e *Engine) TriggerMiss(core int, blk uint64) {
 		e.st.Resumed++
 		st.paused = false
 		st.missStreak = 0
-		e.meta.SkipMark(st.cur)
+		e.meta.SkipMark(&st.cur)
 		e.refill(core)
 		return
 	}
@@ -179,18 +281,23 @@ func (e *Engine) TriggerMiss(core int, blk uint64) {
 	}
 	st.lookBusy = true
 	e.st.Lookups++
-	e.meta.Lookup(core, blk, func(cur *Cursor) {
-		st.lookBusy = false
-		if cur == nil {
-			return
-		}
-		e.st.LookupHits++
-		// Adopt unless an adopted stream is currently productive.
-		if st.active && st.missStreak < e.cfg.AdoptAfter {
-			return
-		}
-		e.adopt(core, cur)
-	})
+	e.meta.Lookup(core, blk, st.lookupDone)
+}
+
+// lookupDone receives the backend's lookup result (the premade per-core
+// continuation).
+func (e *Engine) lookupDone(core int, cur *Cursor) {
+	st := &e.core[core]
+	st.lookBusy = false
+	if cur == nil {
+		return
+	}
+	e.st.LookupHits++
+	// Adopt unless an adopted stream is currently productive.
+	if st.active && st.missStreak < e.cfg.AdoptAfter {
+		return
+	}
+	e.adopt(core, cur)
 }
 
 // Record forwards a retired off-chip miss or prefetched hit to the
@@ -205,7 +312,7 @@ func (e *Engine) adopt(core int, cur *Cursor) {
 		e.abandon(core)
 	}
 	e.seq++
-	st.cur = cur
+	st.cur = *cur // copy: the backend's cursor is transient
 	st.curSeq = e.seq
 	st.active = true
 	st.paused = false
@@ -234,7 +341,7 @@ func (e *Engine) abandon(core int) {
 	// Already-fetched blocks stay in the buffer: their bandwidth is
 	// spent, the core may still consume them, and a future stream's
 	// inserts evict them if space is needed.
-	st.queue = st.queue[:0]
+	st.qHead, st.qLen = 0, 0
 	st.active = false
 	st.paused = false
 	st.readBusy = false
@@ -248,47 +355,29 @@ func (e *Engine) refill(core int) {
 	if !st.active || st.paused || st.readBusy {
 		return
 	}
-	if len(st.queue) > e.cfg.LowWater {
+	if st.qLen > e.cfg.LowWater {
 		return
 	}
 	if e.cfg.MaxDepth > 0 && st.depth >= e.cfg.MaxDepth {
 		return
 	}
 	want := e.cfg.Chunk
-	if room := e.cfg.QueueCap - len(st.queue); room < want {
+	if room := e.cfg.QueueCap - st.qLen; room < want {
 		want = room
 	}
 	if want <= 0 {
 		return
 	}
 	st.readBusy = true
-	capturedSeq := st.curSeq
-	e.meta.ReadNext(st.cur, want, func(addrs, positions []uint64, marked bool, markAddr uint64) {
-		if st.curSeq != capturedSeq || !st.active {
-			return // stream replaced while the read was in flight
-		}
-		st.readBusy = false
-		for i, a := range addrs {
-			st.queue = append(st.queue, queued{addr: a, pos: positions[i]})
-		}
-		if marked {
-			st.paused = true
-			st.markAddr = markAddr
-		} else if len(addrs) == 0 {
-			// Caught up with the history head: nothing more recorded.
-			e.st.Exhausted++
-			e.abandon(core)
-			return
-		}
-		e.refill(core)
-	})
+	op := e.getReadOp(core, st.curSeq)
+	e.meta.ReadNext(&st.cur, want, op.done)
 }
 
 // issue drains the address queue into the prefetch buffer while space
 // lasts, applying the on-chip filter and the depth limit.
 func (e *Engine) issue(core int) {
 	st := &e.core[core]
-	for len(st.queue) > 0 {
+	for st.qLen > 0 {
 		if e.cfg.MaxDepth > 0 && st.depth >= e.cfg.MaxDepth {
 			e.st.DepthStops++
 			e.abandon(core)
@@ -297,8 +386,7 @@ func (e *Engine) issue(core int) {
 		if st.credit <= 0 || !st.buf.HasSpaceFor(st.curSeq) {
 			return
 		}
-		q := st.queue[0]
-		st.queue = st.queue[1:]
+		q := st.qPop()
 		st.depth++
 		if e.env.OnChip(core, q.addr) || st.buf.Contains(q.addr) {
 			e.st.FilteredOnChip++
@@ -309,11 +397,7 @@ func (e *Engine) issue(core int) {
 		}
 		st.credit--
 		e.st.IssuedPrefetches++
-		addr := q.addr
-		c := core
-		e.env.Fetch(c, addr, func(t uint64) {
-			e.core[c].buf.Arrived(addr, t)
-		})
+		e.env.FetchH(core, q.addr, e, engFetchArrived, q.addr, uint64(core))
 	}
 }
 

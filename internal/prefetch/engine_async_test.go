@@ -31,10 +31,18 @@ func (e *dramEnv) MetaRead(class dram.Class, done func(uint64)) {
 	e.mc.Read(class, false, done)
 }
 
+func (e *dramEnv) MetaReadH(class dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	e.mc.ReadH(class, false, h, kind, a, b)
+}
+
 func (e *dramEnv) MetaWrite(class dram.Class) { e.mc.Write(class, false) }
 
 func (e *dramEnv) Fetch(core int, blk uint64, done func(uint64)) {
 	e.mc.Read(dram.StreamData, false, done)
+}
+
+func (e *dramEnv) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	e.mc.ReadH(dram.StreamData, false, h, kind, a, b)
 }
 
 func (e *dramEnv) OnChip(core int, blk uint64) bool { return e.onChip[blk] }
@@ -48,7 +56,7 @@ func TestEngineAsyncLookupAndFetch(t *testing.T) {
 	e.TriggerMiss(0, 100)
 	// Nothing fetched yet: the scripted lookup is synchronous but the
 	// fetches travel through DRAM.
-	if res := e.Probe(0, 101, nil); res.State != ProbeInFlight {
+	if res := e.Probe(0, 101, nil, 0, 0, 0); res.State != ProbeInFlight {
 		t.Fatalf("before DRAM completion: state %v, want in-flight", res.State)
 	}
 	if e.Stats().PartialHits != 1 {
@@ -58,7 +66,7 @@ func TestEngineAsyncLookupAndFetch(t *testing.T) {
 	// 101 was claimed while in flight, so it left the buffer on arrival;
 	// the rest are now ready.
 	for _, blk := range []uint64{102, 103, 104} {
-		if res := e.Probe(0, blk, nil); res.State != ProbeReady {
+		if res := e.Probe(0, blk, nil, 0, 0, 0); res.State != ProbeReady {
 			t.Fatalf("block %d: state %v after drain", blk, res.State)
 		}
 	}
@@ -70,18 +78,18 @@ func TestEnginePartialHitWaiterCompletes(t *testing.T) {
 	meta.streams[100] = []uint64{101}
 	e := NewEngine(env, meta, DefaultEngineConfig(1))
 	e.TriggerMiss(0, 100)
-	var completedAt uint64
-	res := e.Probe(0, 101, func(at uint64) { completedAt = at })
+	var completions []uint64
+	res := e.Probe(0, 101, testWaiter{&completions}, 0, 0, 0)
 	if res.State != ProbeInFlight {
 		t.Fatalf("state = %v", res.State)
 	}
 	env.eng.Drain(nil)
-	if completedAt == 0 {
+	if len(completions) == 0 {
 		t.Fatal("waiter never fired")
 	}
 	// Data-ready time is the DRAM latency.
-	if completedAt < dram.DefaultConfig().LatencyCycles {
-		t.Fatalf("completed at %d, before DRAM latency", completedAt)
+	if completions[0] < dram.DefaultConfig().LatencyCycles {
+		t.Fatalf("completed at %d, before DRAM latency", completions[0])
 	}
 }
 
@@ -116,7 +124,7 @@ func TestEngineDeterministicUnderDRAM(t *testing.T) {
 			e.TriggerMiss(core, s)
 			e.Record(core, s, false)
 			for j := uint64(0); j < 5; j++ {
-				e.Probe(core, 1000*s+j, nil)
+				e.Probe(core, 1000*s+j, nil, 0, 0, 0)
 			}
 			env.eng.RunUntil(env.eng.Now() + 50)
 		}
@@ -160,7 +168,7 @@ func TestEngineRandomOpsInvariants(t *testing.T) {
 			e.TriggerMiss(core, next(50))
 		case 1:
 			s := next(50)
-			e.Probe(core, 10_000*s+next(40), nil)
+			e.Probe(core, 10_000*s+next(40), nil, 0, 0, 0)
 		case 2:
 			e.Record(core, next(1_000_000), next(2) == 0)
 		case 3:

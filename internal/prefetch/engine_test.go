@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"stms/internal/dram"
+	"stms/internal/event"
 )
 
 // testEnv is a synchronous Env that tracks fetched blocks and on-chip
@@ -33,6 +34,11 @@ func (e *testEnv) MetaRead(class dram.Class, done func(uint64)) {
 	}
 }
 
+func (e *testEnv) MetaReadH(class dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	e.reads[class]++
+	h.Handle(e.now, kind, a, b)
+}
+
 func (e *testEnv) MetaWrite(class dram.Class) { e.writes[class]++ }
 
 func (e *testEnv) Fetch(core int, blk uint64, done func(uint64)) {
@@ -40,6 +46,11 @@ func (e *testEnv) Fetch(core int, blk uint64, done func(uint64)) {
 	if done != nil {
 		done(e.now)
 	}
+}
+
+func (e *testEnv) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	e.fetched = append(e.fetched, blk)
+	h.Handle(e.now, kind, a, b)
 }
 
 func (e *testEnv) OnChip(core int, blk uint64) bool { return e.onChip[blk] }
@@ -68,10 +79,9 @@ func (m *scriptMeta) Lookup(core int, blk uint64, done func(*Cursor)) {
 func (m *scriptMeta) ReadNext(cur *Cursor, max int, done func(addrs, positions []uint64, marked bool, markAddr uint64)) {
 	s := m.streams[cur.ID]
 	var addrs, poss []uint64
-	for int(cur.Pos) < len(s) && len(addrs) < max {
-		addrs = append(addrs, s[cur.Pos])
-		poss = append(poss, cur.Pos)
-		cur.Pos++
+	for p := cur.Pos; int(p) < len(s) && len(addrs) < max; p++ {
+		addrs = append(addrs, s[p])
+		poss = append(poss, p)
 	}
 	done(addrs, poss, false, 0)
 }
@@ -104,7 +114,7 @@ func TestEngineAdoptsAndPrefetches(t *testing.T) {
 	}
 	// All four should now hit.
 	for _, blk := range []uint64{101, 102, 103, 104} {
-		res := e.Probe(0, blk, nil)
+		res := e.Probe(0, blk, nil, 0, 0, 0)
 		if res.State != ProbeReady {
 			t.Fatalf("block %d: state %v", blk, res.State)
 		}
@@ -168,7 +178,7 @@ func TestEngineEndMarkWrittenOnAbandon(t *testing.T) {
 	e := newTestEngine(env, meta)
 	e.TriggerMiss(0, 100)
 	// Consume one block so the stream has hits.
-	e.Probe(0, 101, nil)
+	e.Probe(0, 101, nil, 0, 0, 0)
 	for i := 0; i < 4; i++ {
 		e.TriggerMiss(0, uint64(1000+i))
 	}
@@ -193,7 +203,7 @@ func TestEngineLeftoverBlocksSurviveExhaustion(t *testing.T) {
 		t.Fatal("short stream should exhaust")
 	}
 	for _, blk := range []uint64{101, 102, 103} {
-		if res := e.Probe(0, blk, nil); res.State != ProbeReady {
+		if res := e.Probe(0, blk, nil, 0, 0, 0); res.State != ProbeReady {
 			t.Fatalf("leftover block %d lost (state %v)", blk, res.State)
 		}
 	}
@@ -216,7 +226,7 @@ func TestEngineCreditRampLimitsColdStreamWaste(t *testing.T) {
 		t.Fatalf("cold stream issued %d fetches, want 8", len(env.fetched))
 	}
 	// Hits extend the allowance.
-	e.Probe(0, 200, nil)
+	e.Probe(0, 200, nil, 0, 0, 0)
 	if len(env.fetched) <= 8 {
 		t.Fatal("credit did not grow after a hit")
 	}
@@ -236,7 +246,7 @@ func TestEngineMaxDepthStops(t *testing.T) {
 	e.TriggerMiss(0, 100)
 	// Consume what was fetched to let the engine try to go deeper.
 	for i := 0; i < 10; i++ {
-		e.Probe(0, uint64(200+i), nil)
+		e.Probe(0, uint64(200+i), nil, 0, 0, 0)
 	}
 	if len(env.fetched) > 4 {
 		t.Fatalf("depth cap exceeded: %d fetches", len(env.fetched))
@@ -266,14 +276,13 @@ type markMeta struct {
 func (m *markMeta) ReadNext(cur *Cursor, max int, done func(addrs, positions []uint64, marked bool, markAddr uint64)) {
 	s := m.streams[cur.ID]
 	var addrs, poss []uint64
-	for int(cur.Pos) < len(s) && len(addrs) < max {
-		if cur.Pos == m.markAt {
-			done(addrs, poss, true, s[cur.Pos])
+	for p := cur.Pos; int(p) < len(s) && len(addrs) < max; p++ {
+		if p == m.markAt {
+			done(addrs, poss, true, s[p])
 			return
 		}
-		addrs = append(addrs, s[cur.Pos])
-		poss = append(poss, cur.Pos)
-		cur.Pos++
+		addrs = append(addrs, s[p])
+		poss = append(poss, p)
 	}
 	done(addrs, poss, false, 0)
 }
@@ -289,8 +298,8 @@ func TestEnginePausesAtMarkAndResumes(t *testing.T) {
 		t.Fatalf("fetched %v, want 2 blocks before the mark", env.fetched)
 	}
 	// The core explicitly requests the annotated address -> resume.
-	e.Probe(0, 101, nil)
-	e.Probe(0, 102, nil)
+	e.Probe(0, 101, nil, 0, 0, 0)
+	e.Probe(0, 102, nil, 0, 0, 0)
 	e.TriggerMiss(0, 103)
 	if e.Stats().Resumed != 1 {
 		t.Fatalf("resumed = %d", e.Stats().Resumed)
@@ -310,8 +319,8 @@ func TestEngineStreamLengthSamples(t *testing.T) {
 	meta.streams[100] = long
 	e := newTestEngine(env, meta)
 	e.TriggerMiss(0, 100)
-	e.Probe(0, 101, nil)
-	e.Probe(0, 102, nil)
+	e.Probe(0, 101, nil, 0, 0, 0)
+	e.Probe(0, 102, nil, 0, 0, 0)
 	e.Flush()
 	if e.Stats().StreamLens.N() != 1 {
 		t.Fatalf("stream length samples = %d", e.Stats().StreamLens.N())
@@ -326,7 +335,7 @@ func TestNop(t *testing.T) {
 	if n.Name() != "none" {
 		t.Fatal("name")
 	}
-	if res := n.Probe(0, 1, nil); res.State != ProbeMiss {
+	if res := n.Probe(0, 1, nil, 0, 0, 0); res.State != ProbeMiss {
 		t.Fatal("nop should always miss")
 	}
 	n.TriggerMiss(0, 1)

@@ -50,6 +50,13 @@ type Meta struct {
 	hist []*prefetch.History
 	idx  *lruIndex
 
+	// scratch backs the transient results of LookupSync and ReadNextSync.
+	// Both are synchronous — the caller consumes the result before any
+	// other operation can run — so one set per Meta suffices and the hot
+	// path allocates nothing. Asynchronous wrappers (TSE) must copy.
+	scratchCur  prefetch.Cursor
+	scratchLine prefetch.Line
+
 	// Stats.
 	Records     uint64
 	IndexStale  uint64 // lookups that found a wrapped/overwritten pointer
@@ -86,7 +93,9 @@ func (m *Meta) IndexLen() int { return m.idx.len() }
 // LookupSync resolves a lookup immediately (zero-latency on-chip
 // meta-data). It returns nil when blk is unknown or its pointer went
 // stale. Shared with backends that reuse ideal storage but charge their
-// own traffic (e.g., TSE).
+// own traffic (e.g., TSE). The cursor points into per-Meta scratch: it is
+// valid until the next LookupSync, and callers that hold it across
+// simulated time must copy it.
 func (m *Meta) LookupSync(core int, blk uint64) *prefetch.Cursor {
 	v, ok := m.idx.get(blk)
 	if !ok {
@@ -101,7 +110,8 @@ func (m *Meta) LookupSync(core int, blk uint64) *prefetch.Cursor {
 		return nil
 	}
 	m.IndexHits++
-	return &prefetch.Cursor{Core: owner, Pos: pos + 1}
+	m.scratchCur = prefetch.Cursor{Core: owner, Pos: pos + 1}
+	return &m.scratchCur
 }
 
 // Lookup implements prefetch.Metadata synchronously.
@@ -110,13 +120,12 @@ func (m *Meta) Lookup(core int, blk uint64, done func(*prefetch.Cursor)) {
 }
 
 // ReadNextSync is the synchronous line read shared with reusing backends.
+// Per the Metadata contract the cursor is not advanced and the returned
+// slices (per-Meta scratch) are valid only until the next read.
 func (m *Meta) ReadNextSync(cur *prefetch.Cursor, max int) (addrs, positions []uint64, marked bool, markAddr uint64) {
 	h := m.hist[cur.Core]
-	addrs, positions, marked, markAddr = h.ReadLine(cur.Pos, max)
-	if n := len(addrs); n > 0 {
-		cur.Pos = positions[n-1] + 1
-	}
-	return addrs, positions, marked, markAddr
+	n, marked, markAddr := h.ReadLine(cur.Pos, max, &m.scratchLine)
+	return m.scratchLine.Addrs[:n], m.scratchLine.Positions[:n], marked, markAddr
 }
 
 // ReadNext implements prefetch.Metadata synchronously.

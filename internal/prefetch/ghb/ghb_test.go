@@ -12,11 +12,29 @@ func record(m *Meta, core int, blks ...uint64) {
 	}
 }
 
+// lookup resolves blk and returns a caller-owned copy of the cursor (the
+// backend's cursor is transient scratch per the Metadata contract).
 func lookup(t *testing.T, m *Meta, core int, blk uint64) *prefetch.Cursor {
 	t.Helper()
 	var got *prefetch.Cursor
-	m.Lookup(core, blk, func(c *prefetch.Cursor) { got = c })
+	m.Lookup(core, blk, func(c *prefetch.Cursor) {
+		if c != nil {
+			cp := *c
+			got = &cp
+		}
+	})
 	return got
+}
+
+// readNext is ReadNext plus the caller-side cursor advance the engine
+// performs (the backend no longer mutates the cursor).
+func readNext(m *Meta, cur *prefetch.Cursor, max int, done func(a, p []uint64, mk bool, ma uint64)) {
+	m.ReadNext(cur, max, func(a, p []uint64, mk bool, ma uint64) {
+		if n := len(p); n > 0 {
+			cur.Pos = p[n-1] + 1
+		}
+		done(a, p, mk, ma)
+	})
 }
 
 func TestLookupFindsMostRecent(t *testing.T) {
@@ -120,7 +138,7 @@ func TestMarkEndAndSkip(t *testing.T) {
 	var addrs []uint64
 	var marked bool
 	var markAddr uint64
-	m.ReadNext(cur, 12, func(a, p []uint64, mk bool, ma uint64) {
+	readNext(m, cur, 12, func(a, p []uint64, mk bool, ma uint64) {
 		addrs, marked, markAddr = a, mk, ma
 	})
 	if len(addrs) != 1 || addrs[0] != 2 {
@@ -130,7 +148,7 @@ func TestMarkEndAndSkip(t *testing.T) {
 		t.Fatalf("marked=%v addr=%d", marked, markAddr)
 	}
 	m.SkipMark(cur)
-	m.ReadNext(cur, 12, func(a, p []uint64, mk bool, ma uint64) { addrs = a })
+	readNext(m, cur, 12, func(a, p []uint64, mk bool, ma uint64) { addrs = a })
 	if len(addrs) != 1 || addrs[0] != 4 {
 		t.Fatalf("after skip: %v", addrs)
 	}
@@ -146,7 +164,7 @@ func TestReadNextAdvancesCursor(t *testing.T) {
 	cur := lookup(t, m, 0, 100)
 	var total []uint64
 	for i := 0; i < 5; i++ {
-		m.ReadNext(cur, 12, func(a, p []uint64, mk bool, ma uint64) {
+		readNext(m, cur, 12, func(a, p []uint64, mk bool, ma uint64) {
 			total = append(total, a...)
 		})
 	}

@@ -12,6 +12,7 @@
 package markov
 
 import (
+	"stms/internal/event"
 	"stms/internal/prefetch"
 )
 
@@ -96,8 +97,8 @@ func (p *Prefetcher) Stats() *prefetch.EngineStats { return &p.st }
 func (p *Prefetcher) TableLen() int { return len(p.m) }
 
 // Probe services a demand L1 miss from the prefetch buffer.
-func (p *Prefetcher) Probe(core int, blk uint64, waiter func(uint64)) prefetch.ProbeResult {
-	res, _, _ := p.bufs[core].Probe(blk, waiter)
+func (p *Prefetcher) Probe(core int, blk uint64, w event.Handler, wkind uint8, wa, wb uint64) prefetch.ProbeResult {
+	res, _, _ := p.bufs[core].Probe(blk, w, wkind, wa, wb)
 	switch res.State {
 	case prefetch.ProbeReady:
 		p.st.FullHits++

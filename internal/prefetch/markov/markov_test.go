@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"stms/internal/dram"
+	"stms/internal/event"
 	"stms/internal/prefetch"
 )
 
@@ -20,6 +21,9 @@ func (e *env) MetaRead(c dram.Class, done func(uint64)) {
 		done(0)
 	}
 }
+func (e *env) MetaReadH(c dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	h.Handle(0, kind, a, b)
+}
 func (e *env) MetaWrite(dram.Class)             {}
 func (e *env) OnChip(core int, blk uint64) bool { return e.onChip[blk] }
 func (e *env) Fetch(core int, blk uint64, done func(uint64)) {
@@ -27,6 +31,10 @@ func (e *env) Fetch(core int, blk uint64, done func(uint64)) {
 	if done != nil {
 		done(0)
 	}
+}
+func (e *env) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	e.fetched = append(e.fetched, blk)
+	h.Handle(0, kind, a, b)
 }
 
 func TestPairwiseLearning(t *testing.T) {
@@ -39,7 +47,7 @@ func TestPairwiseLearning(t *testing.T) {
 	if len(e.fetched) != 1 || e.fetched[0] != 200 {
 		t.Fatalf("fetched = %v, want [200]", e.fetched)
 	}
-	if res := p.Probe(0, 200, nil); res.State != prefetch.ProbeReady {
+	if res := p.Probe(0, 200, nil, 0, 0, 0); res.State != prefetch.ProbeReady {
 		t.Fatal("successor not in buffer")
 	}
 }

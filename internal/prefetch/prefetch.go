@@ -12,7 +12,10 @@
 // their own latency and traffic behaviour through the Env interface.
 package prefetch
 
-import "stms/internal/dram"
+import (
+	"stms/internal/dram"
+	"stms/internal/event"
+)
 
 // Env is the slice of the simulated system a prefetcher may touch: the
 // clock, low-priority meta-data memory accesses, data-block fetches into
@@ -22,6 +25,12 @@ import "stms/internal/dram"
 // prefetch traffic at low priority, per §4.3); the functional driver backs
 // it with zero-latency synchronous calls, which is exactly the paper's
 // "idealized lookup".
+//
+// Completions come in two flavours: the closure forms (MetaRead, Fetch)
+// are convenient for cold paths and comparators, while the handler forms
+// (MetaReadH, FetchH) carry a typed (kind, a, b) payload through the
+// memory system with no per-request allocation — the hot-path prefetchers
+// use only those.
 type Env interface {
 	// Now returns the current time (cycles in timed mode, records in
 	// functional mode).
@@ -30,11 +39,17 @@ type Env interface {
 	// fires when the data is available. May complete synchronously. A nil
 	// done is allowed when the requester does not need the completion.
 	MetaRead(class dram.Class, done func(now uint64))
+	// MetaReadH is MetaRead delivering through h.Handle(now, kind, a, b)
+	// instead of a closure. May complete synchronously.
+	MetaReadH(class dram.Class, h event.Handler, kind uint8, a, b uint64)
 	// MetaWrite issues a one-block meta-data write of the given class.
 	MetaWrite(class dram.Class)
 	// Fetch brings a data block into core's prefetch buffer; done fires
 	// when the block arrives. May complete synchronously.
 	Fetch(core int, blk uint64, done func(now uint64))
+	// FetchH is Fetch delivering through h.Handle(now, kind, a, b). May
+	// complete synchronously.
+	FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64)
 	// OnChip reports whether blk is already cached on chip for core
 	// (prefetch filter: such blocks are skipped, costing no bandwidth).
 	OnChip(core int, blk uint64) bool
@@ -53,19 +68,30 @@ type Cursor struct {
 // Metadata is the storage half of a temporal prefetcher: it records miss
 // sequences and serves stream lookups. Implementations decide where the
 // bits live and charge Env accordingly.
+//
+// Ownership contract (the allocation-free hot path depends on it): every
+// pointer and slice a backend passes to a done callback — the lookup
+// cursor, the address and position slices — is valid only for the
+// duration of that call and is recycled afterwards. Callers copy what
+// they keep; backends back these with pooled records and scratch buffers.
 type Metadata interface {
 	// Name identifies the backend in results tables.
 	Name() string
 	// Lookup finds the most recent recorded occurrence of blk and passes a
 	// cursor to its successors (nil if unknown). done may run
 	// synchronously (on-chip meta-data) or after simulated memory
-	// round-trips (off-chip meta-data).
+	// round-trips (off-chip meta-data). The cursor is valid only during
+	// the done call.
 	Lookup(core int, blk uint64, done func(cur *Cursor))
-	// ReadNext delivers up to max successor addresses at the cursor,
-	// advancing it. If the read stops at a stream-end annotation, marked
-	// is true and markAddr is the annotated address; the engine pauses
-	// until the core explicitly requests markAddr (§4.5). A stale or
-	// exhausted cursor delivers zero addresses.
+	// ReadNext delivers up to max successor addresses following the
+	// cursor. The cursor position is captured at call time and NOT
+	// advanced (the history itself is read when the simulated memory
+	// access completes): the caller advances its own cursor from the
+	// delivered positions. If the read stops at a stream-end annotation,
+	// marked is true and markAddr is the annotated address; the engine
+	// pauses until the core explicitly requests markAddr (§4.5). A stale
+	// or exhausted cursor delivers zero addresses. The slices are valid
+	// only during the done call.
 	ReadNext(cur *Cursor, max int, done func(addrs []uint64, positions []uint64, marked bool, markAddr uint64))
 	// SkipMark advances the cursor past a stream-end annotation after the
 	// annotated address was explicitly requested.
@@ -98,11 +124,16 @@ type ProbeResult struct {
 
 // Temporal is the interface the simulator drives: one call per demand L1
 // miss (Probe), per uncovered L2 demand read miss (TriggerMiss), and per
-// retired off-chip miss or prefetched hit (Record). For ProbeInFlight
-// results the waiter fires when the block arrives.
+// retired off-chip miss or prefetched hit (Record).
+//
+// For ProbeInFlight results the waiter fires when the block arrives:
+// w.Handle(readyAt, wkind, wa, wb) with the payload passed at probe time.
+// A nil w drops the notification (the functional driver never needs it).
+// The typed waiter replaces a per-probe closure so the simulator's
+// partially-covered-miss path allocates nothing.
 type Temporal interface {
 	Name() string
-	Probe(core int, blk uint64, waiter func(readyAt uint64)) ProbeResult
+	Probe(core int, blk uint64, w event.Handler, wkind uint8, wa, wb uint64) ProbeResult
 	TriggerMiss(core int, blk uint64)
 	Record(core int, blk uint64, prefetchHit bool)
 	Stats() *EngineStats
@@ -115,7 +146,9 @@ type Nop struct{ stats EngineStats }
 func (*Nop) Name() string { return "none" }
 
 // Probe always misses.
-func (*Nop) Probe(int, uint64, func(uint64)) ProbeResult { return ProbeResult{State: ProbeMiss} }
+func (*Nop) Probe(int, uint64, event.Handler, uint8, uint64, uint64) ProbeResult {
+	return ProbeResult{State: ProbeMiss}
+}
 
 // TriggerMiss does nothing.
 func (*Nop) TriggerMiss(int, uint64) {}

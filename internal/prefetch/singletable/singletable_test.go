@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"stms/internal/dram"
+	"stms/internal/event"
 	"stms/internal/prefetch"
 )
 
@@ -26,6 +27,11 @@ func (e *env) MetaRead(c dram.Class, done func(uint64)) {
 	}
 }
 
+func (e *env) MetaReadH(c dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	e.reads[c]++
+	h.Handle(0, kind, a, b)
+}
+
 func (e *env) MetaWrite(c dram.Class) { e.writes[c]++ }
 
 func (e *env) OnChip(int, uint64) bool { return false }
@@ -35,6 +41,11 @@ func (e *env) Fetch(core int, blk uint64, done func(uint64)) {
 	if done != nil {
 		done(0)
 	}
+}
+
+func (e *env) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	e.fetched = append(e.fetched, blk)
+	h.Handle(0, kind, a, b)
 }
 
 func cfg() Config {
@@ -144,14 +155,23 @@ type deferredEnv struct {
 
 func (d *deferredEnv) Now() uint64                              { return 0 }
 func (d *deferredEnv) MetaRead(c dram.Class, done func(uint64)) { d.env.MetaRead(c, done) }
-func (d *deferredEnv) MetaWrite(c dram.Class)                   { d.env.MetaWrite(c) }
-func (d *deferredEnv) OnChip(int, uint64) bool                  { return false }
+
+func (d *deferredEnv) MetaReadH(c dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	d.env.MetaReadH(c, h, kind, a, b)
+}
+func (d *deferredEnv) MetaWrite(c dram.Class)  { d.env.MetaWrite(c) }
+func (d *deferredEnv) OnChip(int, uint64) bool { return false }
 
 func (d *deferredEnv) Fetch(core int, blk uint64, done func(uint64)) {
 	d.env.fetched = append(d.env.fetched, blk)
 	if done != nil {
 		d.pending = append(d.pending, done)
 	}
+}
+
+func (d *deferredEnv) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	d.env.fetched = append(d.env.fetched, blk)
+	d.pending = append(d.pending, func(t uint64) { h.Handle(t, kind, a, b) })
 }
 
 func (d *deferredEnv) completeAll() {
@@ -185,13 +205,13 @@ func TestProbeCounting(t *testing.T) {
 	p := New(e, cfg())
 	train(p, 1, 2, 3, 4, 5)
 	p.TriggerMiss(0, 1)
-	if res := p.Probe(0, 2, nil); res.State != prefetch.ProbeReady {
+	if res := p.Probe(0, 2, nil, 0, 0, 0); res.State != prefetch.ProbeReady {
 		t.Fatal("expected ready")
 	}
 	if p.Stats().FullHits != 1 {
 		t.Fatalf("full hits = %d", p.Stats().FullHits)
 	}
-	if res := p.Probe(0, 999, nil); res.State != prefetch.ProbeMiss {
+	if res := p.Probe(0, 999, nil, 0, 0, 0); res.State != prefetch.ProbeMiss {
 		t.Fatal("expected miss")
 	}
 }

@@ -84,10 +84,15 @@ func (m *Meta) Name() string { return "tse" }
 
 // Lookup chains LookupReads dependent memory reads, then resolves. As in
 // STMS, the pointer is captured at issue time, before the triggering miss
-// itself is recorded.
+// itself is recorded. The inner backend's cursor is per-Meta scratch, so
+// it is copied before the simulated round-trips.
 func (m *Meta) Lookup(core int, blk uint64, done func(*prefetch.Cursor)) {
 	m.Lookups++
-	cur := m.inner.LookupSync(core, blk)
+	var curv prefetch.Cursor
+	found := false
+	if c := m.inner.LookupSync(core, blk); c != nil {
+		curv, found = *c, true
+	}
 	remaining := m.cfg.LookupReads
 	var step func(uint64)
 	step = func(uint64) {
@@ -96,21 +101,28 @@ func (m *Meta) Lookup(core int, blk uint64, done func(*prefetch.Cursor)) {
 			m.env.MetaRead(dram.IndexLookup, step)
 			return
 		}
-		done(cur)
+		if found {
+			done(&curv)
+		} else {
+			done(nil)
+		}
 	}
 	m.env.MetaRead(dram.IndexLookup, step)
 }
 
 // ReadNext reads one history line per memory access, like any split-table
-// design.
+// design. The cursor position is captured at call time per the Metadata
+// contract (the caller may retarget its cursor while the read is in
+// flight).
 func (m *Meta) ReadNext(cur *prefetch.Cursor, max int, done func(addrs, positions []uint64, marked bool, markAddr uint64)) {
 	if cur.Pos >= m.inner.History(cur.Core).Head() {
 		done(nil, nil, false, 0)
 		return
 	}
 	m.HistoryReads++
+	snap := *cur
 	m.env.MetaRead(dram.HistoryRead, func(uint64) {
-		done(m.inner.ReadNextSync(cur, max))
+		done(m.inner.ReadNextSync(&snap, max))
 	})
 }
 

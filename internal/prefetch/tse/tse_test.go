@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"stms/internal/dram"
+	"stms/internal/event"
 	"stms/internal/prefetch"
 )
 
@@ -25,6 +26,11 @@ func (e *env) MetaRead(c dram.Class, done func(uint64)) {
 	}
 }
 
+func (e *env) MetaReadH(c dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	e.reads[c]++
+	h.Handle(0, kind, a, b)
+}
+
 func (e *env) MetaWrite(c dram.Class) { e.writes[c]++ }
 
 func (e *env) OnChip(int, uint64) bool { return false }
@@ -33,6 +39,10 @@ func (e *env) Fetch(core int, blk uint64, done func(uint64)) {
 	if done != nil {
 		done(0)
 	}
+}
+
+func (e *env) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	h.Handle(0, kind, a, b)
 }
 
 func TestLookupCostsThreeReads(t *testing.T) {
@@ -98,7 +108,7 @@ func TestEndToEndCoverage(t *testing.T) {
 	eng.Record(0, seq[0], false)
 	covered := 0
 	for _, b := range seq[1:] {
-		if res := eng.Probe(0, b, nil); res.State == prefetch.ProbeReady {
+		if res := eng.Probe(0, b, nil, 0, 0, 0); res.State == prefetch.ProbeReady {
 			covered++
 			eng.Record(0, b, true)
 		} else {

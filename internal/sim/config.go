@@ -100,6 +100,11 @@ func (c Config) Validate() error {
 	switch {
 	case c.Cores <= 0:
 		return fmt.Errorf("sim: cores must be positive")
+	case c.Cores >= 1<<16 || c.Core.ROB >= 1<<16-1:
+		// The timed hot path packs (core, ROB token) into 16-bit fields
+		// of one event payload word; both are orders of magnitude above
+		// any modelled system.
+		return fmt.Errorf("sim: cores and ROB must fit 16 bits (got %d cores, ROB %d)", c.Cores, c.Core.ROB)
 	case c.L1Bytes < mem.BlockBytes || c.L2Bytes < mem.BlockBytes:
 		return fmt.Errorf("sim: cache sizes must hold at least one block")
 	case c.MeasureRecords == 0:

@@ -5,6 +5,7 @@ import (
 
 	"stms/internal/cache"
 	"stms/internal/dram"
+	"stms/internal/event"
 	"stms/internal/prefetch"
 	"stms/internal/prefetch/stride"
 	"stms/internal/trace"
@@ -23,6 +24,10 @@ type functional struct {
 	l2    *cache.Cache
 	strid *stride.Prefetcher
 	pref  built
+
+	// strideIssue is the premade stride-candidate continuation (one
+	// allocation per run instead of one per load).
+	strideIssue func(cand uint64)
 
 	dirtyThresh uint64
 
@@ -43,12 +48,20 @@ func (e funcEnv) MetaRead(class dram.Class, done func(uint64)) {
 	}
 }
 
+func (e funcEnv) MetaReadH(class dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	h.Handle(e.s.now, kind, a, b)
+}
+
 func (e funcEnv) MetaWrite(dram.Class) {}
 
 func (e funcEnv) Fetch(core int, blk uint64, done func(uint64)) {
 	if done != nil {
 		done(e.s.now)
 	}
+}
+
+func (e funcEnv) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	h.Handle(e.s.now, kind, a, b)
 }
 
 func (e funcEnv) OnChip(core int, blk uint64) bool {
@@ -70,6 +83,9 @@ func RunFunctional(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 // records; on cancellation ctx.Err() is returned. Configuration errors
 // are returned rather than panicking.
 func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress) (Results, error) {
+	if ctx == nil {
+		ctx = context.Background() // nil = never cancelled
+	}
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -81,6 +97,7 @@ func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefS
 	}
 	s.l2 = cache.New(cache.Config{Name: "L2", SizeBytes: cfg.L2(), Assoc: cfg.L2Assoc})
 	s.strid = stride.New(cfg.Stride)
+	s.strideIssue = s.stridePrefetch
 	s.pref = buildPrefetcher(funcEnv{s}, cfg, ps)
 
 	lib := trace.NewLibrary(scaled, cfg.Seed)
@@ -145,12 +162,7 @@ func (s *functional) step(core int, pc uint32, blk uint64) {
 	// Stride trains on the L1-miss stream before the prefetch-buffer
 	// probe, exactly as in the timed driver, so the base system behaves
 	// identically across prefetcher variants.
-	s.strid.Observe(pc, blk, func(cand uint64) {
-		if !s.l2.Probe(cand) {
-			s.cnt.StrideIssued++
-			s.l2.Fill(cand, false)
-		}
-	})
+	s.strid.Observe(pc, blk, s.strideIssue)
 	// L2 hit takes precedence over a prefetch-buffer copy, exactly as in
 	// the timed driver: covered misses are blocks that would have missed.
 	if s.l2.Access(blk, false) {
@@ -158,7 +170,7 @@ func (s *functional) step(core int, pc uint32, blk uint64) {
 		s.l1[core].Fill(blk, false)
 		return
 	}
-	res := s.pref.temporal.Probe(core, blk, nil)
+	res := s.pref.temporal.Probe(core, blk, nil, 0, 0, 0)
 	if res.State == prefetch.ProbeReady {
 		s.cnt.PBFull++
 		s.pref.temporal.Record(core, blk, true)
@@ -177,6 +189,14 @@ func (s *functional) step(core int, pc uint32, blk uint64) {
 	s.pref.temporal.TriggerMiss(core, blk)
 	s.pref.temporal.Record(core, blk, false)
 	s.fill(core, blk)
+}
+
+// stridePrefetch fills a stride candidate directly (zero-latency memory).
+func (s *functional) stridePrefetch(cand uint64) {
+	if !s.l2.Probe(cand) {
+		s.cnt.StrideIssued++
+		s.l2.Fill(cand, false)
+	}
 }
 
 func (s *functional) fill(core int, blk uint64) {

@@ -14,6 +14,12 @@ import (
 )
 
 // timed is the event-driven whole-system simulation.
+//
+// The per-record path (load → access → demandFetch → DRAM → MSHR →
+// retire) is allocation-free: continuations are typed (kind, a, b)
+// payloads delivered through the event.Handler interface — the simulator
+// itself is the handler — with the load's identity packed into the
+// payload words (block number in a; core, PC, and ROB token in b).
 type timed struct {
 	cfg  Config
 	spec trace.Spec
@@ -34,6 +40,10 @@ type timed struct {
 	pref   built
 	cores  []*cpu.Core
 
+	// strideIssue is the premade stride-candidate continuation (one
+	// allocation per run instead of one per load).
+	strideIssue func(cand uint64)
+
 	dirtyThresh uint64
 
 	// Window management.
@@ -49,6 +59,66 @@ type timed struct {
 
 	// Per-core MLP integrators (demand off-chip reads).
 	mlp []mlpTrack
+}
+
+// timed event/completion kinds.
+const (
+	tkAccess     uint8 = iota // deferred access at issue time (a=blk, b=packed)
+	tkRetry                   // MSHR-full retry of demandFetch (a=blk, b=packed)
+	tkDemandDone              // demand DRAM read data available (a=blk, b=core)
+	tkStrideDone              // stride DRAM read data available (a=blk)
+	tkPBArrived               // prefetch-buffer partial hit arrival (a=blk, b=packed)
+)
+
+// pack squeezes a load's identity into one payload word: PC in the high
+// 32 bits, core below, ROB token at the bottom (ROB indices are < 2^16
+// for any realistic configuration; Config.Validate bounds cores).
+func packLoad(core int, pc uint32, token uint32) uint64 {
+	return uint64(pc)<<32 | uint64(core)<<16 | uint64(token)
+}
+
+func unpackLoad(b uint64) (core int, pc uint32, token uint32) {
+	return int(b >> 16 & 0xFFFF), uint32(b >> 32), uint32(b & 0xFFFF)
+}
+
+var _ event.Handler = (*timed)(nil)
+
+// Handle implements event.Handler: every typed continuation of the timed
+// hot path lands here.
+func (s *timed) Handle(now uint64, kind uint8, a, b uint64) {
+	switch kind {
+	case tkAccess:
+		core, pc, token := unpackLoad(b)
+		if t, sync := s.access(core, pc, a, token); sync {
+			s.cores[core].Complete(token, t)
+		}
+	case tkRetry:
+		core, _, token := unpackLoad(b)
+		s.demandFetch(core, a, token)
+	case tkDemandDone:
+		core := int(b)
+		s.mlp[core].complete(now)
+		s.fillL2(a)
+		s.l2mshr.Complete(a, now)
+	case tkStrideDone:
+		s.fillL2(a)
+		s.l2mshr.Complete(a, now)
+	case tkPBArrived:
+		// Partially covered miss: the block arrives now; move it on chip
+		// and complete the load.
+		core, _, token := unpackLoad(b)
+		s.fillL2(a)
+		s.fillL1(core, a)
+		s.cores[core].Complete(token, now)
+	}
+}
+
+// mshrDone delivers a completed fill to a merged waiter: payload a is the
+// block, b the packed load identity.
+func (s *timed) mshrDone(now, a, b uint64) {
+	core, _, token := unpackLoad(b)
+	s.fillL1(core, a)
+	s.cores[core].Complete(token, now)
 }
 
 type counters struct {
@@ -111,12 +181,20 @@ func (e timedEnv) MetaRead(class dram.Class, done func(uint64)) {
 	e.s.mc.Read(class, false, done)
 }
 
+func (e timedEnv) MetaReadH(class dram.Class, h event.Handler, kind uint8, a, b uint64) {
+	e.s.mc.ReadH(class, false, h, kind, a, b)
+}
+
 func (e timedEnv) MetaWrite(class dram.Class) {
 	e.s.mc.Write(class, false)
 }
 
 func (e timedEnv) Fetch(core int, blk uint64, done func(uint64)) {
 	e.s.mc.Read(dram.StreamData, false, done)
+}
+
+func (e timedEnv) FetchH(core int, blk uint64, h event.Handler, kind uint8, a, b uint64) {
+	e.s.mc.ReadH(dram.StreamData, false, h, kind, a, b)
 }
 
 func (e timedEnv) OnChip(core int, blk uint64) bool {
@@ -181,6 +259,9 @@ func RunTimedTraceCtx(ctx context.Context, cfg Config, name string, gens []trace
 // runTimed wires and drains the event-driven system over the given
 // per-core generators.
 func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Generator, ps PrefSpec, progress Progress, totalRecs uint64) (Results, error) {
+	if ctx == nil {
+		ctx = context.Background() // documented: nil = never cancelled
+	}
 	s := &timed{
 		cfg:         cfg,
 		spec:        spec,
@@ -194,8 +275,9 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 	}
 	s.mc = dram.New(s.eng, cfg.DRAM)
 	s.l2 = cache.New(cache.Config{Name: "L2", SizeBytes: cfg.L2(), Assoc: cfg.L2Assoc})
-	s.l2mshr = cache.NewMSHR(cfg.L2MSHRs)
+	s.l2mshr = cache.NewMSHR(cfg.L2MSHRs, s.mshrDone)
 	s.strid = stride.New(cfg.Stride)
+	s.strideIssue = s.stridePrefetch
 	s.pref = buildPrefetcher(timedEnv{s}, cfg, ps)
 
 	s.committedSnap = make([]uint64, cfg.Cores)
@@ -227,24 +309,20 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 }
 
 // load implements cpu.LoadFunc.
-func (s *timed) load(core int, pc uint32, blk uint64, issueAt uint64, done func(uint64)) cpu.LoadResult {
+func (s *timed) load(core int, pc uint32, blk uint64, issueAt uint64, token uint32) cpu.LoadResult {
 	s.noteRecord(core)
 	if issueAt > s.eng.Now() {
-		s.eng.At(issueAt, func() {
-			if t, sync := s.access(core, pc, blk, done); sync {
-				done(t)
-			}
-		})
+		s.eng.AtH(issueAt, s, tkAccess, blk, packLoad(core, pc, token))
 		return cpu.LoadResult{}
 	}
-	if t, sync := s.access(core, pc, blk, done); sync {
+	if t, sync := s.access(core, pc, blk, token); sync {
 		return cpu.LoadResult{Sync: true, CompleteAt: t}
 	}
 	return cpu.LoadResult{}
 }
 
 // access walks the memory hierarchy at the current simulation time.
-func (s *timed) access(core int, pc uint32, blk uint64, done func(uint64)) (completeAt uint64, sync bool) {
+func (s *timed) access(core int, pc uint32, blk uint64, token uint32) (completeAt uint64, sync bool) {
 	now := s.eng.Now()
 	s.cnt.Loads++
 	if s.l1[core].Access(blk, false) {
@@ -255,7 +333,7 @@ func (s *timed) access(core int, pc uint32, blk uint64, done func(uint64)) (comp
 	// observes before the prefetch-buffer probe so its training — part of
 	// the base system — is identical across prefetcher variants, keeping
 	// matched-pair runs exactly comparable.
-	s.strid.Observe(pc, blk, func(cand uint64) { s.stridePrefetch(cand) })
+	s.strid.Observe(pc, blk, s.strideIssue)
 	// L2 lookup first: a block that is L2-resident was never a miss to
 	// cover, even if a copy also sits in the prefetch buffer (the probes
 	// happen in parallel in hardware; the L2 hit wins).
@@ -264,14 +342,9 @@ func (s *timed) access(core int, pc uint32, blk uint64, done func(uint64)) (comp
 		s.fillL1(core, blk)
 		return now + s.cfg.L2HitCycles, true
 	}
-	// Prefetch buffer sits alongside the L1 (§4.2).
-	res := s.pref.temporal.Probe(core, blk, func(readyAt uint64) {
-		// Partially covered miss: the block arrives now; move it on chip
-		// and complete the load.
-		s.fillL2(blk)
-		s.fillL1(core, blk)
-		done(readyAt)
-	})
+	// Prefetch buffer sits alongside the L1 (§4.2). A partial hit parks
+	// the load's identity as a typed waiter; tkPBArrived finishes it.
+	res := s.pref.temporal.Probe(core, blk, s, tkPBArrived, blk, packLoad(core, pc, token))
 	switch res.State {
 	case prefetch.ProbeReady:
 		s.cnt.PBFull++
@@ -290,7 +363,7 @@ func (s *timed) access(core int, pc uint32, blk uint64, done func(uint64)) (comp
 	s.cnt.L2DemandMisses++
 	s.pref.temporal.TriggerMiss(core, blk)
 	s.pref.temporal.Record(core, blk, false)
-	s.demandFetch(core, blk, done)
+	s.demandFetch(core, blk, token)
 	return 0, false
 }
 
@@ -300,35 +373,28 @@ func (s *timed) fillL1(core int, blk uint64) {
 }
 
 func (s *timed) fillL2(blk uint64) {
-	victim, wb, evicted := s.l2.Fill(blk, blockDirty(blk, s.dirtyThresh))
+	// Only the victim's dirty bit matters for traffic: a dirty eviction
+	// writes the block back off chip.
+	_, wb, evicted := s.l2.Fill(blk, blockDirty(blk, s.dirtyThresh))
 	if evicted && wb {
-		_ = victim
 		s.mc.Write(dram.Writeback, false)
 	}
 }
 
 // demandFetch issues (or merges) an off-chip demand read.
-func (s *timed) demandFetch(core int, blk uint64, done func(uint64)) {
-	waiter := func(t uint64) {
-		s.fillL1(core, blk)
-		done(t)
-	}
-	primary, ok := s.l2mshr.Allocate(blk, waiter)
+func (s *timed) demandFetch(core int, blk uint64, token uint32) {
+	primary, ok := s.l2mshr.AllocateW(blk, blk, packLoad(core, 0, token))
 	if !ok {
 		// MSHR file full: retry shortly (Table 1 bounds in-flight misses).
 		s.cnt.MSHRRetries++
-		s.eng.Schedule(16, func() { s.demandFetch(core, blk, done) })
+		s.eng.ScheduleH(16, s, tkRetry, blk, packLoad(core, 0, token))
 		return
 	}
 	if !primary {
 		return // merged into an in-flight fill
 	}
 	s.mlp[core].issue(s.eng.Now())
-	s.mc.Read(dram.Demand, true, func(t uint64) {
-		s.mlp[core].complete(t)
-		s.fillL2(blk)
-		s.l2mshr.Complete(blk, t)
-	})
+	s.mc.ReadH(dram.Demand, true, s, tkDemandDone, blk, uint64(core))
 }
 
 // stridePrefetch issues a stride candidate into the L2 at low priority.
@@ -340,15 +406,12 @@ func (s *timed) stridePrefetch(blk uint64) {
 	if s.l2mshr.Outstanding() >= s.cfg.L2MSHRs-8 {
 		return
 	}
-	primary, ok := s.l2mshr.Allocate(blk, nil)
+	primary, ok := s.l2mshr.Allocate(blk)
 	if !ok || !primary {
 		return
 	}
 	s.cnt.StrideIssued++
-	s.mc.Read(dram.StrideData, false, func(t uint64) {
-		s.fillL2(blk)
-		s.l2mshr.Complete(blk, t)
-	})
+	s.mc.ReadH(dram.StrideData, false, s, tkStrideDone, blk, 0)
 }
 
 // noteRecord advances the warm-up/measurement window bookkeeping and, on
@@ -372,8 +435,9 @@ func (s *timed) noteRecord(core int) {
 }
 
 func (s *timed) startMeasure() {
+	now := s.eng.Now()
 	s.measuring = true
-	s.measureT0 = s.eng.Now()
+	s.measureT0 = now
 	s.cntSnap = s.cnt
 	s.engSnap = engineCounts(s.pref.temporal.Stats())
 	s.mc.ResetStats()
@@ -381,7 +445,7 @@ func (s *timed) startMeasure() {
 	for i, c := range s.cores {
 		c.MarkWindow()
 		s.committedSnap[i] = 0 // MarkWindow owns the boundary
-		s.mlp[i] = mlpTrack{outstanding: s.mlp[i].outstanding, lastT: s.eng.Now()}
+		s.mlp[i] = mlpTrack{outstanding: s.mlp[i].outstanding, lastT: now}
 	}
 }
 
@@ -389,20 +453,21 @@ func (s *timed) results(ps PrefSpec) Results {
 	if eng := s.pref.engine; eng != nil {
 		eng.Flush()
 	}
+	now := s.eng.Now()
 	w := s.cnt.sub(s.cntSnap)
 	var instrs uint64
 	for _, c := range s.cores {
 		instrs += c.CommittedInWindow()
 	}
-	elapsed := s.eng.Now() - s.measureT0
+	elapsed := now - s.measureT0
 	if !s.measuring {
 		// Window never opened (warm-up exceeded the trace): report
 		// whole-run numbers so short tests still see data.
-		elapsed = s.eng.Now()
+		elapsed = now
 	}
 	var mlpW, mlpB float64
 	for i := range s.mlp {
-		s.mlp[i].advance(s.eng.Now())
+		s.mlp[i].advance(now)
 		mlpW += float64(s.mlp[i].weighted)
 		mlpB += float64(s.mlp[i].busy)
 	}
