@@ -11,9 +11,11 @@
 package stms_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"stms"
 	"stms/internal/expt"
 	"stms/internal/sim"
 	"stms/internal/stats"
@@ -224,7 +226,9 @@ func BenchmarkTimedHotPath(b *testing.B) {
 	b.ReportMetric(float64(perRun)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
-func BenchmarkTraceGeneration(b *testing.B) {
+// BenchmarkTraceGen measures live generation: the per-record cost of
+// the workload state machine plus its RNG draws.
+func BenchmarkTraceGen(b *testing.B) {
 	spec, err := trace.ByName("web-zeus")
 	if err != nil {
 		b.Fatal(err)
@@ -237,6 +241,65 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		gen.Next(&rec)
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkTapeReplay measures the columnar substrate: decoding the
+// identical record stream from a materialized tape through a
+// zero-allocation cursor (compare records/s against BenchmarkTraceGen).
+func BenchmarkTapeReplay(b *testing.B) {
+	spec, err := trace.ByName("web-zeus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(0.0625)
+	tape := trace.NewTape(spec, 1, 1, 1_000_000)
+	cur := tape.Cursor(0)
+	var rec trace.Record
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cur.Next(&rec) {
+			cur.Reset()
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkFig8Shared runs the Fig. 8/9 headline matrix — the eight
+// workloads × {baseline, ideal, stms} — on one Lab session per
+// iteration: eight tape builds serve all twenty-four cells. The
+// records/s metric counts every simulated record; tape-hits/op checks
+// the sharing actually happened.
+func BenchmarkFig8Shared(b *testing.B) {
+	o := benchOptions()
+	var hits uint64
+	perCell := (o.Warm + o.Measure) * uint64(stms.DefaultConfig().Cores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab, err := stms.New(
+			stms.WithScale(o.Scale), stms.WithSeed(o.Seed),
+			stms.WithWindows(o.Warm, o.Measure),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := lab.Plan(stms.FigureEight(), []stms.PrefSpec{
+			{Kind: stms.None},
+			{Kind: stms.Ideal},
+			{Kind: stms.STMS, SampleProb: 0.125},
+		})
+		m, err := lab.Run(context.Background(), plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.Complete() {
+			b.Fatal("incomplete matrix")
+		}
+		hits += lab.TapeStats().Hits
+	}
+	cells := uint64(len(stms.FigureEight()) * 3)
+	b.ReportMetric(float64(cells*perCell)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(hits)/float64(b.N), "tape-hits/op")
 }
 
 func BenchmarkAblations(b *testing.B) {

@@ -15,13 +15,15 @@
 // -measure accordingly). -par bounds the matrix worker pool (0 = all
 // CPUs); results are identical regardless.
 //
-// With -json, a machine-readable benchmark document is also written: the
-// run options, wall time, simulator throughput (records/sec) and
-// allocation totals for a freshly-timed headline matrix, and the
-// workload × {baseline, ideal, stms} matrix with per-cell IPC, coverage
-// and speedup inputs — the format the BENCH_PR*.json trajectory
-// snapshots capture. -cpuprofile/-memprofile write pprof profiles of
-// the whole invocation.
+// With -json, a machine-readable benchmark document is also written
+// (schema v3): the run options, wall time split into trace
+// materialization (generate_ms) and simulation (simulate_ms), tape
+// cache behaviour (hits/misses/builds/evictions/bytes), simulator
+// throughput (records/sec) and allocation totals for a freshly-timed
+// headline matrix, and the workload × {baseline, ideal, stms} matrix
+// with per-cell IPC, coverage and speedup inputs — the format the
+// BENCH_PR*.json trajectory snapshots capture. -cpuprofile/-memprofile
+// write pprof profiles of the whole invocation.
 package main
 
 import (
@@ -123,8 +125,12 @@ func main() {
 // benchDoc is the machine-readable trajectory record: enough to compare
 // runs across commits without parsing the text tables. RecordsPerSec and
 // TotalAllocs capture simulator throughput and allocation behaviour so
-// future PRs can track the perf trajectory (BENCH_PR2.json is the first
-// snapshot).
+// future PRs can track the perf trajectory (BENCH_PR2.json and
+// BENCH_PR3.json are the first snapshots). Schema v3 splits the headline
+// matrix wall time into trace materialization (generate_ms) and
+// simulation (simulate_ms) and reports the session tape cache's
+// behaviour: the matrix generates one tape per workload and replays it
+// across every variant cell.
 type benchDoc struct {
 	Schema        string       `json:"schema"`
 	Experiment    string       `json:"experiment"`
@@ -138,6 +144,13 @@ type benchDoc struct {
 	RecordsPerSec float64      `json:"records_per_sec"`
 	TotalAllocs   uint64       `json:"total_allocs"`
 	TotalAllocMB  float64      `json:"total_alloc_mb"`
+	GenerateMS    float64      `json:"generate_ms"`
+	SimulateMS    float64      `json:"simulate_ms"`
+	TapeHits      uint64       `json:"tape_hits"`
+	TapeMisses    uint64       `json:"tape_misses"`
+	TapeBuilds    uint64       `json:"tape_builds"`
+	TapeEvictions uint64       `json:"tape_evictions"`
+	TapeBytes     int64        `json:"tape_bytes"`
 	Matrix        *stms.Matrix `json:"matrix"`
 }
 
@@ -175,6 +188,7 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	cells := len(m.Workloads) * len(m.Labels)
 	// Every cell simulates warm+measure records on each core.
 	simRecords := uint64(cells) * (o.Warm + o.Measure) * uint64(stms.DefaultConfig().Cores)
+	ts := lab.TapeStats()
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -183,7 +197,7 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return enc.Encode(benchDoc{
-		Schema:        "stms-bench/v2",
+		Schema:        "stms-bench/v3",
 		Experiment:    id,
 		Scale:         o.Scale,
 		Seed:          o.Seed,
@@ -195,6 +209,13 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 		RecordsPerSec: float64(simRecords) / matrixElapsed.Seconds(),
 		TotalAllocs:   after.Mallocs - before.Mallocs,
 		TotalAllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		GenerateMS:    float64(ts.Generate.Microseconds()) / 1000,
+		SimulateMS:    float64(ts.Simulate.Microseconds()) / 1000,
+		TapeHits:      ts.Hits,
+		TapeMisses:    ts.Misses,
+		TapeBuilds:    ts.Builds,
+		TapeEvictions: ts.Evictions,
+		TapeBytes:     ts.BytesInUse,
 		Matrix:        m,
 	})
 }

@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"stms"
@@ -159,27 +160,58 @@ func report(res stms.Results, cfg stms.Config) {
 		ov.Record, ov.Update, ov.Lookup, ov.Erroneous, ov.Total())
 }
 
-// replayTrace deals a recorded trace file's records round-robin back into
-// per-core streams (the order stms-trace captured them in) and runs the
-// timed simulation over them.
+// replayTrace runs the timed simulation over a recorded trace file,
+// dispatching on its magic: columnar tapes replay their per-core
+// segments directly; flat record files are dealt round-robin back into
+// per-core streams (the order stms-trace captured them in).
 func replayTrace(cfg stms.Config, path string, ps stms.PrefSpec) (stms.Results, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return stms.Results{}, err
 	}
 	defer f.Close()
-	recs, err := trace.ReadAll(f)
-	if err != nil {
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return stms.Results{}, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return stms.Results{}, err
 	}
-	perCore := make([][]trace.Record, cfg.Cores)
-	for i, r := range recs {
-		c := i % cfg.Cores
-		perCore[c] = append(perCore[c], r)
-	}
+
 	gens := make([]trace.Generator, cfg.Cores)
-	for i := range gens {
-		gens[i] = &trace.SliceGenerator{Records: perCore[i]}
+	switch trace.DetectFormat(magic) {
+	case trace.FormatTape:
+		tape, err := trace.ReadTape(f)
+		if err != nil {
+			return stms.Results{}, err
+		}
+		if tape.Cores() != cfg.Cores {
+			return stms.Results{}, fmt.Errorf("%s holds %d cores; rerun with a matching -cores capture or a %d-core config",
+				path, tape.Cores(), cfg.Cores)
+		}
+		for i := range gens {
+			gens[i] = tape.Cursor(i)
+		}
+		spec := tape.Spec()
+		name := spec.Name
+		if name == "" {
+			name = path
+		}
+		return sim.RunTimedTrace(cfg, name, gens, spec.DirtyFrac, ps), nil
+	case trace.FormatRecords:
+		recs, err := trace.ReadAll(f)
+		if err != nil {
+			return stms.Results{}, err
+		}
+		perCore := make([][]trace.Record, cfg.Cores)
+		for i, r := range recs {
+			c := i % cfg.Cores
+			perCore[c] = append(perCore[c], r)
+		}
+		for i := range gens {
+			gens[i] = &trace.SliceGenerator{Records: perCore[i]}
+		}
+		return sim.RunTimedTrace(cfg, path, gens, 0.25, ps), nil
 	}
-	return sim.RunTimedTrace(cfg, path, gens, 0.25, ps), nil
+	return stms.Results{}, fmt.Errorf("%s: not a trace or tape file (magic %q)", path, magic[:])
 }

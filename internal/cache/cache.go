@@ -7,7 +7,10 @@
 // functional driver and the timed driver share identical cache behaviour.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes a cache's geometry.
 type Config struct {
@@ -25,19 +28,42 @@ type Stats struct {
 	Writebacks uint64
 }
 
+// invalidTag marks an empty way directly in the tag array, so the
+// lookup loop is a single comparison per way with no parallel validity
+// load. Block numbers are far below 2^64 (the generator arenas top out
+// near 2^41); findWay guards the one unusable value explicitly.
+const invalidTag = ^uint64(0)
+
 // Cache is a set-associative cache with true LRU replacement. All methods
 // take block numbers (byte address >> 6), not byte addresses.
+//
+// The tag probe and the LRU update are the simulator's hottest loops, so
+// the common geometries (assoc <= 16: every Table 1 cache) run packed:
+// per-set validity and dirtiness are bitmasks, and the LRU order is one
+// uint64 of way nibbles (MRU in the low nibble), making touch/victim
+// selection register-only bit arithmetic instead of byte-slice shuffles.
+// Larger associativities fall back to the byte-slice representation with
+// identical semantics.
 type Cache struct {
 	cfg     Config
 	sets    int
 	assoc   int
 	setMask uint64
-	// Per-set arrays, flattened: index = set*assoc + way.
-	tags  []uint64
+	// Per-set tag array, flattened: index = set*assoc + way. Empty ways
+	// hold invalidTag (both representations).
+	tags []uint64
+
+	// Packed representation (assoc <= 16).
+	packed   bool
+	waysMask uint32
+	validM   []uint32 // per-set validity bitmask
+	dirtyM   []uint32 // per-set dirtiness bitmask
+	lruW     []uint64 // per-set LRU order, 4-bit way ids, MRU lowest
+
+	// Fallback representation (assoc > 16).
 	valid []bool
 	dirty []bool
-	// lru holds way indices per set, most-recent first.
-	lru []uint8
+	lru   []uint8 // way indices per set, most-recent first
 
 	stats Stats
 }
@@ -68,10 +94,28 @@ func New(cfg Config) *Cache {
 		assoc:   cfg.Assoc,
 		setMask: uint64(sets - 1),
 		tags:    make([]uint64, sets*cfg.Assoc),
-		valid:   make([]bool, sets*cfg.Assoc),
-		dirty:   make([]bool, sets*cfg.Assoc),
-		lru:     make([]uint8, sets*cfg.Assoc),
+		packed:  cfg.Assoc <= 16,
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	if c.packed {
+		c.waysMask = uint32(1)<<cfg.Assoc - 1
+		c.validM = make([]uint32, sets)
+		c.dirtyM = make([]uint32, sets)
+		c.lruW = make([]uint64, sets)
+		var initial uint64
+		for w := cfg.Assoc - 1; w >= 0; w-- {
+			initial = initial<<4 | uint64(w)
+		}
+		for s := range c.lruW {
+			c.lruW[s] = initial
+		}
+		return c
+	}
+	c.valid = make([]bool, sets*cfg.Assoc)
+	c.dirty = make([]bool, sets*cfg.Assoc)
+	c.lru = make([]uint8, sets*cfg.Assoc)
 	for s := 0; s < sets; s++ {
 		for w := 0; w < cfg.Assoc; w++ {
 			c.lru[s*cfg.Assoc+w] = uint8(w)
@@ -95,9 +139,13 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 func (c *Cache) setOf(blk uint64) int { return int(blk & c.setMask) }
 
 func (c *Cache) findWay(set int, blk uint64) int {
+	if blk == invalidTag {
+		return -1 // the one block number the sentinel scheme cannot hold
+	}
 	base := set * c.assoc
-	for w := 0; w < c.assoc; w++ {
-		if c.valid[base+w] && c.tags[base+w] == blk {
+	tags := c.tags[base : base+c.assoc]
+	for w := range tags {
+		if tags[w] == blk {
 			return w
 		}
 	}
@@ -106,22 +154,46 @@ func (c *Cache) findWay(set int, blk uint64) int {
 
 // touch moves way to the MRU position of set.
 func (c *Cache) touch(set, way int) {
-	base := set * c.assoc
-	pos := -1
-	for i := 0; i < c.assoc; i++ {
-		if int(c.lru[base+i]) == way {
-			pos = i
-			break
-		}
-	}
-	if pos <= 0 {
-		if pos == 0 {
+	if c.packed {
+		word := c.lruW[set]
+		u := uint64(way)
+		if word&0xF == u {
 			return
 		}
-		panic("cache: way missing from LRU order")
+		// SWAR zero-nibble detection locates way's slot without a loop:
+		// XOR zeroes the matching nibble, the borrow trick raises its
+		// 0x8 bit. Unused high nibbles are zero and can only alias way
+		// 0, whose true slot sits lower — TrailingZeros finds it first.
+		x := word ^ u*0x1111111111111111
+		m := (x - 0x1111111111111111) & ^x & 0x8888888888888888
+		if m == 0 {
+			panic("cache: way missing from LRU order")
+		}
+		pos := uint(bits.TrailingZeros64(m)) &^ 3
+		keep := word &^ (uint64(1)<<(pos+4) - 1) // nibbles above way's slot
+		low := word & (uint64(1)<<pos - 1)       // nibbles more recent than way
+		c.lruW[set] = keep | low<<4 | u
+		return
 	}
-	copy(c.lru[base+1:base+pos+1], c.lru[base:base+pos])
-	c.lru[base] = uint8(way)
+	base := set * c.assoc
+	lru := c.lru[base : base+c.assoc]
+	w8 := uint8(way)
+	if lru[0] == w8 {
+		return
+	}
+	prev := lru[0]
+	for i := 1; ; i++ {
+		if i == len(lru) {
+			panic("cache: way missing from LRU order")
+		}
+		cur := lru[i]
+		lru[i] = prev
+		if cur == w8 {
+			break
+		}
+		prev = cur
+	}
+	lru[0] = w8
 }
 
 // Probe reports whether blk is present without updating LRU or stats.
@@ -143,44 +215,87 @@ func (c *Cache) Access(blk uint64, write bool) bool {
 	c.stats.Hits++
 	c.touch(set, way)
 	if write {
-		c.dirty[set*c.assoc+way] = true
+		c.setDirty(set, way, true)
 	}
 	return true
+}
+
+func (c *Cache) setDirty(set, way int, d bool) {
+	if c.packed {
+		if d {
+			c.dirtyM[set] |= 1 << way
+		} else {
+			c.dirtyM[set] &^= 1 << way
+		}
+		return
+	}
+	c.dirty[set*c.assoc+way] = d
+}
+
+func (c *Cache) isDirty(set, way int) bool {
+	if c.packed {
+		return c.dirtyM[set]>>way&1 != 0
+	}
+	return c.dirty[set*c.assoc+way]
+}
+
+func (c *Cache) isValid(set, way int) bool {
+	if c.packed {
+		return c.validM[set]>>way&1 != 0
+	}
+	return c.valid[set*c.assoc+way]
 }
 
 // Fill inserts blk (making it MRU). If a valid line is evicted, Fill
 // returns its block number and whether it was dirty (needs writeback).
 // Filling a block that is already present just refreshes its LRU position.
 func (c *Cache) Fill(blk uint64, dirty bool) (victim uint64, writeback bool, evicted bool) {
+	if blk == invalidTag {
+		return 0, false, false // the sentinel block number is uncacheable
+	}
 	set := c.setOf(blk)
 	base := set * c.assoc
 	if way := c.findWay(set, blk); way >= 0 {
 		c.touch(set, way)
 		if dirty {
-			c.dirty[base+way] = true
+			c.setDirty(set, way, true)
 		}
 		return 0, false, false
 	}
 	c.stats.Fills++
-	// Victim is the LRU way; prefer an invalid way if one exists.
-	way := int(c.lru[base+c.assoc-1])
-	for w := 0; w < c.assoc; w++ {
-		if !c.valid[base+w] {
-			way = w
-			break
+	// Victim is the LRU way; prefer the lowest-numbered invalid way if
+	// one exists.
+	var way int
+	if c.packed {
+		if inv := ^c.validM[set] & c.waysMask; inv != 0 {
+			way = bits.TrailingZeros32(inv)
+		} else {
+			way = int(c.lruW[set] >> (uint(c.assoc-1) * 4) & 0xF)
+		}
+	} else {
+		way = int(c.lru[base+c.assoc-1])
+		for w := 0; w < c.assoc; w++ {
+			if !c.valid[base+w] {
+				way = w
+				break
+			}
 		}
 	}
-	if c.valid[base+way] {
+	if c.isValid(set, way) {
 		victim = c.tags[base+way]
-		writeback = c.dirty[base+way]
+		writeback = c.isDirty(set, way)
 		evicted = true
 		if writeback {
 			c.stats.Writebacks++
 		}
 	}
 	c.tags[base+way] = blk
-	c.valid[base+way] = true
-	c.dirty[base+way] = dirty
+	if c.packed {
+		c.validM[set] |= 1 << way
+	} else {
+		c.valid[base+way] = true
+	}
+	c.setDirty(set, way, dirty)
 	c.touch(set, way)
 	return victim, writeback, evicted
 }
@@ -193,16 +308,26 @@ func (c *Cache) Invalidate(blk uint64) (found, wasDirty bool) {
 	if way < 0 {
 		return false, false
 	}
-	i := set*c.assoc + way
-	c.valid[i] = false
-	wasDirty = c.dirty[i]
-	c.dirty[i] = false
+	wasDirty = c.isDirty(set, way)
+	c.tags[set*c.assoc+way] = invalidTag
+	c.setDirty(set, way, false)
+	if c.packed {
+		c.validM[set] &^= 1 << way
+	} else {
+		c.valid[set*c.assoc+way] = false
+	}
 	return true, wasDirty
 }
 
 // Occupancy returns the number of valid lines (for tests).
 func (c *Cache) Occupancy() int {
 	n := 0
+	if c.packed {
+		for _, m := range c.validM {
+			n += bits.OnesCount32(m)
+		}
+		return n
+	}
 	for _, v := range c.valid {
 		if v {
 			n++

@@ -191,6 +191,106 @@ func TestLRUMatchesReferenceModel(t *testing.T) {
 	}
 }
 
+// TestPackedMatchesFallback drives the packed (assoc <= 16) and
+// fallback representations with the same random operation stream at
+// mirrored geometries and demands identical observable behaviour:
+// hit/miss, victim identity, writeback flags, invalidation results,
+// occupancy. The packed cache at assoc 16 and the fallback at assoc 17
+// share semantics even though set shapes differ slightly, so instead
+// each representation is compared against the same reference model.
+func TestPackedMatchesFallback(t *testing.T) {
+	for _, assoc := range []int{1, 2, 15, 16, 17, 24} {
+		c := New(Config{Name: "d", SizeBytes: assoc * 64, Assoc: assoc}) // one set
+		if got := c.packed; got != (assoc <= 16) {
+			t.Fatalf("assoc %d: packed = %v", assoc, got)
+		}
+		type line struct {
+			blk   uint64
+			dirty bool
+		}
+		var model []line // MRU first
+		find := func(blk uint64) int {
+			for i := range model {
+				if model[i].blk == blk {
+					return i
+				}
+			}
+			return -1
+		}
+		rnd := rand.New(rand.NewSource(int64(assoc)))
+		for op := 0; op < 20_000; op++ {
+			blk := uint64(rnd.Intn(assoc*2)) * uint64(c.Sets())
+			switch rnd.Intn(5) {
+			case 0, 1: // access
+				write := rnd.Intn(4) == 0
+				got := c.Access(blk, write)
+				i := find(blk)
+				if got != (i >= 0) {
+					t.Fatalf("assoc %d op %d: access(%d) = %v, model %v", assoc, op, blk, got, i >= 0)
+				}
+				if i >= 0 {
+					l := model[i]
+					l.dirty = l.dirty || write
+					model = append(model[:i], model[i+1:]...)
+					model = append([]line{l}, model...)
+				}
+			case 2, 3: // fill
+				dirty := rnd.Intn(3) == 0
+				victim, wb, evicted := c.Fill(blk, dirty)
+				if i := find(blk); i >= 0 {
+					if evicted {
+						t.Fatalf("assoc %d: refresh fill evicted", assoc)
+					}
+					l := model[i]
+					l.dirty = l.dirty || dirty
+					model = append(model[:i], model[i+1:]...)
+					model = append([]line{l}, model...)
+					break
+				}
+				if len(model) == assoc {
+					last := model[len(model)-1]
+					if !evicted || victim != last.blk || wb != last.dirty {
+						t.Fatalf("assoc %d op %d: evicted %v/%d/%v, model %v/%d/%v",
+							assoc, op, evicted, victim, wb, true, last.blk, last.dirty)
+					}
+					model = model[:len(model)-1]
+				} else if evicted {
+					t.Fatalf("assoc %d: eviction from non-full set", assoc)
+				}
+				model = append([]line{{blk: blk, dirty: dirty}}, model...)
+			case 4: // invalidate
+				found, wasDirty := c.Invalidate(blk)
+				i := find(blk)
+				if found != (i >= 0) || (i >= 0 && wasDirty != model[i].dirty) {
+					t.Fatalf("assoc %d: invalidate(%d) = %v/%v", assoc, blk, found, wasDirty)
+				}
+				if i >= 0 {
+					model = append(model[:i], model[i+1:]...)
+				}
+			}
+			if c.Occupancy() != len(model) {
+				t.Fatalf("assoc %d op %d: occupancy %d, model %d", assoc, op, c.Occupancy(), len(model))
+			}
+		}
+	}
+}
+
+// TestInvalidTagBlock pins the sentinel edge case: the all-ones block
+// number can never be cached, and never false-hits.
+func TestInvalidTagBlock(t *testing.T) {
+	c := New(Config{Name: "s", SizeBytes: 2 * 64, Assoc: 2})
+	if c.Access(invalidTag, false) || c.Probe(invalidTag) {
+		t.Fatal("sentinel block hit an empty cache")
+	}
+	c.Fill(invalidTag, false)
+	if c.Probe(invalidTag) {
+		t.Fatal("sentinel block was cached")
+	}
+	if found, _ := c.Invalidate(invalidTag); found {
+		t.Fatal("sentinel block invalidated")
+	}
+}
+
 func TestMSHRMerge(t *testing.T) {
 	var got [][3]uint64
 	m := NewMSHR(4, func(now, a, b uint64) { got = append(got, [3]uint64{now, a, b}) })

@@ -21,7 +21,7 @@ package core
 import "fmt"
 
 // indexEntry maps a miss address to a packed {core, position} history
-// pointer.
+// pointer (the test-visible bucket view).
 type indexEntry struct {
 	blk uint64
 	ptr uint64
@@ -31,10 +31,19 @@ type indexEntry struct {
 // power-of-two buckets of BucketWays entries kept most-recent-first.
 // Memory traffic and latency for reaching it are charged by Meta through
 // the prefetch.Env; this structure is the authoritative contents.
+//
+// Storage is flat and column-split: all bucket keys in one array, all
+// history pointers in another, with a per-bucket occupancy count. The
+// lookup — one per off-chip demand miss — then scans a dense run of
+// keys (up to 12 x 8 bytes, at most two cache lines) with no per-bucket
+// slice headers or pointer indirection, and loads the pointer column
+// only on a hit.
 type IndexTable struct {
-	ways    int
-	shift   uint
-	buckets [][]indexEntry
+	ways  int
+	shift uint
+	keys  []uint64 // buckets x ways, bucket-major, MRU first
+	ptrs  []uint64 // history pointer for keys[i]
+	blen  []uint8  // live entries per bucket
 
 	// Stats.
 	Hits      uint64
@@ -53,32 +62,37 @@ func NewIndexTable(buckets, ways int) *IndexTable {
 	if ways <= 0 {
 		panic("core: ways must be positive")
 	}
+	if ways > 255 {
+		panic("core: ways above 255 unsupported")
+	}
 	log2 := 0
 	for 1<<log2 < buckets {
 		log2++
 	}
 	return &IndexTable{
-		ways:    ways,
-		shift:   uint(64 - log2),
-		buckets: make([][]indexEntry, buckets),
+		ways:  ways,
+		shift: uint(64 - log2),
+		keys:  make([]uint64, buckets*ways),
+		ptrs:  make([]uint64, buckets*ways),
+		blen:  make([]uint8, buckets),
 	}
 }
 
 // Buckets returns the bucket count.
-func (t *IndexTable) Buckets() int { return len(t.buckets) }
+func (t *IndexTable) Buckets() int { return len(t.blen) }
 
 // Ways returns entries per bucket.
 func (t *IndexTable) Ways() int { return t.ways }
 
 // SizeBytes returns the main-memory footprint: one 64-byte block per
 // bucket.
-func (t *IndexTable) SizeBytes() uint64 { return uint64(len(t.buckets)) * 64 }
+func (t *IndexTable) SizeBytes() uint64 { return uint64(len(t.blen)) * 64 }
 
 // Len returns the number of live entries.
 func (t *IndexTable) Len() int {
 	n := 0
-	for _, b := range t.buckets {
-		n += len(b)
+	for _, l := range t.blen {
+		n += int(l)
 	}
 	return n
 }
@@ -93,11 +107,13 @@ func (t *IndexTable) BucketOf(blk uint64) uint32 {
 // search is negligible relative to the off-chip read latency"). A lookup
 // does not reorder the bucket: only updates rewrite it.
 func (t *IndexTable) Lookup(blk uint64) (ptr uint64, ok bool) {
-	b := t.buckets[t.BucketOf(blk)]
-	for i := range b {
-		if b[i].blk == blk {
+	bi := t.BucketOf(blk)
+	base := int(bi) * t.ways
+	keys := t.keys[base : base+int(t.blen[bi])]
+	for i := range keys {
+		if keys[i] == blk {
 			t.Hits++
-			return b[i].ptr, true
+			return t.ptrs[base+i], true
 		}
 	}
 	t.Misses++
@@ -109,33 +125,40 @@ func (t *IndexTable) Lookup(blk uint64) (ptr uint64, ok bool) {
 func (t *IndexTable) Update(blk, ptr uint64) {
 	t.Updates++
 	bi := t.BucketOf(blk)
-	b := t.buckets[bi]
-	for i := range b {
-		if b[i].blk == blk {
-			e := b[i]
-			e.ptr = ptr
-			copy(b[1:i+1], b[:i])
-			b[0] = e
+	base := int(bi) * t.ways
+	n := int(t.blen[bi])
+	keys := t.keys[base : base+n]
+	for i := range keys {
+		if keys[i] == blk {
+			copy(t.keys[base+1:base+i+1], t.keys[base:base+i])
+			copy(t.ptrs[base+1:base+i+1], t.ptrs[base:base+i])
+			t.keys[base] = blk
+			t.ptrs[base] = ptr
 			return
 		}
 	}
 	t.Inserts++
-	if len(b) < t.ways {
-		b = append(b, indexEntry{})
+	if n < t.ways {
+		t.blen[bi]++
+		n++
 	} else {
 		t.Evictions++
 	}
-	copy(b[1:], b[:len(b)-1])
-	b[0] = indexEntry{blk: blk, ptr: ptr}
-	t.buckets[bi] = b
+	copy(t.keys[base+1:base+n], t.keys[base:base+n-1])
+	copy(t.ptrs[base+1:base+n], t.ptrs[base:base+n-1])
+	t.keys[base] = blk
+	t.ptrs[base] = ptr
 }
 
 // BucketLen returns the occupancy of bucket bi (tests).
-func (t *IndexTable) BucketLen(bi uint32) int { return len(t.buckets[bi]) }
+func (t *IndexTable) BucketLen(bi uint32) int { return int(t.blen[bi]) }
 
 // bucketContents returns a copy of bucket bi, MRU first (tests).
 func (t *IndexTable) bucketContents(bi uint32) []indexEntry {
-	out := make([]indexEntry, len(t.buckets[bi]))
-	copy(out, t.buckets[bi])
+	base := int(bi) * t.ways
+	out := make([]indexEntry, t.blen[bi])
+	for i := range out {
+		out[i] = indexEntry{blk: t.keys[base+i], ptr: t.ptrs[base+i]}
+	}
 	return out
 }

@@ -235,12 +235,25 @@ func (e *Engine) Step() bool {
 }
 
 func (e *Engine) fireNext() {
+	// Events cluster on the current cycle (completions scheduled for
+	// "now", same-cycle cascades): if the present bucket is non-empty it
+	// necessarily holds the earliest (time, seq) event, so the bitmap
+	// scan and the advance test are skipped entirely.
+	if b := &e.bucket[e.base&wheelMask]; b.head != nil {
+		e.fireFrom(b, e.base&wheelMask)
+		return
+	}
 	t := e.nextTime()
 	if t != e.base {
 		e.advance(t)
 	}
 	i := t & wheelMask
-	b := &e.bucket[i]
+	e.fireFrom(&e.bucket[i], i)
+}
+
+// fireFrom pops and fires the head event of bucket b (index i), which
+// the caller guarantees holds the earliest pending (time, seq).
+func (e *Engine) fireFrom(b *bucket, i uint64) {
 	ev := b.head
 	b.head = ev.next
 	if b.head == nil {
@@ -279,6 +292,26 @@ func (e *Engine) Drain(stop func() bool) {
 			return
 		}
 		e.fireNext()
+	}
+}
+
+// DrainEvery is Drain with the predicate polled once per stride events
+// instead of between every pair: the indirect call and its spilled
+// registers stay off the firing loop. Cancellation latency rises to at
+// most stride events — the simulator polls its context on the same
+// order of granularity anyway.
+func (e *Engine) DrainEvery(stride int, stop func() bool) {
+	if stride < 1 || stop == nil {
+		e.Drain(stop)
+		return
+	}
+	for e.n > 0 {
+		if stop() {
+			return
+		}
+		for i := 0; i < stride && e.n > 0; i++ {
+			e.fireNext()
+		}
 	}
 }
 

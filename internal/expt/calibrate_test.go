@@ -6,7 +6,7 @@ import (
 	"stms/internal/sim"
 )
 
-// TestCalibrationTargets asserts the workload calibration of DESIGN.md §6
+// TestCalibrationTargets asserts the workload calibration of DESIGN.md §8
 // at the standard experiment scale: coverage, speedup and MLP bands per
 // workload, and the headline STMS-vs-ideal ratio — the numbers the
 // reproduction reports against the paper. Slow (~1 min): skipped with

@@ -25,15 +25,21 @@ import (
 )
 
 // Lab is a simulation session: a base system configuration, an
-// execution-parallelism budget, an optional progress sink, and a memo
-// of completed cells. A Lab is safe for concurrent use.
+// execution-parallelism budget, an optional progress sink, a memo of
+// completed cells, and a bounded cache of materialized trace tapes
+// shared by every cell with the same trace identity. A Lab is safe for
+// concurrent use.
 type Lab struct {
 	base    sim.Config
 	par     int
 	onEvent func(ResultEvent)
 
-	mu   sync.Mutex
-	memo map[string]*sim.Results
+	mu    sync.Mutex
+	memo  map[string]*sim.Results
+	tapes *tapeCache // nil = tape caching disabled (live generation)
+	simNS int64      // cumulative cell simulation time, excluding tape access
+
+	tapeBytes int64 // resolved WithTapeCache budget
 }
 
 // Option configures a Lab at construction time.
@@ -44,9 +50,10 @@ type Option func(*Lab) error
 // errors and configuration errors are returned, never panicked.
 func New(opts ...Option) (*Lab, error) {
 	l := &Lab{
-		base: sim.DefaultConfig(),
-		par:  runtime.NumCPU(),
-		memo: make(map[string]*sim.Results),
+		base:      sim.DefaultConfig(),
+		par:       runtime.NumCPU(),
+		memo:      make(map[string]*sim.Results),
+		tapeBytes: defaultTapeCacheBytes,
 	}
 	for _, opt := range opts {
 		if opt == nil {
@@ -58,6 +65,9 @@ func New(opts ...Option) (*Lab, error) {
 	}
 	if err := l.base.Validate(); err != nil {
 		return nil, err
+	}
+	if l.tapeBytes > 0 {
+		l.tapes = newTapeCache(l.tapeBytes)
 	}
 	return l, nil
 }
@@ -114,6 +124,23 @@ func WithParallelism(n int) Option {
 func WithBaseConfig(cfg sim.Config) Option {
 	return func(l *Lab) error {
 		l.base = cfg
+		return nil
+	}
+}
+
+// WithTapeCache bounds the session's materialized-trace cache in bytes
+// (default 512 MB). Cells sharing a trace identity — scaled spec, seed,
+// cores, record budget — replay one columnar tape instead of
+// re-deriving the record stream per variant; results are bit-identical
+// either way. A budget of 0 disables tapes entirely (cells generate
+// live, as the sim package's free functions do); negative budgets are
+// invalid.
+func WithTapeCache(maxBytes int64) Option {
+	return func(l *Lab) error {
+		if maxBytes < 0 {
+			return fmt.Errorf("lab: tape cache budget must be >= 0, got %d", maxBytes)
+		}
+		l.tapeBytes = maxBytes
 		return nil
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stms/internal/sim"
@@ -126,6 +127,48 @@ feed:
 	return m, m.Err()
 }
 
+// simulate executes one cell's simulation, serving its record stream
+// from the session tape cache when enabled: every cell with the same
+// trace identity replays one materialized tape. tapeWait is how much of
+// the cell's wall time went to tape access (building, or waiting on a
+// sibling's build) rather than simulation.
+func (l *Lab) simulate(ctx context.Context, cell *Cell) (res sim.Results, tapeWait time.Duration, err error) {
+	if l.tapes == nil {
+		switch cell.Mode {
+		case Functional:
+			res, err = sim.RunFunctionalCtx(ctx, cell.Config, cell.Spec, cell.Pref, nil)
+		default:
+			res, err = sim.RunTimedCtx(ctx, cell.Config, cell.Spec, cell.Pref, nil)
+		}
+		return res, 0, err
+	}
+	// Validate before touching the tape cache — the sim entry points
+	// validate again, but only after the tape exists, and a cell with a
+	// broken per-cell override must not cost a tape build.
+	if err := cell.Config.Validate(); err != nil {
+		return sim.Results{}, 0, err
+	}
+	key := tapeKey{
+		spec:    cell.Spec.Scaled(cell.Config.Scale),
+		seed:    cell.Config.Seed,
+		cores:   cell.Config.Cores,
+		perCore: cell.Config.WarmRecords + cell.Config.MeasureRecords,
+	}
+	t0 := time.Now()
+	tape, err := l.tapeFor(ctx, key)
+	tapeWait = time.Since(t0)
+	if err != nil {
+		return sim.Results{}, tapeWait, err
+	}
+	switch cell.Mode {
+	case Functional:
+		res, err = sim.RunFunctionalTapeCtx(ctx, cell.Config, tape, cell.Pref, nil)
+	default:
+		res, err = sim.RunTimedTapeCtx(ctx, cell.Config, tape, cell.Pref, nil)
+	}
+	return res, tapeWait, err
+}
+
 // runState carries the per-Run bookkeeping shared by the workers.
 type runState struct {
 	lab   *Lab
@@ -162,6 +205,7 @@ func (st *runState) runCell(ctx context.Context, i int) {
 
 	var res sim.Results
 	var err error
+	var tapeWait time.Duration
 	func() {
 		// The simulator substrate panics on internal invariant breaks;
 		// contain those to the failing cell.
@@ -170,15 +214,11 @@ func (st *runState) runCell(ctx context.Context, i int) {
 				err = fmt.Errorf("lab: cell %s/%s panicked: %v", cell.Workload, cell.Label, r)
 			}
 		}()
-		switch cell.Mode {
-		case Functional:
-			res, err = sim.RunFunctionalCtx(ctx, cell.Config, cell.Spec, cell.Pref, nil)
-		default:
-			res, err = sim.RunTimedCtx(ctx, cell.Config, cell.Spec, cell.Pref, nil)
-		}
+		res, tapeWait, err = st.lab.simulate(ctx, &cell)
 	}()
 
 	cr.Wall = time.Since(start)
+	atomic.AddInt64(&st.lab.simNS, int64(cr.Wall-tapeWait))
 	if err != nil {
 		if ctx.Err() == nil {
 			// Real cell failure, not cancellation fallout: record it on

@@ -2,6 +2,12 @@ package mem
 
 import "math/bits"
 
+// emptyKey marks a free slot directly in the key array, so the probe
+// loop touches one contiguous array instead of a parallel occupancy
+// array. Block numbers stay far below 2^64 (the trace arenas end near
+// 2^41); the public methods guard the one unusable key explicitly.
+const emptyKey = ^uint64(0)
+
 // BlockMap is a small open-addressed hash table from block numbers to
 // int32 values, built for the simulator's per-access hot paths (MSHR
 // files, prefetch buffers) where a built-in map's hashing, bucket
@@ -15,7 +21,6 @@ import "math/bits"
 type BlockMap struct {
 	keys []uint64
 	vals []int32
-	live []bool
 	n    int
 	mask uint64
 }
@@ -34,8 +39,10 @@ func NewBlockMap(hint int) *BlockMap {
 
 func (m *BlockMap) init(size int) {
 	m.keys = make([]uint64, size)
+	for i := range m.keys {
+		m.keys[i] = emptyKey
+	}
 	m.vals = make([]int32, size)
-	m.live = make([]bool, size)
 	m.mask = uint64(size - 1)
 }
 
@@ -50,12 +57,17 @@ func (m *BlockMap) home(k uint64) uint64 {
 
 // Get returns the value stored for k.
 func (m *BlockMap) Get(k uint64) (int32, bool) {
-	for i := m.home(k); m.live[i]; i = (i + 1) & m.mask {
-		if m.keys[i] == k {
+	if k == emptyKey {
+		return 0, false
+	}
+	for i := m.home(k); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case k:
 			return m.vals[i], true
+		case emptyKey:
+			return 0, false
 		}
 	}
-	return 0, false
 }
 
 // Contains reports whether k is present.
@@ -64,13 +76,17 @@ func (m *BlockMap) Contains(k uint64) bool {
 	return ok
 }
 
-// Put inserts or replaces the value for k.
+// Put inserts or replaces the value for k. The all-ones key is reserved
+// and silently ignored (no block number reaches it).
 func (m *BlockMap) Put(k uint64, v int32) {
+	if k == emptyKey {
+		return
+	}
 	if 2*(m.n+1) > len(m.keys) {
 		m.grow()
 	}
 	i := m.home(k)
-	for m.live[i] {
+	for m.keys[i] != emptyKey {
 		if m.keys[i] == k {
 			m.vals[i] = v
 			return
@@ -79,16 +95,18 @@ func (m *BlockMap) Put(k uint64, v int32) {
 	}
 	m.keys[i] = k
 	m.vals[i] = v
-	m.live[i] = true
 	m.n++
 }
 
 // Delete removes k, reporting whether it was present. Removal backward-
 // shifts the following probe run so no tombstones accumulate.
 func (m *BlockMap) Delete(k uint64) bool {
+	if k == emptyKey {
+		return false
+	}
 	i := m.home(k)
 	for {
-		if !m.live[i] {
+		if m.keys[i] == emptyKey {
 			return false
 		}
 		if m.keys[i] == k {
@@ -100,11 +118,11 @@ func (m *BlockMap) Delete(k uint64) bool {
 	// hole back into it, then continue from the entry's old slot.
 	j := i
 	for {
-		m.live[j] = false
+		m.keys[j] = emptyKey
 		s := j
 		for {
 			s = (s + 1) & m.mask
-			if !m.live[s] {
+			if m.keys[s] == emptyKey {
 				m.n--
 				return true
 			}
@@ -114,7 +132,6 @@ func (m *BlockMap) Delete(k uint64) bool {
 			if (s-h)&m.mask >= (s-j)&m.mask {
 				m.keys[j] = m.keys[s]
 				m.vals[j] = m.vals[s]
-				m.live[j] = true
 				j = s
 				break
 			}
@@ -123,12 +140,12 @@ func (m *BlockMap) Delete(k uint64) bool {
 }
 
 func (m *BlockMap) grow() {
-	keys, vals, live := m.keys, m.vals, m.live
+	keys, vals := m.keys, m.vals
 	m.init(2 * len(keys))
 	m.n = 0
-	for i, ok := range live {
-		if ok {
-			m.Put(keys[i], vals[i])
+	for i, k := range keys {
+		if k != emptyKey {
+			m.Put(k, vals[i])
 		}
 	}
 }

@@ -32,6 +32,14 @@ type Buffer struct {
 	tail  int32 // newest
 	ready int   // ready && !claimed entries (evictable)
 
+	// readyBy counts evictable entries per owning stream (sums to
+	// ready). The engine's issue pump calls HasSpaceFor on every
+	// credit, so the "is there an evictable block of another stream"
+	// question must be O(1), not a list walk: it is ready > readyBy[s].
+	// The table is tiny (bounded by cap, a handful in practice) and
+	// linear-scanned.
+	readyBy []streamCount
+
 	waiters []pbWaiter
 	freeW   int32
 
@@ -67,6 +75,39 @@ type pbWaiter struct {
 
 const pbNil = int32(-1)
 
+// streamCount is one readyBy bucket.
+type streamCount struct {
+	stream uint64
+	n      int
+}
+
+// readyDelta adjusts the evictable count: the global total and the
+// owning stream's bucket (buckets vanish at zero to keep scans short).
+func (b *Buffer) readyDelta(stream uint64, d int) {
+	b.ready += d
+	for j := range b.readyBy {
+		if b.readyBy[j].stream == stream {
+			if b.readyBy[j].n += d; b.readyBy[j].n == 0 {
+				last := len(b.readyBy) - 1
+				b.readyBy[j] = b.readyBy[last]
+				b.readyBy = b.readyBy[:last]
+			}
+			return
+		}
+	}
+	b.readyBy = append(b.readyBy, streamCount{stream: stream, n: d})
+}
+
+// readyOf returns how many evictable entries stream owns.
+func (b *Buffer) readyOf(stream uint64) int {
+	for j := range b.readyBy {
+		if b.readyBy[j].stream == stream {
+			return b.readyBy[j].n
+		}
+	}
+	return 0
+}
+
 // NewBuffer creates a buffer holding capacity blocks.
 func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
@@ -99,16 +140,10 @@ func (b *Buffer) HasSpaceFor(stream uint64) bool {
 	if b.m.Len() < b.cap {
 		return true
 	}
-	if b.ready == 0 {
-		return false
-	}
-	for i := b.head; i != pbNil; i = b.nodes[i].next {
-		n := &b.nodes[i]
-		if n.readyOK && !n.claimed && n.stream != stream {
-			return true
-		}
-	}
-	return false
+	// Equivalent to scanning for a ready-unused entry of another
+	// stream: such an entry exists iff some other stream owns one of
+	// the evictable blocks.
+	return b.ready > b.readyOf(stream)
 }
 
 func (b *Buffer) detach(i int32) {
@@ -180,7 +215,7 @@ func (b *Buffer) evictOne(stream uint64) bool {
 	for i := b.head; i != pbNil; i = b.nodes[i].next {
 		n := &b.nodes[i]
 		if n.readyOK && !n.claimed && n.stream != stream {
-			b.ready--
+			b.readyDelta(n.stream, -1)
 			b.EvictedUnused++
 			b.release(i)
 			return true
@@ -241,7 +276,7 @@ func (b *Buffer) Arrived(blk uint64, t uint64) (stream, pos uint64, claimed, ok 
 		b.fireWaiters(head, t)
 		return stream, pos, true, true
 	}
-	b.ready++
+	b.readyDelta(n.stream, 1)
 	return n.stream, n.pos, false, true
 }
 
@@ -258,7 +293,7 @@ func (b *Buffer) Probe(blk uint64, w event.Handler, wkind uint8, wa, wb uint64) 
 	n := &b.nodes[i]
 	if n.readyOK {
 		if !n.claimed {
-			b.ready--
+			b.readyDelta(n.stream, -1)
 		}
 		b.FullHits++
 		res = ProbeResult{State: ProbeReady, ReadyAt: n.readyAt}
@@ -288,7 +323,7 @@ func (b *Buffer) DropStream(stream uint64) {
 		next := b.nodes[i].next
 		n := &b.nodes[i]
 		if n.stream == stream && n.readyOK && !n.claimed {
-			b.ready--
+			b.readyDelta(n.stream, -1)
 			b.EvictedUnused++
 			b.release(i)
 		}

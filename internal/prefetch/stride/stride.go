@@ -46,9 +46,14 @@ type Stats struct {
 
 // Prefetcher is the stride detector. Not safe for concurrent use; the
 // simulator is single-threaded.
+//
+// pcs mirrors entries[i].pc for the valid entries so the per-L1-miss
+// lookup scans one dense uint32 array (64 bytes at the default 16
+// entries) instead of walking the full entry structs.
 type Prefetcher struct {
 	cfg     Config
 	entries []entry
+	pcs     []uint32
 	tick    uint64
 	stats   Stats
 }
@@ -64,7 +69,11 @@ func New(cfg Config) *Prefetcher {
 	if cfg.MinConfidence <= 0 {
 		cfg.MinConfidence = 2
 	}
-	return &Prefetcher{cfg: cfg, entries: make([]entry, cfg.Entries)}
+	return &Prefetcher{
+		cfg:     cfg,
+		entries: make([]entry, cfg.Entries),
+		pcs:     make([]uint32, cfg.Entries),
+	}
 }
 
 // Stats returns detector counters.
@@ -78,8 +87,9 @@ func (p *Prefetcher) Observe(pc uint32, blk uint64, emit func(blk uint64)) {
 	p.stats.Observations++
 	e := p.find(pc)
 	if e == nil {
-		e = p.victim()
+		e, i := p.victim()
 		*e = entry{pc: pc, lastBlk: blk, valid: true, lastUse: p.tick}
+		p.pcs[i] = pc
 		return
 	}
 	e.lastUse = p.tick
@@ -138,24 +148,25 @@ func covered(stride int64, candidate, blk uint64, degree int) bool {
 }
 
 func (p *Prefetcher) find(pc uint32) *entry {
-	for i := range p.entries {
-		if p.entries[i].valid && p.entries[i].pc == pc {
+	for i := range p.pcs {
+		if p.pcs[i] == pc && p.entries[i].valid {
 			return &p.entries[i]
 		}
 	}
 	return nil
 }
 
-func (p *Prefetcher) victim() *entry {
+func (p *Prefetcher) victim() (*entry, int) {
+	vi := 0
 	var v *entry
 	for i := range p.entries {
 		e := &p.entries[i]
 		if !e.valid {
-			return e
+			return e, i
 		}
 		if v == nil || e.lastUse < v.lastUse {
-			v = e
+			v, vi = e, i
 		}
 	}
-	return v
+	return v, vi
 }

@@ -82,14 +82,47 @@ func RunFunctional(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 // optional progress hook. The context is polled every few thousand
 // records; on cancellation ctx.Err() is returned. Configuration errors
 // are returned rather than panicking.
+//
+// This is the live-generation path; like the timed driver, its Results
+// are bit-identical to replaying a trace.Tape of the same identity
+// through RunFunctionalTapeCtx.
 func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress) (Results, error) {
-	if ctx == nil {
-		ctx = context.Background() // nil = never cancelled
-	}
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
 	scaled := spec.Scaled(cfg.Scale)
+	lib := trace.NewLibrary(scaled, cfg.Seed)
+	gens := make([]trace.Generator, cfg.Cores)
+	for i := range gens {
+		gens[i] = trace.NewGenerator(lib, i, cfg.Seed)
+	}
+	return runFunctional(ctx, cfg, scaled, gens, ps, progress)
+}
+
+// RunFunctionalTapeCtx executes the functional driver over a
+// materialized columnar tape (same contract as RunTimedTapeCtx: the
+// tape's identity must match the configuration's trace identity).
+func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefSpec, progress Progress) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	perCore := cfg.WarmRecords + cfg.MeasureRecords
+	if err := tapeFits(cfg, tape, perCore); err != nil {
+		return Results{}, err
+	}
+	gens := make([]trace.Generator, cfg.Cores)
+	for i := range gens {
+		gens[i] = tape.CursorN(i, perCore)
+	}
+	return runFunctional(ctx, cfg, tape.Spec(), gens, ps, progress)
+}
+
+// runFunctional drives the zero-latency system over per-core record
+// generators, round-robin, one record per core per tick.
+func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, ps PrefSpec, progress Progress) (Results, error) {
+	if ctx == nil {
+		ctx = context.Background() // nil = never cancelled
+	}
 	s := &functional{
 		cfg:         cfg,
 		spec:        scaled,
@@ -100,11 +133,8 @@ func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefS
 	s.strideIssue = s.stridePrefetch
 	s.pref = buildPrefetcher(funcEnv{s}, cfg, ps)
 
-	lib := trace.NewLibrary(scaled, cfg.Seed)
-	gens := make([]trace.Generator, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		s.l1 = append(s.l1, cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1(), Assoc: cfg.L1Assoc}))
-		gens[i] = trace.NewGenerator(lib, i, cfg.Seed)
 	}
 
 	warmTotal := cfg.WarmRecords * uint64(cfg.Cores)

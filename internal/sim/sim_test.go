@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"stms/internal/core"
@@ -342,6 +343,81 @@ func TestAltIndexOrgsEndToEnd(t *testing.T) {
 
 // TestRunTimedTraceReplay: replaying a captured trace must drive the full
 // timed system and reproduce the synthetic run's coverage ballpark.
+// TestTapeReplayMatchesLive is the tape contract at the driver level:
+// replaying a materialized tape produces Results bit-identical to live
+// generation, for both drivers, across prefetcher variants sharing one
+// tape, and with a tape budget larger than the run.
+func TestTapeReplayMatchesLive(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmRecords = 2_000
+	cfg.MeasureRecords = 4_000
+	perCore := cfg.WarmRecords + cfg.MeasureRecords
+	for _, name := range []string{"web-apache", "sci-moldyn"} {
+		ws := spec(t, name)
+		scaled := ws.Scaled(cfg.Scale)
+		tape := trace.NewTape(scaled, cfg.Seed, cfg.Cores, perCore)
+		for _, ps := range []PrefSpec{{Kind: None}, {Kind: Ideal}, {Kind: STMS, SampleProb: 0.125}} {
+			live := RunTimed(cfg, ws, ps)
+			replay, err := RunTimedTapeCtx(nil, cfg, tape, ps, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(live, replay) {
+				t.Fatalf("%s/%s: timed tape replay differs from live:\n%+v\n%+v",
+					name, ps.Kind, replay, live)
+			}
+			liveF := RunFunctional(cfg, ws, ps)
+			replayF, err := RunFunctionalTapeCtx(nil, cfg, tape, ps, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(liveF, replayF) {
+				t.Fatalf("%s/%s: functional tape replay differs from live", name, ps.Kind)
+			}
+		}
+	}
+
+	// An oversized tape replays the same run (cursors are capped).
+	ws := spec(t, "oltp-db2")
+	big := trace.NewTape(ws.Scaled(cfg.Scale), cfg.Seed, cfg.Cores, perCore+5_000)
+	live := RunTimed(cfg, ws, PrefSpec{Kind: STMS})
+	replay, err := RunTimedTapeCtx(nil, cfg, big, PrefSpec{Kind: STMS}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replay) {
+		t.Fatal("oversized tape replay differs from live")
+	}
+}
+
+// TestTapeMismatchRejected covers the tapeFits validation.
+func TestTapeMismatchRejected(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmRecords = 500
+	cfg.MeasureRecords = 500
+	scaled := spec(t, "web-zeus").Scaled(cfg.Scale)
+	tape := trace.NewTape(scaled, cfg.Seed, cfg.Cores, 1_000)
+
+	if _, err := RunTimedTapeCtx(nil, cfg, nil, PrefSpec{}, nil); err == nil {
+		t.Fatal("nil tape accepted")
+	}
+	bad := cfg
+	bad.Seed++
+	if _, err := RunTimedTapeCtx(nil, bad, tape, PrefSpec{}, nil); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	bad = cfg
+	bad.Cores++
+	if _, err := RunTimedTapeCtx(nil, bad, tape, PrefSpec{}, nil); err == nil {
+		t.Fatal("core-count mismatch accepted")
+	}
+	bad = cfg
+	bad.MeasureRecords += 1_000
+	if _, err := RunFunctionalTapeCtx(nil, bad, tape, PrefSpec{}, nil); err == nil {
+		t.Fatal("undersized tape accepted")
+	}
+}
+
 func TestRunTimedTraceReplay(t *testing.T) {
 	cfg := testConfig()
 	cfg.WarmRecords = 10_000

@@ -215,6 +215,13 @@ func RunTimed(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 // progress hook. The context is polled every few thousand records; on
 // cancellation the simulation stops promptly and ctx.Err() is returned.
 // Configuration errors are returned rather than panicking.
+//
+// This is the live-generation path: records are produced by the
+// workload generators inside the simulation loop. Per-core generation
+// is a pure function of (spec, seed, core), so the results are
+// bit-identical to replaying a trace.Tape of the same identity through
+// RunTimedTapeCtx — which is cheaper when the trace is consumed more
+// than once (the lab's run matrix does exactly that).
 func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
@@ -227,6 +234,41 @@ func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, 
 		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
 	}
 	return runTimed(ctx, cfg, scaled, gens, ps, progress, total*uint64(cfg.Cores))
+}
+
+// RunTimedTapeCtx executes the timed simulation over a materialized
+// columnar tape instead of live generators. The tape must have been
+// built for this configuration's trace identity — same scaled spec,
+// seed, core count, and a per-core budget covering warm + measure —
+// and then Results are bit-identical to RunTimedCtx at the same seed.
+func RunTimedTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefSpec, progress Progress) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	total := cfg.WarmRecords + cfg.MeasureRecords
+	if err := tapeFits(cfg, tape, total); err != nil {
+		return Results{}, err
+	}
+	gens := make([]trace.Generator, cfg.Cores)
+	for i := range gens {
+		gens[i] = tape.CursorN(i, total)
+	}
+	return runTimed(ctx, cfg, tape.Spec(), gens, ps, progress, total*uint64(cfg.Cores))
+}
+
+// tapeFits verifies a tape covers the run a config describes.
+func tapeFits(cfg Config, tape *trace.Tape, perCore uint64) error {
+	switch {
+	case tape == nil:
+		return fmt.Errorf("sim: nil tape")
+	case tape.Cores() != cfg.Cores:
+		return fmt.Errorf("sim: tape holds %d cores, config needs %d", tape.Cores(), cfg.Cores)
+	case tape.Seed() != cfg.Seed:
+		return fmt.Errorf("sim: tape seed %d, config seed %d", tape.Seed(), cfg.Seed)
+	case tape.PerCore() < perCore:
+		return fmt.Errorf("sim: tape budget %d records/core, run needs %d", tape.PerCore(), perCore)
+	}
+	return nil
 }
 
 // RunTimedTrace executes the timed simulation over externally supplied
@@ -289,15 +331,12 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 	}
 	// Drain everything: cores stop when their bounded generators run dry;
 	// outstanding memory and meta-data events then settle. The stop
-	// predicate polls the context between events (on a stride, so the poll
-	// stays off profiles) — it also catches cancellation during the drain
-	// tail, after the generators have gone dry and noteRecord stops firing.
-	var steps uint64
-	s.eng.Drain(func() bool {
-		if s.aborted {
-			return true
-		}
-		if steps++; steps%pollEvery == 0 && ctx.Err() != nil {
+	// predicate is polled every pollEvery events (the engine keeps the
+	// indirect call off the firing loop) — it also catches cancellation
+	// during the drain tail, after the generators have gone dry and
+	// noteRecord stops firing.
+	s.eng.DrainEvery(pollEvery, func() bool {
+		if !s.aborted && ctx.Err() != nil {
 			s.aborted = true
 		}
 		return s.aborted

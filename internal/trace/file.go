@@ -1,12 +1,11 @@
 package trace
 
-// Trace file I/O: a compact binary format so users can capture generated
-// traces (or convert their own application miss traces) and replay them
-// through the simulator. cmd/stms-trace writes these; any Generator
-// consumer accepts a Reader.
+// Trace file I/O. Two on-disk formats share this file:
 //
-// Format: a 16-byte header ("STMSTRC1", record count as little-endian
-// uint64) followed by fixed 24-byte records:
+//   - Flat record traces ("STMSTRC1"): a 16-byte header (magic, record
+//     count as little-endian uint64) followed by fixed 24-byte records —
+//     the interchange format for converting an application's own miss
+//     trace:
 //
 //	offset size field
 //	0      8    block number
@@ -15,17 +14,57 @@ package trace
 //	16     4    dispatch-cycle cost
 //	20     1    flags (bit 0: Dep)
 //	21     3    reserved (zero)
+//
+//   - Columnar tapes ("STMSTAPE"): the versioned serialization of a
+//     trace.Tape — magic, format version, (seed, cores, per-core
+//     budget), the scaled workload spec as length-prefixed JSON, then
+//     each core's encoded columns with u64 length prefixes. Tapes carry
+//     per-core segments natively (no round-robin re-dealing on replay)
+//     and are typically ~2.5x smaller than the flat format.
+//
+// cmd/stms-trace writes both; DetectFormat dispatches a reader on the
+// magic. Any Generator consumer accepts a FileReader or a tape Cursor.
 
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
-var fileMagic = [8]byte{'S', 'T', 'M', 'S', 'T', 'R', 'C', '1'}
+var (
+	fileMagic = [8]byte{'S', 'T', 'M', 'S', 'T', 'R', 'C', '1'}
+	tapeMagic = [8]byte{'S', 'T', 'M', 'S', 'T', 'A', 'P', 'E'}
+)
+
+// tapeVersion is the current tape serialization version. Readers reject
+// versions they do not understand.
+const tapeVersion = 1
 
 const fileRecSize = 24
+
+// Format identifies an on-disk trace flavour.
+type Format int
+
+// Trace file formats.
+const (
+	FormatUnknown Format = iota
+	FormatRecords        // flat fixed-size records ("STMSTRC1")
+	FormatTape           // columnar tape ("STMSTAPE")
+)
+
+// DetectFormat classifies a trace file by its first 8 bytes.
+func DetectFormat(magic [8]byte) Format {
+	switch magic {
+	case fileMagic:
+		return FormatRecords
+	case tapeMagic:
+		return FormatTape
+	}
+	return FormatUnknown
+}
 
 // Writer streams records to an io.Writer in the trace file format. Close
 // must be called to flush; the record count is carried in the header, so
@@ -146,4 +185,248 @@ func Capture(gen Generator, n int) []Record {
 		out = append(out, rec)
 	}
 	return out
+}
+
+// WriteTape serializes t to w in the versioned columnar tape format.
+// ReadTape recovers a tape that replays identically (lossless).
+func WriteTape(w io.Writer, t *Tape) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(tapeMagic[:]); err != nil {
+		return err
+	}
+	specJSON, err := json.Marshal(t.spec)
+	if err != nil {
+		return fmt.Errorf("trace: encoding tape spec: %w", err)
+	}
+	writeU64 := func(v uint64) { _ = binary.Write(bw, binary.LittleEndian, v) }
+	writeU64(tapeVersion)
+	writeU64(t.seed)
+	writeU64(uint64(len(t.cores)))
+	writeU64(t.perCore)
+	writeU64(uint64(len(specJSON)))
+	if _, err := bw.Write(specJSON); err != nil {
+		return err
+	}
+	for i := range t.cores {
+		c := &t.cores[i]
+		writeU64(c.n)
+		writeU64(uint64(len(c.data)))
+		if _, err := bw.Write(c.data); err != nil {
+			return err
+		}
+		writeU64(uint64(len(c.pairs)))
+		for _, pair := range c.pairs {
+			writeU64(pair)
+		}
+		writeU64(uint64(len(c.dep)))
+		for _, word := range c.dep {
+			writeU64(word)
+		}
+		writeU64(uint64(len(c.pcDict)))
+		for _, pc := range c.pcDict {
+			_ = binary.Write(bw, binary.LittleEndian, pc)
+		}
+		if c.pcIdx != nil {
+			writeU64(1) // dictionary-indexed PC column follows
+			writeU64(uint64(len(c.pcIdx)))
+			if _, err := bw.Write(c.pcIdx); err != nil {
+				return err
+			}
+		} else {
+			writeU64(0) // raw PC column follows
+			writeU64(uint64(len(c.pcRaw)))
+			for _, pc := range c.pcRaw {
+				_ = binary.Write(bw, binary.LittleEndian, pc)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// tapeReader tracks the first error while decoding tape sections.
+type tapeReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (tr *tapeReader) u64() uint64 {
+	var v uint64
+	if tr.err == nil {
+		tr.err = binary.Read(tr.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+// length reads a section length and sanity-bounds it so a corrupt file
+// cannot provoke huge allocations.
+func (tr *tapeReader) length(what string) int {
+	return tr.sized(what, 0, 1<<34)
+}
+
+// sized reads a section length and requires lo <= n <= hi; out-of-band
+// lengths become errors (and a zero length) before any allocation.
+func (tr *tapeReader) sized(what string, lo, hi uint64) int {
+	n := tr.u64()
+	if tr.err == nil && (n < lo || n > hi) {
+		tr.err = fmt.Errorf("trace: tape %s length %d outside [%d, %d]", what, n, lo, hi)
+	}
+	if tr.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (tr *tapeReader) bytes(n int) []byte {
+	if tr.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(tr.r, b); err != nil {
+		tr.err = err
+		return nil
+	}
+	return b
+}
+
+// ReadTape deserializes a columnar tape written by WriteTape.
+func ReadTape(r io.Reader) (*Tape, error) {
+	tr := &tapeReader{r: bufio.NewReader(r)}
+	var magic [8]byte
+	if _, err := io.ReadFull(tr.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading tape header: %w", err)
+	}
+	if DetectFormat(magic) != FormatTape {
+		return nil, fmt.Errorf("trace: bad tape magic %q", magic[:])
+	}
+	if v := tr.u64(); tr.err == nil && v != tapeVersion {
+		return nil, fmt.Errorf("trace: unsupported tape version %d (have %d)", v, tapeVersion)
+	}
+	t := &Tape{seed: tr.u64()}
+	cores := tr.length("core count")
+	t.perCore = tr.u64()
+	specJSON := tr.bytes(tr.length("spec"))
+	if tr.err == nil {
+		if err := json.Unmarshal(specJSON, &t.spec); err != nil {
+			return nil, fmt.Errorf("trace: decoding tape spec: %w", err)
+		}
+	}
+	if tr.err == nil && (cores <= 0 || cores > math.MaxUint16) {
+		return nil, fmt.Errorf("trace: implausible tape core count %d", cores)
+	}
+	if tr.err != nil {
+		return nil, fmt.Errorf("trace: reading tape: %w", tr.err)
+	}
+	t.cores = make([]tapeColumns, cores)
+	for i := range t.cores {
+		c := &t.cores[i]
+		c.n = tr.u64()
+		// Every column length is cross-checkable against the record
+		// count before anything is allocated, so a corrupt or crafted
+		// file produces an error, never a multi-gigabyte make() (which
+		// would be a fatal OOM, not a recoverable failure).
+		if tr.err == nil && c.n > 1<<34 {
+			tr.err = fmt.Errorf("implausible record count %d", c.n)
+		}
+		c.data = tr.bytes(tr.sized("data", 0, 32*c.n+16))
+		c.pairs = make([]uint64, tr.sized("cost pairs", 0, costEscape))
+		for j := range c.pairs {
+			c.pairs[j] = tr.u64()
+		}
+		depWords := (c.n + 63) / 64
+		c.dep = make([]uint64, tr.sized("dep", depWords, depWords))
+		for j := range c.dep {
+			c.dep[j] = tr.u64()
+		}
+		c.pcDict = make([]uint32, tr.sized("pc dict", 0, 256))
+		if tr.err == nil {
+			tr.err = binary.Read(tr.r, binary.LittleEndian, c.pcDict)
+		}
+		switch mode := tr.u64(); {
+		case tr.err != nil:
+		case mode == 1:
+			c.pcIdx = tr.bytes(tr.sized("pc index", c.n, c.n))
+			c.pcRaw = nil
+		case mode == 0:
+			c.pcDict = nil
+			c.pcRaw = make([]uint32, tr.sized("pc raw", c.n, c.n))
+			if tr.err == nil {
+				tr.err = binary.Read(tr.r, binary.LittleEndian, c.pcRaw)
+			}
+		default:
+			tr.err = fmt.Errorf("trace: unknown tape PC column mode %d", mode)
+		}
+		if tr.err == nil {
+			tr.err = c.validate()
+		}
+		if tr.err != nil {
+			return nil, fmt.Errorf("trace: reading tape core %d: %w", i, tr.err)
+		}
+		t.bytes += c.footprint()
+	}
+	return t, nil
+}
+
+// validate checks a decoded segment's internal consistency so replay
+// cannot index out of bounds on a corrupt file.
+func (c *tapeColumns) validate() error {
+	switch {
+	case c.pcIdx != nil && uint64(len(c.pcIdx)) != c.n:
+		return fmt.Errorf("pc index column holds %d of %d records", len(c.pcIdx), c.n)
+	case c.pcIdx == nil && uint64(len(c.pcRaw)) != c.n:
+		return fmt.Errorf("pc raw column holds %d of %d records", len(c.pcRaw), c.n)
+	case uint64(len(c.dep))*64 < c.n:
+		return fmt.Errorf("dep bitset holds %d bits for %d records", len(c.dep)*64, c.n)
+	}
+	for _, idx := range c.pcIdx {
+		if int(idx) >= len(c.pcDict) {
+			return fmt.Errorf("pc index %d outside dictionary of %d", idx, len(c.pcDict))
+		}
+	}
+	if len(c.pairs) > costEscape {
+		return fmt.Errorf("cost-pair dictionary holds %d entries (max %d)", len(c.pairs), costEscape)
+	}
+	// The interleaved stream must decode exactly n records within bounds.
+	off := 0
+	for i := uint64(0); i < c.n; i++ {
+		if _, off = readUvarintChecked(c.data, off); off < 0 {
+			return fmt.Errorf("data stream corrupt in record %d's block delta", i)
+		}
+		if off >= len(c.data) {
+			return fmt.Errorf("data stream truncated at record %d's cost byte", i)
+		}
+		pi := c.data[off]
+		off++
+		if pi == costEscape {
+			if _, off = readUvarintChecked(c.data, off); off < 0 {
+				return fmt.Errorf("data stream corrupt in record %d's instrs", i)
+			}
+			if _, off = readUvarintChecked(c.data, off); off < 0 {
+				return fmt.Errorf("data stream corrupt in record %d's work", i)
+			}
+		} else if int(pi) >= len(c.pairs) {
+			return fmt.Errorf("record %d cost index %d outside dictionary of %d", i, pi, len(c.pairs))
+		}
+	}
+	if off != len(c.data) {
+		return fmt.Errorf("data stream has %d trailing bytes", len(c.data)-off)
+	}
+	return nil
+}
+
+// readUvarintChecked is readUvarint with bounds checking for validation;
+// it returns off = -1 on truncation or overlong encodings.
+func readUvarintChecked(b []byte, off int) (uint64, int) {
+	var v uint64
+	for shift := uint(0); shift < 70; shift += 7 {
+		if off >= len(b) {
+			return 0, -1
+		}
+		c := b[off]
+		off++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, off
+		}
+	}
+	return 0, -1
 }

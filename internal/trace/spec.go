@@ -16,7 +16,7 @@ const (
 // Spec describes one synthetic workload. All sizes are in 64-byte blocks
 // unless noted. The calibration targets each spec aims for (ideal
 // coverage, speedup, MLP, stream-length distribution) are tabulated in
-// DESIGN.md §6; tests in calibrate_test.go assert the outcomes.
+// DESIGN.md §8; tests in calibrate_test.go assert the outcomes.
 type Spec struct {
 	Name  string
 	Class Class

@@ -1,0 +1,279 @@
+package trace
+
+// Columnar trace tapes: a structure-of-arrays materialization of one
+// bounded multi-core trace. A Tape is built once per
+// (spec, seed, cores, records-per-core) identity — per-core segments
+// generate in parallel, since generation is a pure per-core function —
+// and then replayed any number of times through zero-allocation Cursors.
+// Replay is a sequential array walk (varint decode + column loads), an
+// order of magnitude cheaper than re-running the generator state machine
+// and its RNG, and every consumer of the same tape observes literally
+// identical records: the lab's run matrix materializes each workload
+// once and shares it across every variant cell.
+//
+// Column layout, per core:
+//
+//   - data: one interleaved byte stream per record — the block number as
+//     a zigzag-varint delta against the previous block (scans collapse
+//     to one byte; dataset hops to a few), then one (Instrs, Work) cost
+//     byte: an index into a per-core pair dictionary, or the 0xFF
+//     escape followed by both values as uvarints. Memory records — the
+//     bulk of every workload — share a single constant cost pair, so
+//     their whole cost decode is one table load;
+//   - PC: a per-core dictionary (u8 indices) — generators emit a handful
+//     of static PCs — with a raw u32 column as overflow fallback;
+//   - Dep: a bitset, one bit per record.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// costEscape in the cost byte announces inline uvarint Instrs and Work
+// instead of a dictionary pair; the pair dictionary holds at most 255
+// entries so the escape value is unambiguous.
+const costEscape = 0xFF
+
+// tapeColumns is one core's encoded record segment.
+type tapeColumns struct {
+	n      uint64   // records in this segment
+	data   []byte   // interleaved block-delta varints and cost bytes
+	pairs  []uint64 // cost-pair dictionary: Instrs<<32 | Work
+	pcDict []uint32 // PC dictionary (dict encoding)
+	pcIdx  []uint8  // per-record dictionary index; nil if overflowed
+	pcRaw  []uint32 // per-record raw PCs; nil unless dictionary overflowed
+	dep    []uint64 // dependence bitset
+}
+
+// Tape is an immutable columnar materialization of one bounded trace:
+// cores × perCore records of the scaled spec at the given seed. Safe for
+// concurrent replay (Cursors share the tape read-only).
+type Tape struct {
+	spec    Spec // scaled spec the records were generated from
+	seed    uint64
+	perCore uint64
+	cores   []tapeColumns
+	bytes   int64
+}
+
+// NewTape materializes perCore records for each of cores generators of
+// the (already scaled) spec at seed. Per-core segments are generated
+// concurrently; the result is deterministic and identical to consuming
+// NewGenerator(NewLibrary(spec, seed), core, seed) directly.
+func NewTape(spec Spec, seed uint64, cores int, perCore uint64) *Tape {
+	if cores <= 0 {
+		panic(fmt.Sprintf("trace: tape needs cores > 0, got %d", cores))
+	}
+	lib := NewLibrary(spec, seed)
+	t := &Tape{
+		spec:    spec,
+		seed:    seed,
+		perCore: perCore,
+		cores:   make([]tapeColumns, cores),
+	}
+	// Generators are constructed sequentially (iteration-stream priming
+	// mutates the library, in ascending core order); the encode loops
+	// then run in parallel over disjoint per-core state.
+	gens := make([]Generator, cores)
+	for c := range gens {
+		gens[c] = NewGenerator(lib, c, seed)
+	}
+	var wg sync.WaitGroup
+	for c := range gens {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t.cores[c] = encodeSegment(gens[c], perCore)
+		}(c)
+	}
+	wg.Wait()
+	for i := range t.cores {
+		t.bytes += t.cores[i].footprint()
+	}
+	return t
+}
+
+// encodeSegment drains up to perCore records from gen into columns.
+func encodeSegment(gen Generator, perCore uint64) tapeColumns {
+	col := tapeColumns{
+		data:  make([]byte, 0, perCore*4),
+		pcIdx: make([]uint8, 0, perCore),
+		dep:   make([]uint64, (perCore+63)/64),
+	}
+	dict := make(map[uint32]int)
+	pairDict := make(map[uint64]int)
+	var prev uint64
+	var rec Record
+	for col.n < perCore && gen.Next(&rec) {
+		col.data = appendUvarint(col.data, zigzag(int64(rec.Block-prev)))
+		prev = rec.Block
+		pair := uint64(rec.Instrs)<<32 | uint64(rec.Work)
+		if pi, ok := pairDict[pair]; ok {
+			col.data = append(col.data, uint8(pi))
+		} else if len(col.pairs) < costEscape {
+			pairDict[pair] = len(col.pairs)
+			col.data = append(col.data, uint8(len(col.pairs)))
+			col.pairs = append(col.pairs, pair)
+		} else {
+			// Rare cost pair past the dictionary capacity (jittered gap
+			// records): escape to inline values.
+			col.data = append(col.data, costEscape)
+			col.data = appendUvarint(col.data, uint64(rec.Instrs))
+			col.data = appendUvarint(col.data, uint64(rec.Work))
+		}
+		if col.pcIdx != nil {
+			if idx, ok := dict[rec.PC]; ok {
+				col.pcIdx = append(col.pcIdx, uint8(idx))
+			} else if len(col.pcDict) < 256 {
+				dict[rec.PC] = len(col.pcDict)
+				col.pcIdx = append(col.pcIdx, uint8(len(col.pcDict)))
+				col.pcDict = append(col.pcDict, rec.PC)
+			} else {
+				// Dictionary overflow (custom workloads with huge PC
+				// sets): fall back to a raw column, rebuilt from the
+				// dictionary-encoded prefix.
+				col.pcRaw = make([]uint32, col.n, perCore)
+				for i, di := range col.pcIdx {
+					col.pcRaw[i] = col.pcDict[di]
+				}
+				col.pcRaw = append(col.pcRaw, rec.PC)
+				col.pcIdx, col.pcDict = nil, nil
+			}
+		} else {
+			col.pcRaw = append(col.pcRaw, rec.PC)
+		}
+		if rec.Dep {
+			col.dep[col.n>>6] |= 1 << (col.n & 63)
+		}
+		col.n++
+	}
+	return col
+}
+
+func (c *tapeColumns) footprint() int64 {
+	return int64(len(c.data)) + int64(len(c.pairs))*8 +
+		int64(len(c.pcDict))*4 + int64(len(c.pcIdx)) +
+		int64(len(c.pcRaw))*4 + int64(len(c.dep))*8
+}
+
+// Spec returns the (scaled) workload spec the tape was generated from.
+func (t *Tape) Spec() Spec { return t.spec }
+
+// Seed returns the trace seed.
+func (t *Tape) Seed() uint64 { return t.seed }
+
+// Cores returns the number of per-core segments.
+func (t *Tape) Cores() int { return len(t.cores) }
+
+// PerCore returns the record budget each segment was materialized with.
+// Segments from never-dry generators hold exactly this many records.
+func (t *Tape) PerCore() uint64 { return t.perCore }
+
+// Len returns the number of records actually held for core.
+func (t *Tape) Len(core int) uint64 { return t.cores[core].n }
+
+// Bytes returns the approximate in-memory footprint of the columns, for
+// cache accounting.
+func (t *Tape) Bytes() int64 { return t.bytes }
+
+// Cursor returns a new replay cursor over core's segment, positioned at
+// the first record. Cursors are independent; Next allocates nothing.
+func (t *Tape) Cursor(core int) *Cursor {
+	return t.CursorN(core, t.cores[core].n)
+}
+
+// CursorN returns a cursor over core's segment that runs dry after at
+// most n records — a built-in Limit, without the wrapper's extra
+// interface hop on the simulator's per-record path.
+func (t *Tape) CursorN(core int, n uint64) *Cursor {
+	if core < 0 || core >= len(t.cores) {
+		panic(fmt.Sprintf("trace: tape cursor for core %d of %d", core, len(t.cores)))
+	}
+	col := &t.cores[core]
+	if n > col.n {
+		n = col.n
+	}
+	return &Cursor{col: col, n: n}
+}
+
+// Cursor replays one core's tape segment; it implements Generator and
+// runs dry after its record bound (Tape.Len(core), or the CursorN cap).
+type Cursor struct {
+	col  *tapeColumns
+	n    uint64
+	pos  uint64
+	off  int // read position in col.data
+	prev uint64
+}
+
+// Reset rewinds the cursor to the first record, keeping its bound.
+func (cu *Cursor) Reset() { *cu = Cursor{col: cu.col, n: cu.n} }
+
+// Remaining returns how many records are left.
+func (cu *Cursor) Remaining() uint64 { return cu.n - cu.pos }
+
+// Next implements Generator: it decodes the next record into r.
+func (cu *Cursor) Next(r *Record) bool {
+	col := cu.col
+	if cu.pos >= cu.n {
+		return false
+	}
+	d, off := readUvarint(col.data, cu.off)
+	cu.prev += uint64(unzigzag(d))
+	r.Block = cu.prev
+	if pi := col.data[off]; pi != costEscape {
+		pair := col.pairs[pi]
+		r.Instrs = uint32(pair >> 32)
+		r.Work = uint32(pair)
+		off++
+	} else {
+		var v uint64
+		v, off = readUvarint(col.data, off+1)
+		r.Instrs = uint32(v)
+		v, off = readUvarint(col.data, off)
+		r.Work = uint32(v)
+	}
+	cu.off = off
+	if col.pcIdx != nil {
+		r.PC = col.pcDict[col.pcIdx[cu.pos]]
+	} else {
+		r.PC = col.pcRaw[cu.pos]
+	}
+	r.Dep = col.dep[cu.pos>>6]>>(cu.pos&63)&1 != 0
+	cu.pos++
+	return true
+}
+
+// zigzag maps signed deltas onto small unsigned values.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUvarint appends v in LEB128 (as encoding/binary does, without
+// the fixed-size scratch buffer round trip).
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// readUvarint decodes the uvarint at b[off:], returning the value and
+// the offset just past it. The single-byte case — most records — stays
+// on a branchless fast path.
+func readUvarint(b []byte, off int) (uint64, int) {
+	c := b[off]
+	if c < 0x80 {
+		return uint64(c), off + 1
+	}
+	v := uint64(c & 0x7f)
+	for shift := uint(7); ; shift += 7 {
+		off++
+		c = b[off]
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, off + 1
+		}
+	}
+}

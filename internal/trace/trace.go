@@ -74,13 +74,19 @@ type Limit struct {
 	N   uint64
 }
 
-// Next forwards to the wrapped generator until the limit is reached.
+// Next forwards to the wrapped generator until the limit is reached. The
+// budget is consumed only by records actually produced: if the wrapped
+// generator runs dry, N still reports exactly how many records remain
+// unclaimed (bounded replay relies on this for exact remaining counts).
 func (l *Limit) Next(r *Record) bool {
 	if l.N == 0 {
 		return false
 	}
+	if !l.Gen.Next(r) {
+		return false
+	}
 	l.N--
-	return l.Gen.Next(r)
+	return true
 }
 
 // Func adapts a function to the Generator interface.

@@ -131,6 +131,17 @@ func WithParallelism(n int) Option { return lab.WithParallelism(n) }
 // WithBaseConfig replaces the base system configuration wholesale.
 func WithBaseConfig(cfg Config) Option { return lab.WithBaseConfig(cfg) }
 
+// WithTapeCache bounds the session's materialized-trace cache in bytes
+// (default 512 MB; 0 disables tape caching). Cells sharing a trace
+// identity — scaled spec, seed, cores, record budget — replay one
+// columnar tape instead of re-deriving the record stream per variant;
+// results are bit-identical either way.
+func WithTapeCache(maxBytes int64) Option { return lab.WithTapeCache(maxBytes) }
+
+// TapeStats reports a session's tape-cache accounting and its
+// generate-vs-simulate wall-time split (Lab.TapeStats).
+type TapeStats = lab.TapeStats
+
 // WithProgress registers a serialized sink for cell lifecycle events.
 func WithProgress(fn func(ResultEvent)) Option { return lab.WithProgress(fn) }
 
@@ -179,6 +190,22 @@ const (
 
 // WorkloadSpec describes one synthetic workload.
 type WorkloadSpec = trace.Spec
+
+// Tape is a columnar (structure-of-arrays) materialization of one
+// bounded multi-core trace: built once per trace identity, replayed any
+// number of times through zero-allocation cursors. Lab sessions
+// materialize and share tapes automatically; NewTape and the tape run
+// functions expose the substrate for callers orchestrating their own
+// runs or persisting tapes with trace.WriteTape/ReadTape via the
+// stms-trace command.
+type Tape = trace.Tape
+
+// NewTape materializes perCore records for each of cores generators of
+// the (already scaled) spec at seed, generating per-core segments in
+// parallel. Replaying the tape is bit-identical to live generation.
+func NewTape(spec WorkloadSpec, seed uint64, cores int, perCore uint64) *Tape {
+	return trace.NewTape(spec, seed, cores, perCore)
+}
 
 // STMSConfig sizes an STMS instance (history buffers, index table,
 // sampling probability, bucket buffer).
@@ -242,6 +269,19 @@ func RunTimedCtx(ctx context.Context, cfg Config, spec WorkloadSpec, ps PrefSpec
 // RunFunctionalCtx is RunFunctional with cooperative cancellation.
 func RunFunctionalCtx(ctx context.Context, cfg Config, spec WorkloadSpec, ps PrefSpec) (Results, error) {
 	return sim.RunFunctionalCtx(ctx, cfg, spec, ps, nil)
+}
+
+// RunTimedTapeCtx executes the timed simulation over a materialized
+// tape whose identity matches cfg (same seed, cores, and a record
+// budget covering warm + measure); Results are bit-identical to
+// RunTimedCtx with the tape's spec.
+func RunTimedTapeCtx(ctx context.Context, cfg Config, tape *Tape, ps PrefSpec) (Results, error) {
+	return sim.RunTimedTapeCtx(ctx, cfg, tape, ps, nil)
+}
+
+// RunFunctionalTapeCtx is RunFunctionalCtx over a materialized tape.
+func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *Tape, ps PrefSpec) (Results, error) {
+	return sim.RunFunctionalTapeCtx(ctx, cfg, tape, ps, nil)
 }
 
 // DefaultOptions returns the standard experiment scale for the harness.

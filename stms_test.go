@@ -182,10 +182,12 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
-// TestMatrixMatchesSequential is the acceptance matrix: one Lab.Run
-// over the paper's figure-eight workloads × {baseline, ideal, stms}
-// reproduces the Fig. 8/9 speedup comparison with per-cell results
-// identical to sequential RunTimed calls at the same seed.
+// TestMatrixMatchesSequential is the acceptance matrix — and the
+// golden tape-vs-live equality check: one Lab.Run over the paper's
+// figure-eight workloads × {baseline, ideal, stms} executes on shared
+// columnar tapes (asserted via TapeStats), and every cell's Results
+// must be bit-identical to a sequential live-generation RunTimed call
+// at the same seed.
 func TestMatrixMatchesSequential(t *testing.T) {
 	lab, err := stms.New(tinyLab(stms.WithParallelism(4))...)
 	if err != nil {
@@ -202,6 +204,9 @@ func TestMatrixMatchesSequential(t *testing.T) {
 	}
 	if !m.Complete() {
 		t.Fatal("matrix has empty cells")
+	}
+	if ts := lab.TapeStats(); ts.Builds != uint64(len(m.Workloads)) {
+		t.Fatalf("matrix built %d tapes for %d workloads — the equality below would not be testing tape replay", ts.Builds, len(m.Workloads))
 	}
 
 	cfg := lab.BaseConfig()
