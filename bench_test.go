@@ -164,6 +164,19 @@ func BenchmarkFig9PracticalVsIdeal(b *testing.B) {
 	}
 }
 
+func BenchmarkPhaseSensitivitySuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.NewRunner(benchOptions())
+		t := r.PhaseSensitivity()
+		if i == 0 {
+			logTable(b, t)
+			ts := r.TapeStats()
+			b.ReportMetric(float64(ts.Builds), "scenario-tapes")
+			b.ReportMetric(float64(ts.Hits), "tape-hits")
+		}
+	}
+}
+
 // --- Micro-benchmarks of the simulation substrate ---
 
 func BenchmarkTimedSimRecords(b *testing.B) {

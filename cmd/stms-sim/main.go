@@ -9,10 +9,13 @@
 //	         [-sample 0.125] [-depth 0] [-scale 0.125] [-seed 42]
 //	         [-warm 80000] [-measure 120000] [-compare] [-v]
 //
-// With -compare, the baseline and idealized runs execute too (in
-// parallel, sharing the same trace seed for matched pairs) and the
-// speedup and coverage ratios are reported (Figure 9 style). With -v,
-// cell progress events stream to stderr as the matrix executes.
+// -workload accepts a Table 1 workload name or a built-in scenario name
+// (stms-trace -list-scenarios); scenario runs append a per-phase
+// coverage table to the report. With -compare, the baseline and
+// idealized runs execute too (in parallel, sharing the same trace seed
+// for matched pairs) and the speedup and coverage ratios are reported
+// (Figure 9 style). With -v, cell progress events stream to stderr as
+// the matrix executes.
 package main
 
 import (
@@ -118,7 +121,7 @@ func main() {
 	m, err := lab.Run(context.Background(), plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		fmt.Fprintf(os.Stderr, "workloads: %v\n", stms.Workloads())
+		fmt.Fprintf(os.Stderr, "workloads: %v\nscenarios: %v\n", stms.Workloads(), stms.ScenarioNames())
 		os.Exit(1)
 	}
 
@@ -155,6 +158,18 @@ func report(res stms.Results, cfg stms.Config) {
 	fmt.Println()
 	fmt.Print(t)
 
+	if len(res.Phases) > 0 {
+		pt := stats.NewTable("per-phase windows (whole run)",
+			"phase", "start/core", "records", "coverage", "IPC")
+		for i := range res.Phases {
+			w := &res.Phases[i]
+			pt.AddRow(w.Name, w.Start, w.Records, stats.Pct(w.Coverage()),
+				fmt.Sprintf("%.3f", w.IPC))
+		}
+		fmt.Println()
+		fmt.Print(pt)
+	}
+
 	ov := res.OverheadTraffic()
 	fmt.Printf("\noverhead/useful byte: record %.3f  update %.3f  lookup %.3f  erroneous %.3f  total %.3f\n",
 		ov.Record, ov.Update, ov.Lookup, ov.Erroneous, ov.Total())
@@ -188,6 +203,17 @@ func replayTrace(cfg stms.Config, path string, ps stms.PrefSpec) (stms.Results, 
 		if tape.Cores() != cfg.Cores {
 			return stms.Results{}, fmt.Errorf("%s holds %d cores; rerun with a matching -cores capture or a %d-core config",
 				path, tape.Cores(), cfg.Cores)
+		}
+		// A tape whose budget matches the run exactly goes through the
+		// tape driver: windowed results, and per-phase windows for
+		// scenario tapes (the tape's own seed keeps replay faithful).
+		cfg.Seed = tape.Seed()
+		if tape.PerCore() == cfg.WarmRecords+cfg.MeasureRecords {
+			return sim.RunTimedTapeCtx(nil, cfg, tape, ps, nil)
+		}
+		if tape.Marks() != nil {
+			fmt.Fprintf(os.Stderr, "(tape holds %d records/core but -warm+-measure is %d; replaying whole-tape without per-phase windows)\n",
+				tape.PerCore(), cfg.WarmRecords+cfg.MeasureRecords)
 		}
 		for i := range gens {
 			gens[i] = tape.Cursor(i)

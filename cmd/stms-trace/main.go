@@ -4,21 +4,32 @@
 //
 // Usage:
 //
-//	stms-trace [-workload oltp-db2] [-records 200000] [-scale 0.125]
+//	stms-trace [-workload oltp-db2 | -scenario phase-flip | -scenario scn.json]
+//	           [-records 200000] [-scale 0.125]
 //	           [-seed 42] [-cores 4] [-dump 0]
 //	           [-o flat.trace] [-tape columnar.tape]
+//	           [-scenario-out scn.json] [-list-scenarios]
 //
 // -o captures the inspected record stream to the flat interchange
 // format; -tape materializes a columnar trace.Tape of the same identity
 // (records/cores per-core budget) and writes the versioned tape format,
 // which stms-sim replays per core with no re-dealing and which is
 // typically ~2.5x smaller.
+//
+// -scenario selects a phase-structured scenario instead of a stationary
+// workload: a built-in name (-list-scenarios prints them) or a path to
+// a scenario JSON file. Scenario tapes record their phase marks, so
+// stms-sim replay windows statistics per phase; -scenario-out writes
+// the resolved scenario back out in the versioned JSON format (a
+// starting point for custom scenarios).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"stms"
 	"stms/internal/stats"
@@ -27,6 +38,9 @@ import (
 
 func main() {
 	workload := flag.String("workload", "web-apache", "workload name")
+	scenario := flag.String("scenario", "", "scenario name or JSON file (overrides -workload)")
+	listScns := flag.Bool("list-scenarios", false, "list built-in scenario names and exit")
+	scnOut := flag.String("scenario-out", "", "write the resolved scenario JSON to this file")
 	records := flag.Uint64("records", 200_000, "records to generate (total)")
 	scale := flag.Float64("scale", 0.125, "workload scale factor")
 	seed := flag.Uint64("seed", 42, "trace seed")
@@ -36,21 +50,64 @@ func main() {
 	tapeOut := flag.String("tape", "", "write the workload as a columnar tape file")
 	flag.Parse()
 
+	if *listScns {
+		for _, name := range stms.ScenarioNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *cores < 1 {
 		fmt.Fprintln(os.Stderr, "stms-trace: -cores must be >= 1")
 		os.Exit(1)
 	}
-	spec, err := stms.Workload(*workload)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		fmt.Fprintf(os.Stderr, "workloads: %v\n", stms.Workloads())
-		os.Exit(1)
+	perCore := (*records + uint64(*cores) - 1) / uint64(*cores)
+
+	var (
+		spec  trace.Spec
+		scn   stms.Scenario
+		marks []trace.PhaseMark
+		lib   *trace.Library
+		gens  []trace.Generator
+	)
+	if *scenario != "" {
+		s, err := resolveScenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		scn = s
+		scaled := scn.Scaled(*scale)
+		spec = scaled.EffectiveSpec(*cores, perCore)
+		gens, marks, err = scaled.Generators(*seed, *cores, perCore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		spec, err = stms.Workload(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec = spec.Scaled(*scale)
+		lib = trace.NewLibrary(spec, *seed)
+		gens = make([]trace.Generator, *cores)
+		for i := range gens {
+			gens[i] = trace.NewGenerator(lib, i, *seed)
+		}
 	}
-	spec = spec.Scaled(*scale)
-	lib := trace.NewLibrary(spec, *seed)
-	gens := make([]trace.Generator, *cores)
-	for i := range gens {
-		gens[i] = trace.NewGenerator(lib, i, *seed)
+
+	if *scnOut != "" {
+		if *scenario == "" {
+			fmt.Fprintln(os.Stderr, "stms-trace: -scenario-out needs -scenario")
+			os.Exit(1)
+		}
+		if err := writeScenario(*scnOut, scn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote scenario %q (%d phases) to %s\n", scn.Name, len(scn.Phases), *scnOut)
 	}
 
 	var captured []trace.Record
@@ -114,11 +171,15 @@ func main() {
 	}
 
 	if *tapeOut != "" {
-		// Round the per-core budget up so the tape covers at least the
+		// The per-core budget rounds up so the tape covers at least the
 		// -records total (and the whole -o capture) when the count does
 		// not divide evenly across cores.
-		perCore := (*records + uint64(*cores) - 1) / uint64(*cores)
-		tape := trace.NewTape(spec, *seed, *cores, perCore)
+		var tape *trace.Tape
+		if *scenario != "" {
+			tape = trace.NewScenarioTape(scn.Scaled(*scale), *seed, *cores, perCore)
+		} else {
+			tape = trace.NewTape(spec, *seed, *cores, perCore)
+		}
 		f, err := os.Create(*tapeOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -145,8 +206,21 @@ func main() {
 	fmt.Printf("workload        %s (scale %g)\n", spec.Name, *scale)
 	fmt.Printf("records         %d across %d cores\n", *records, *cores)
 	fmt.Printf("distinct blocks %d (%.1f MB touched)\n", len(blocks), float64(len(blocks))*64/1e6)
-	fmt.Printf("library         %d streams, footprint %d blocks (%.1f MB), %d churned\n",
-		lenStreams(lib), lib.Footprint(), float64(lib.Footprint())*64/1e6, lib.Regenerated())
+	if lib != nil {
+		fmt.Printf("library         %d streams, footprint %d blocks (%.1f MB), %d churned\n",
+			lenStreams(lib), lib.Footprint(), float64(lib.Footprint())*64/1e6, lib.Regenerated())
+	}
+	if *scenario != "" {
+		fmt.Printf("phases          %d", len(scn.Phases))
+		if len(marks) > 0 {
+			var parts []string
+			for _, m := range marks {
+				parts = append(parts, fmt.Sprintf("%s@%d", m.Name, m.Start))
+			}
+			fmt.Printf(" (per-core starts: %s)", strings.Join(parts, ", "))
+		}
+		fmt.Println()
+	}
 	fmt.Printf("mean instrs     %.1f /record (aggregate IPC ceiling %.2f)\n", float64(instrs)/n, 4.0)
 	fmt.Printf("mean work       %.1f cycles/record\n", float64(work)/n)
 	fmt.Printf("dep fraction    %s\n", stats.Pct(float64(deps)/n))
@@ -160,4 +234,38 @@ func lenStreams(l *trace.Library) int {
 		return -1 // per-core, built lazily
 	}
 	return l.Spec().Streams
+}
+
+// resolveScenario interprets the -scenario argument: a built-in name,
+// or (when it names no built-in and looks like a path) a scenario JSON
+// file.
+func resolveScenario(arg string) (stms.Scenario, error) {
+	scn, err := stms.ScenarioByName(arg)
+	if err == nil {
+		return scn, nil
+	}
+	f, ferr := os.Open(arg)
+	if ferr != nil {
+		if strings.ContainsAny(arg, "/.") {
+			return stms.Scenario{}, fmt.Errorf("stms-trace: %w", ferr)
+		}
+		return stms.Scenario{}, err // unknown name: suggest built-ins
+	}
+	defer f.Close()
+	return stms.ParseScenario(f)
+}
+
+// writeScenario writes the scenario in its versioned JSON format.
+func writeScenario(path string, scn stms.Scenario) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(scn); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

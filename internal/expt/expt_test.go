@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"stms/internal/sim"
+	"stms/internal/trace"
 )
 
 // tinyOptions keeps harness tests fast; shapes at this scale are noisier
@@ -243,8 +244,40 @@ func TestByIDAndAll(t *testing.T) {
 	if err := r.ByID("nope", &buf); err == nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 13 {
+	if len(IDs()) != 14 {
 		t.Fatalf("IDs() = %v", IDs())
+	}
+}
+
+// TestPhaseSensitivity exercises the scenario-suite experiment: every
+// built-in scenario appears, multi-phase scenarios report one row per
+// phase, and the table renders.
+func TestPhaseSensitivity(t *testing.T) {
+	o := tinyOptions()
+	r := NewRunner(o)
+	table := r.PhaseSensitivity()
+	out := table.String()
+	if out == "" {
+		t.Fatal("empty table")
+	}
+	for _, name := range trace.ScenarioNames() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("phase table is missing scenario %s:\n%s", name, out)
+		}
+	}
+	scn, err := trace.ScenarioByName("phase-flip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range scn.Phases {
+		if !strings.Contains(out, p.Name) {
+			t.Fatalf("phase table is missing phase-flip phase %q:\n%s", p.Name, out)
+		}
+	}
+	// The suite ran through the shared session: one tape per scenario,
+	// replayed by both variant columns.
+	if ts := r.TapeStats(); ts.Builds != uint64(len(trace.ScenarioNames())) || ts.Hits == 0 {
+		t.Fatalf("tape stats %+v: scenario suite did not share tapes", ts)
 	}
 }
 

@@ -1,0 +1,51 @@
+package expt
+
+import (
+	"stms/internal/lab"
+	"stms/internal/sim"
+	"stms/internal/stats"
+	"stms/internal/trace"
+)
+
+// PhaseSensitivity runs the built-in scenario suite — phase flips,
+// stream decay, antagonist co-runners, thread migration, gradual drift
+// — through one timed matrix and windows coverage per phase. It probes
+// what the paper's stationary figures cannot: how STMS's off-chip
+// meta-data weathers working-set change (staleness at phase entry,
+// re-learning rate inside a phase) relative to the idealized
+// prefetcher, which pays the same stream breaks but none of the
+// lookup latency.
+//
+// Reading the table: within a scenario, compare a phase's coverage
+// against the same working set's earlier phase (e.g. phase-flip's web
+// vs web-return — returning meta-data is still valid) and against
+// ideal in the same phase (the stms/ideal column isolates the
+// off-chip-meta-data penalty from the stream break itself).
+func (r *Runner) PhaseSensitivity() *stats.Table {
+	m := r.run(r.l.PlanScenarios(trace.Scenarios(), []sim.PrefSpec{
+		{Kind: sim.Ideal},
+		{Kind: sim.STMS, SampleProb: 0.125},
+	}, lab.WithLabels("ideal", "stms")))
+	t := stats.NewTable("Phase sensitivity: built-in scenario suite, per-phase coverage",
+		"scenario", "phase", "records/core", "ideal cov", "stms cov", "stms/ideal", "stms IPC")
+	for row, name := range m.Workloads {
+		ideal, stms := m.At(row, 0).Res, m.At(row, 1).Res
+		if len(ideal.Phases) == 0 {
+			// Single-phase scenarios (mixes, antagonists) report one
+			// whole-run row.
+			t.AddRow(name, "(whole run)", "-",
+				stats.Pct(ideal.Coverage()), stats.Pct(stms.Coverage()),
+				stats.Pct(stats.Ratio(stms.Coverage(), ideal.Coverage())),
+				stats.FormatFloat(stms.IPC))
+			continue
+		}
+		for pi := range ideal.Phases {
+			iw, sw := &ideal.Phases[pi], &stms.Phases[pi]
+			t.AddRow(name, iw.Name, iw.Records/uint64(r.l.BaseConfig().Cores),
+				stats.Pct(iw.Coverage()), stats.Pct(sw.Coverage()),
+				stats.Pct(stats.Ratio(sw.Coverage(), iw.Coverage())),
+				stats.FormatFloat(sw.IPC))
+		}
+	}
+	return t
+}

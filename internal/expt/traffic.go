@@ -201,6 +201,7 @@ func (r *Runner) All(w io.Writer) {
 	fmt.Fprintln(w, ft)
 	fmt.Fprintln(w, fc)
 	fmt.Fprintln(w, r.Fig9())
+	fmt.Fprintln(w, r.PhaseSensitivity())
 }
 
 // ByID runs a single experiment by its DESIGN.md identifier.
@@ -232,20 +233,22 @@ func (r *Runner) ByID(id string, w io.Writer) error {
 		fmt.Fprintln(w, fc)
 	case "fig9":
 		fmt.Fprintln(w, r.Fig9())
+	case "phase":
+		fmt.Fprintln(w, r.PhaseSensitivity())
 	case "abl":
 		r.Ablations(w)
 	case "all":
 		r.All(w)
 		r.Ablations(w)
 	default:
-		return fmt.Errorf("expt: unknown experiment %q (try table1, table2, fig1l, fig1r, fig4, fig5l, fig5r, fig6l, fig6r, fig7, fig8, fig9, all)", id)
+		return fmt.Errorf("expt: unknown experiment %q (try table1, table2, fig1l, fig1r, fig4, fig5l, fig5r, fig6l, fig6r, fig7, fig8, fig9, phase, all)", id)
 	}
 	return nil
 }
 
-// IDs lists all experiment identifiers in paper order, plus the ablation
-// suite.
+// IDs lists all experiment identifiers in paper order, plus the
+// phase-sensitivity table and the ablation suite.
 func IDs() []string {
 	return []string{"table1", "fig1l", "fig1r", "fig4", "table2",
-		"fig5l", "fig5r", "fig6l", "fig6r", "fig7", "fig8", "fig9", "abl"}
+		"fig5l", "fig5r", "fig6l", "fig6r", "fig7", "fig8", "fig9", "phase", "abl"}
 }

@@ -162,9 +162,9 @@ func (l *Lab) BaseConfig() sim.Config { return l.base }
 func (l *Lab) Parallelism() int { return l.par }
 
 // cellKey identifies a cell by everything that determines its result:
-// the driver mode, the fully resolved workload spec, system config and
-// prefetcher spec. Deterministic simulation makes memoization by this
-// key exact.
+// the driver mode, the fully resolved workload (spec or scenario),
+// system config and prefetcher spec. Deterministic simulation makes
+// memoization by this key exact.
 func cellKey(c *Cell) string {
 	ps := c.Pref
 	scfg := ""
@@ -175,8 +175,12 @@ func cellKey(c *Cell) string {
 	if ps.Engine != nil {
 		ecfg = fmt.Sprintf("%+v", *ps.Engine)
 	}
-	return fmt.Sprintf("%d|spec=%+v|cfg=%+v|k=%d|d=%d|h=%d|i=%d|p=%g|s=%s|e=%s",
-		c.Mode, c.Spec, c.Config, ps.Kind, ps.MaxDepth,
+	scn := ""
+	if c.Scenario != nil {
+		scn = c.Scenario.Key()
+	}
+	return fmt.Sprintf("%d|spec=%+v|scn=%s|cfg=%+v|k=%d|d=%d|h=%d|i=%d|p=%g|s=%s|e=%s",
+		c.Mode, c.Spec, scn, c.Config, ps.Kind, ps.MaxDepth,
 		ps.HistoryEntries, ps.IndexEntries, ps.SampleProb, scfg, ecfg)
 }
 

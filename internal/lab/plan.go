@@ -25,9 +25,10 @@ func (m Mode) String() string {
 	return "timed"
 }
 
-// Cell is one unit of work in a plan: a workload under a prefetcher
-// variant, with its fully resolved system configuration. Rows index
-// workloads, columns index variants.
+// Cell is one unit of work in a plan: a workload — a stationary spec or
+// a phase-structured scenario — under a prefetcher variant, with its
+// fully resolved system configuration. Rows index workloads, columns
+// index variants.
 type Cell struct {
 	Row, Col int
 	Workload string     // display name (Spec.Name unless overridden)
@@ -36,6 +37,12 @@ type Cell struct {
 	Pref     sim.PrefSpec
 	Mode     Mode
 	Config   sim.Config // per-cell system config (seed, scale, windows, ...)
+
+	// Scenario, when non-nil, replaces Spec as the cell's workload: the
+	// cell simulates the phase-structured scenario (full-scale;
+	// Config.Scale applies at run) and its Results carry per-phase
+	// windows. Spec is zero-valued for scenario cells.
+	Scenario *trace.Scenario
 }
 
 // RunPlan is an executable workload × variant cross-product. Build one
@@ -92,32 +99,69 @@ func ForEachCell(fn func(*Cell)) PlanOption {
 	return func(p *planner) { p.mutate = fn }
 }
 
+// planRow is one resolved plan row: a stationary spec or a scenario.
+type planRow struct {
+	name string
+	spec trace.Spec
+	scn  *trace.Scenario
+}
+
 // Plan builds a run matrix from named workloads crossed with prefetcher
-// variants. Unknown workload names are reported by the plan's Err and
-// by Run.
+// variants. Names resolve against the Table 1 workload specs first,
+// then the built-in scenario suite, so stationary and phase-structured
+// rows mix freely in one matrix. Unknown names are reported by the
+// plan's Err and by Run.
 func (l *Lab) Plan(workloads []string, prefs []sim.PrefSpec, opts ...PlanOption) *RunPlan {
-	specs := make([]trace.Spec, 0, len(workloads))
+	rows := make([]planRow, 0, len(workloads))
 	for _, w := range workloads {
-		spec, err := trace.ByName(w)
-		if err != nil {
-			return &RunPlan{err: err}
+		if spec, err := trace.ByName(w); err == nil {
+			rows = append(rows, planRow{name: spec.Name, spec: spec})
+			continue
 		}
-		specs = append(specs, spec)
+		scn, err := trace.ScenarioByName(w)
+		if err != nil {
+			return &RunPlan{err: trace.UnknownNameError(w)}
+		}
+		s := scn
+		rows = append(rows, planRow{name: scn.Name, scn: &s})
 	}
-	return l.PlanSpecs(specs, prefs, opts...)
+	return l.plan(rows, prefs, opts...)
 }
 
 // PlanSpecs builds a run matrix from explicit workload specs (custom
 // synthetic workloads) crossed with prefetcher variants.
 func (l *Lab) PlanSpecs(specs []trace.Spec, prefs []sim.PrefSpec, opts ...PlanOption) *RunPlan {
+	rows := make([]planRow, len(specs))
+	for i, spec := range specs {
+		rows[i] = planRow{name: spec.Name, spec: spec}
+	}
+	return l.plan(rows, prefs, opts...)
+}
+
+// PlanScenarios builds a run matrix from explicit phase-structured
+// scenarios crossed with prefetcher variants: the scenario-diversity
+// counterpart of PlanSpecs. Every cell's Results carry per-phase stat
+// windows; cells sharing a scenario identity share one materialized
+// tape through the session cache, exactly as spec rows do.
+func (l *Lab) PlanScenarios(scns []trace.Scenario, prefs []sim.PrefSpec, opts ...PlanOption) *RunPlan {
+	rows := make([]planRow, len(scns))
+	for i := range scns {
+		s := scns[i]
+		rows[i] = planRow{name: s.Name, scn: &s}
+	}
+	return l.plan(rows, prefs, opts...)
+}
+
+// plan crosses resolved rows with prefetcher variants.
+func (l *Lab) plan(rows []planRow, prefs []sim.PrefSpec, opts ...PlanOption) *RunPlan {
 	pl := planner{}
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&pl)
 		}
 	}
-	if len(specs) == 0 || len(prefs) == 0 {
-		return &RunPlan{err: fmt.Errorf("lab: empty plan (%d workloads × %d variants)", len(specs), len(prefs))}
+	if len(rows) == 0 || len(prefs) == 0 {
+		return &RunPlan{err: fmt.Errorf("lab: empty plan (%d workloads × %d variants)", len(rows), len(prefs))}
 	}
 	labels := pl.labels
 	if labels == nil {
@@ -126,25 +170,30 @@ func (l *Lab) PlanSpecs(specs []trace.Spec, prefs []sim.PrefSpec, opts ...PlanOp
 		return &RunPlan{err: fmt.Errorf("lab: %d labels for %d variants", len(labels), len(prefs))}
 	}
 	p := &RunPlan{
-		Workloads: make([]string, len(specs)),
+		Workloads: make([]string, len(rows)),
 		Labels:    labels,
-		Cells:     make([]Cell, 0, len(specs)*len(prefs)),
+		Cells:     make([]Cell, 0, len(rows)*len(prefs)),
 	}
-	for row, spec := range specs {
-		if err := spec.Validate(); err != nil {
+	for row, r := range rows {
+		if r.scn != nil {
+			if err := r.scn.Validate(); err != nil {
+				return &RunPlan{err: err}
+			}
+		} else if err := r.spec.Validate(); err != nil {
 			return &RunPlan{err: err}
 		}
-		p.Workloads[row] = spec.Name
+		p.Workloads[row] = r.name
 		cfg := l.base
 		if pl.rowSeed != nil {
-			cfg.Seed = pl.rowSeed(spec.Name, row)
+			cfg.Seed = pl.rowSeed(r.name, row)
 		}
 		for col, ps := range prefs {
 			c := Cell{
 				Row: row, Col: col,
-				Workload: spec.Name,
+				Workload: r.name,
 				Label:    labels[col],
-				Spec:     spec,
+				Spec:     r.spec,
+				Scenario: r.scn,
 				Pref:     ps,
 				Mode:     pl.mode,
 				Config:   cfg,

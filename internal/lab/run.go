@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"stms/internal/sim"
+	"stms/internal/trace"
 )
 
 // EventKind classifies a ResultEvent.
@@ -134,8 +135,12 @@ feed:
 // sibling's build) rather than simulation.
 func (l *Lab) simulate(ctx context.Context, cell *Cell) (res sim.Results, tapeWait time.Duration, err error) {
 	if l.tapes == nil {
-		switch cell.Mode {
-		case Functional:
+		switch {
+		case cell.Scenario != nil && cell.Mode == Functional:
+			res, err = sim.RunFunctionalScenarioCtx(ctx, cell.Config, *cell.Scenario, cell.Pref, nil)
+		case cell.Scenario != nil:
+			res, err = sim.RunTimedScenarioCtx(ctx, cell.Config, *cell.Scenario, cell.Pref, nil)
+		case cell.Mode == Functional:
 			res, err = sim.RunFunctionalCtx(ctx, cell.Config, cell.Spec, cell.Pref, nil)
 		default:
 			res, err = sim.RunTimedCtx(ctx, cell.Config, cell.Spec, cell.Pref, nil)
@@ -149,13 +154,25 @@ func (l *Lab) simulate(ctx context.Context, cell *Cell) (res sim.Results, tapeWa
 		return sim.Results{}, 0, err
 	}
 	key := tapeKey{
-		spec:    cell.Spec.Scaled(cell.Config.Scale),
 		seed:    cell.Config.Seed,
 		cores:   cell.Config.Cores,
 		perCore: cell.Config.WarmRecords + cell.Config.MeasureRecords,
 	}
+	var build func() *trace.Tape
+	if cell.Scenario != nil {
+		scn := cell.Scenario.Scaled(cell.Config.Scale)
+		key.scenario = scn.Key()
+		build = func() *trace.Tape {
+			return trace.NewScenarioTape(scn, key.seed, key.cores, key.perCore)
+		}
+	} else {
+		key.spec = cell.Spec.Scaled(cell.Config.Scale)
+		build = func() *trace.Tape {
+			return trace.NewTape(key.spec, key.seed, key.cores, key.perCore)
+		}
+	}
 	t0 := time.Now()
-	tape, err := l.tapeFor(ctx, key)
+	tape, err := l.tapeFor(ctx, key, build)
 	tapeWait = time.Since(t0)
 	if err != nil {
 		return sim.Results{}, tapeWait, err

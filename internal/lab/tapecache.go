@@ -22,12 +22,15 @@ import (
 )
 
 // tapeKey is a trace identity. trace.Spec is a flat comparable struct,
-// so the key works directly as a map key — no string marshalling.
+// so spec keys work directly as map keys — no string marshalling;
+// scenario rows (whose phase lists cannot be comparable) carry their
+// canonical Scenario.Key instead, with a zero spec.
 type tapeKey struct {
-	spec    trace.Spec // scaled spec (Config.Scale already applied)
-	seed    uint64
-	cores   int
-	perCore uint64
+	spec     trace.Spec // scaled spec (Config.Scale already applied)
+	scenario string     // scaled Scenario.Key(); "" for plain specs
+	seed     uint64
+	cores    int
+	perCore  uint64
 }
 
 type tapeEntry struct {
@@ -63,10 +66,11 @@ func newTapeCache(maxBytes int64) *tapeCache {
 	}
 }
 
-// get returns the tape for key, building it (at most once per identity,
-// however many cells wait) on a miss. Waiters honour ctx; the builder
-// itself runs to completion so siblings are never abandoned mid-build.
-func (l *Lab) tapeFor(ctx context.Context, key tapeKey) (*trace.Tape, error) {
+// tapeFor returns the tape for key, materializing it with build (at
+// most once per identity, however many cells wait) on a miss. Waiters
+// honour ctx; the builder itself runs to completion so siblings are
+// never abandoned mid-build.
+func (l *Lab) tapeFor(ctx context.Context, key tapeKey, build func() *trace.Tape) (*trace.Tape, error) {
 	l.mu.Lock()
 	c := l.tapes
 	if e, ok := c.entries[key]; ok {
@@ -93,11 +97,15 @@ func (l *Lab) tapeFor(ctx context.Context, key tapeKey) (*trace.Tape, error) {
 			// convert to an error so every waiter fails like the builder,
 			// then drop the broken entry so a fixed plan can retry.
 			if r := recover(); r != nil {
-				e.err = fmt.Errorf("lab: tape build for %s panicked: %v", key.spec.Name, r)
+				name := key.spec.Name
+				if name == "" {
+					name = "scenario"
+				}
+				e.err = fmt.Errorf("lab: tape build for %s panicked: %v", name, r)
 			}
 			close(e.ready)
 		}()
-		e.tape = trace.NewTape(key.spec, key.seed, key.cores, key.perCore)
+		e.tape = build()
 	}()
 	elapsed := time.Since(start)
 

@@ -96,7 +96,24 @@ func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefS
 	for i := range gens {
 		gens[i] = trace.NewGenerator(lib, i, cfg.Seed)
 	}
-	return runFunctional(ctx, cfg, scaled, gens, ps, progress)
+	return runFunctional(ctx, cfg, scaled, gens, nil, ps, progress)
+}
+
+// RunFunctionalScenarioCtx executes the zero-latency driver over a
+// phase-structured scenario (scaled by cfg.Scale, materialized against
+// the warm + measure budget). Results carry per-phase stat windows;
+// timing fields stay zero.
+func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps PrefSpec, progress Progress) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	scaled := scn.Scaled(cfg.Scale)
+	total := cfg.WarmRecords + cfg.MeasureRecords
+	gens, marks, err := scaled.Generators(cfg.Seed, cfg.Cores, total)
+	if err != nil {
+		return Results{}, err
+	}
+	return runFunctional(ctx, cfg, scaled.EffectiveSpec(cfg.Cores, total), gens, marks, ps, progress)
 }
 
 // RunFunctionalTapeCtx executes the functional driver over a
@@ -114,12 +131,13 @@ func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps 
 	for i := range gens {
 		gens[i] = tape.CursorN(i, perCore)
 	}
-	return runFunctional(ctx, cfg, tape.Spec(), gens, ps, progress)
+	return runFunctional(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress)
 }
 
 // runFunctional drives the zero-latency system over per-core record
-// generators, round-robin, one record per core per tick.
-func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, ps PrefSpec, progress Progress) (Results, error) {
+// generators, round-robin, one record per core per tick; marks, when
+// non-nil, request per-phase stat windows in the Results.
+func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress) (Results, error) {
 	if ctx == nil {
 		ctx = context.Background() // nil = never cancelled
 	}
@@ -136,6 +154,10 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 	for i := 0; i < cfg.Cores; i++ {
 		s.l1 = append(s.l1, cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1(), Assoc: cfg.L1Assoc}))
 	}
+
+	phases := newPhaseTracker(marks, cfg.Cores)
+	snapNow := func() phaseSnap { return phaseSnap{cnt: s.cnt} }
+	seen := make([]uint64, cfg.Cores)
 
 	warmTotal := cfg.WarmRecords * uint64(cfg.Cores)
 	total := warmTotal + cfg.MeasureRecords*uint64(cfg.Cores)
@@ -159,6 +181,10 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 		}
 		s.now = i
 		s.step(core, rec.PC, rec.Block)
+		if phases != nil {
+			seen[core]++
+			phases.note(core, seen[core], snapNow)
+		}
 	}
 	if eng := s.pref.engine; eng != nil {
 		eng.Flush()
@@ -178,6 +204,9 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 	}
 	if eng := s.pref.engine; eng != nil {
 		r.StreamLens = &eng.Stats().StreamLens
+	}
+	if phases != nil {
+		r.Phases = phases.windows(snapNow())
 	}
 	return r, nil
 }

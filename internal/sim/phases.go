@@ -1,0 +1,88 @@
+package sim
+
+import "stms/internal/trace"
+
+// Per-phase stat windowing, shared by both drivers. A phaseTracker
+// watches each core's record count against the scenario's phase-start
+// offsets and snapshots the run counters when the last core crosses a
+// boundary; adjacent snapshots difference into PhaseWindows. The timed
+// cores skew slightly around a boundary (they consume records at
+// different rates), so attribution there follows the snapshot instant —
+// deterministic, and exact in aggregate: windows sum to the whole-run
+// totals by construction.
+
+// phaseSnap is the counter state captured at a phase boundary. cycles
+// and instrs stay zero in the functional driver.
+type phaseSnap struct {
+	cnt    counters
+	cycles uint64
+	instrs uint64
+}
+
+// phaseTracker accumulates boundary snapshots for one run.
+type phaseTracker struct {
+	marks    []trace.PhaseMark
+	bounds   []uint64 // bounds[b] = marks[b+1].Start (start of phase b+1)
+	nextMark []int    // per core: next boundary to cross
+	crossed  []int    // per boundary: cores past it
+	cores    int
+	snaps    []phaseSnap
+}
+
+// newPhaseTracker returns a tracker for the marks, or nil when the run
+// has no phase structure (plain workloads, single-phase scenarios).
+func newPhaseTracker(marks []trace.PhaseMark, cores int) *phaseTracker {
+	if len(marks) == 0 {
+		return nil
+	}
+	p := &phaseTracker{
+		marks:    marks,
+		bounds:   make([]uint64, len(marks)-1),
+		nextMark: make([]int, cores),
+		crossed:  make([]int, len(marks)-1),
+		cores:    cores,
+	}
+	for b := range p.bounds {
+		p.bounds[b] = marks[b+1].Start
+	}
+	return p
+}
+
+// note advances core's record count to seen; snap is invoked (at most
+// once per boundary) when the last core crosses it.
+func (p *phaseTracker) note(core int, seen uint64, snap func() phaseSnap) {
+	for nb := p.nextMark[core]; nb < len(p.bounds) && seen >= p.bounds[nb]; nb++ {
+		p.nextMark[core] = nb + 1
+		if p.crossed[nb]++; p.crossed[nb] == p.cores {
+			p.snaps = append(p.snaps, snap())
+		}
+	}
+}
+
+// windows differences the boundary snapshots (and the final run state)
+// into per-phase windows. Boundaries the run never reached collapse to
+// empty windows.
+func (p *phaseTracker) windows(final phaseSnap) []PhaseWindow {
+	wins := make([]PhaseWindow, len(p.marks))
+	var prev phaseSnap
+	for k, m := range p.marks {
+		end := final
+		if k < len(p.snaps) {
+			end = p.snaps[k]
+		}
+		d := end.cnt.sub(prev.cnt)
+		w := PhaseWindow{
+			Name: m.Name, Start: m.Start,
+			Records: d.Loads, L1Hits: d.L1Hits, L2Hits: d.L2Hits,
+			CoveredFull: d.PBFull, CoveredPartial: d.PBPartial, Uncovered: d.L2DemandMisses,
+			ElapsedCycles: end.cycles - prev.cycles,
+			Instrs:        end.instrs - prev.instrs,
+		}
+		if w.ElapsedCycles > 0 {
+			w.IPC = float64(w.Instrs) / float64(w.ElapsedCycles)
+		}
+		wins[k] = w
+		prev = end
+	}
+	return wins
+}

@@ -71,6 +71,48 @@ type Results struct {
 	// StreamLens is the whole-run stream-length distribution (Fig. 6
 	// left); nil for variants without a stream engine.
 	StreamLens *stats.CDF
+
+	// Phases windows the run per scenario phase (whole-run accounting,
+	// independent of the warm/measure split); nil for plain workloads
+	// and single-phase scenarios. Windows are delimited by counter
+	// snapshots, so their fields sum exactly to the whole-run totals.
+	Phases []PhaseWindow
+}
+
+// PhaseWindow is the slice of a run's counters attributable to one
+// scenario phase. A phase is "entered" at its per-core record offset
+// and closed when every core has crossed the next phase's offset (the
+// timed cores skew slightly; attribution at the boundary follows the
+// snapshot, deterministically).
+type PhaseWindow struct {
+	Name  string
+	Start uint64 // per-core record offset where the phase begins
+
+	Records uint64 // loads observed in the window (all cores)
+	L1Hits  uint64
+	L2Hits  uint64
+
+	CoveredFull    uint64
+	CoveredPartial uint64
+	Uncovered      uint64
+
+	// Timed-mode metrics (zero in functional mode).
+	ElapsedCycles uint64
+	Instrs        uint64
+	IPC           float64
+}
+
+// BaselineMisses returns the phase's would-be L2 demand misses without
+// the temporal prefetcher (covered + uncovered), as Results does for
+// the whole run.
+func (w *PhaseWindow) BaselineMisses() uint64 {
+	return w.CoveredFull + w.CoveredPartial + w.Uncovered
+}
+
+// Coverage returns the fraction of the phase's baseline misses the
+// temporal prefetcher eliminated (fully or partially).
+func (w *PhaseWindow) Coverage() float64 {
+	return stats.Ratio(float64(w.CoveredFull+w.CoveredPartial), float64(w.BaselineMisses()))
 }
 
 // BaselineMisses returns what the L2 demand-miss count would have been

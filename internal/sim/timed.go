@@ -52,6 +52,9 @@ type timed struct {
 	measuring   bool
 	measureT0   uint64
 
+	// Per-phase windowing (scenario runs); nil otherwise.
+	phases *phaseTracker
+
 	// Raw counters (windowed by snapshot at the warm boundary).
 	cnt, cntSnap  counters
 	engSnap       EngineCounts
@@ -233,7 +236,31 @@ func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, 
 	for i := range gens {
 		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
 	}
-	return runTimed(ctx, cfg, scaled, gens, ps, progress, total*uint64(cfg.Cores))
+	return runTimed(ctx, cfg, scaled, gens, nil, ps, progress, total*uint64(cfg.Cores))
+}
+
+// RunTimedScenarioCtx executes the timed simulation of a
+// phase-structured scenario. The scenario is scaled by cfg.Scale and
+// materialized against the run's per-core budget (warm + measure);
+// Results carry per-phase stat windows alongside the usual whole-run
+// numbers. Like plain workloads, scenario generation is a pure function
+// of (scenario, seed, core): results are bit-identical to replaying a
+// scenario tape of the same identity through RunTimedTapeCtx.
+func RunTimedScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps PrefSpec, progress Progress) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	scaled := scn.Scaled(cfg.Scale)
+	total := cfg.WarmRecords + cfg.MeasureRecords
+	gens, marks, err := scaled.Generators(cfg.Seed, cfg.Cores, total)
+	if err != nil {
+		return Results{}, err
+	}
+	for i, g := range gens {
+		gens[i] = &trace.Limit{Gen: g, N: total}
+	}
+	spec := scaled.EffectiveSpec(cfg.Cores, total)
+	return runTimed(ctx, cfg, spec, gens, marks, ps, progress, total*uint64(cfg.Cores))
 }
 
 // RunTimedTapeCtx executes the timed simulation over a materialized
@@ -253,10 +280,14 @@ func RunTimedTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefS
 	for i := range gens {
 		gens[i] = tape.CursorN(i, total)
 	}
-	return runTimed(ctx, cfg, tape.Spec(), gens, ps, progress, total*uint64(cfg.Cores))
+	return runTimed(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress, total*uint64(cfg.Cores))
 }
 
-// tapeFits verifies a tape covers the run a config describes.
+// tapeFits verifies a tape covers the run a config describes. Scenario
+// tapes must match the run budget exactly: fraction-based phases
+// resolve against the materialization budget, so replaying a longer
+// scenario tape for a shorter run would shift every phase boundary
+// relative to live generation.
 func tapeFits(cfg Config, tape *trace.Tape, perCore uint64) error {
 	switch {
 	case tape == nil:
@@ -267,6 +298,9 @@ func tapeFits(cfg Config, tape *trace.Tape, perCore uint64) error {
 		return fmt.Errorf("sim: tape seed %d, config seed %d", tape.Seed(), cfg.Seed)
 	case tape.PerCore() < perCore:
 		return fmt.Errorf("sim: tape budget %d records/core, run needs %d", tape.PerCore(), perCore)
+	case tape.Scenario() != nil && tape.PerCore() != perCore:
+		return fmt.Errorf("sim: scenario tape materialized for %d records/core, run needs exactly %d",
+			tape.PerCore(), perCore)
 	}
 	return nil
 }
@@ -295,12 +329,13 @@ func RunTimedTraceCtx(ctx context.Context, cfg Config, name string, gens []trace
 		return Results{}, fmt.Errorf("sim: %d generators for %d cores", len(gens), cfg.Cores)
 	}
 	spec := trace.Spec{Name: name, DirtyFrac: dirtyFrac}
-	return runTimed(ctx, cfg, spec, gens, ps, progress, 0)
+	return runTimed(ctx, cfg, spec, gens, nil, ps, progress, 0)
 }
 
 // runTimed wires and drains the event-driven system over the given
-// per-core generators.
-func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Generator, ps PrefSpec, progress Progress, totalRecs uint64) (Results, error) {
+// per-core generators; marks, when non-nil, request per-phase stat
+// windows in the Results.
+func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress, totalRecs uint64) (Results, error) {
 	if ctx == nil {
 		ctx = context.Background() // documented: nil = never cancelled
 	}
@@ -315,6 +350,7 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 		recordsSeen: make([]uint64, cfg.Cores),
 		mlp:         make([]mlpTrack, cfg.Cores),
 	}
+	s.phases = newPhaseTracker(marks, cfg.Cores)
 	s.mc = dram.New(s.eng, cfg.DRAM)
 	s.l2 = cache.New(cache.Config{Name: "L2", SizeBytes: cfg.L2(), Assoc: cfg.L2Assoc})
 	s.l2mshr = cache.NewMSHR(cfg.L2MSHRs, s.mshrDone)
@@ -465,6 +501,9 @@ func (s *timed) noteRecord(core int) {
 		}
 	}
 	s.recordsSeen[core]++
+	if s.phases != nil {
+		s.phases.note(core, s.recordsSeen[core], s.phaseSnapNow)
+	}
 	if s.recordsSeen[core] == s.cfg.WarmRecords && !s.measuring {
 		s.crossedWarm++
 		if s.crossedWarm == s.cfg.Cores {
@@ -534,5 +573,18 @@ func (s *timed) results(ps PrefSpec) Results {
 	if eng := s.pref.engine; eng != nil {
 		r.StreamLens = &eng.Stats().StreamLens
 	}
+	if s.phases != nil {
+		r.Phases = s.phases.windows(s.phaseSnapNow())
+	}
 	return r
+}
+
+// phaseSnapNow captures the whole-run counter state at the current
+// simulation instant.
+func (s *timed) phaseSnapNow() phaseSnap {
+	var instrs uint64
+	for _, c := range s.cores {
+		instrs += c.Committed()
+	}
+	return phaseSnap{cnt: s.cnt, cycles: s.eng.Now(), instrs: instrs}
 }

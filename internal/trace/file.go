@@ -17,10 +17,13 @@ package trace
 //
 //   - Columnar tapes ("STMSTAPE"): the versioned serialization of a
 //     trace.Tape — magic, format version, (seed, cores, per-core
-//     budget), the scaled workload spec as length-prefixed JSON, then
+//     budget), the scaled workload spec as length-prefixed JSON, the
+//     scenario provenance (version 2: length-prefixed scenario JSON,
+//     zero-length for plain spec tapes, plus the phase-mark list), then
 //     each core's encoded columns with u64 length prefixes. Tapes carry
 //     per-core segments natively (no round-robin re-dealing on replay)
-//     and are typically ~2.5x smaller than the flat format.
+//     and are typically ~2.5x smaller than the flat format. Version 1
+//     files (no scenario section) remain readable.
 //
 // cmd/stms-trace writes both; DetectFormat dispatches a reader on the
 // magic. Any Generator consumer accepts a FileReader or a tape Cursor.
@@ -39,9 +42,11 @@ var (
 	tapeMagic = [8]byte{'S', 'T', 'M', 'S', 'T', 'A', 'P', 'E'}
 )
 
-// tapeVersion is the current tape serialization version. Readers reject
-// versions they do not understand.
-const tapeVersion = 1
+// tapeVersion is the current tape serialization version. Version 2
+// added the scenario provenance section (scenario JSON + phase marks);
+// readers accept version 1 files, which simply have no scenario.
+// Readers reject versions they do not understand.
+const tapeVersion = 2
 
 const fileRecSize = 24
 
@@ -207,6 +212,24 @@ func WriteTape(w io.Writer, t *Tape) error {
 	if _, err := bw.Write(specJSON); err != nil {
 		return err
 	}
+	var scnJSON []byte
+	if t.scenario != nil {
+		if scnJSON, err = json.Marshal(t.scenario); err != nil {
+			return fmt.Errorf("trace: encoding tape scenario: %w", err)
+		}
+	}
+	writeU64(uint64(len(scnJSON)))
+	if _, err := bw.Write(scnJSON); err != nil {
+		return err
+	}
+	writeU64(uint64(len(t.marks)))
+	for _, m := range t.marks {
+		writeU64(m.Start)
+		writeU64(uint64(len(m.Name)))
+		if _, err := bw.Write([]byte(m.Name)); err != nil {
+			return err
+		}
+	}
 	for i := range t.cores {
 		c := &t.cores[i]
 		writeU64(c.n)
@@ -298,8 +321,9 @@ func ReadTape(r io.Reader) (*Tape, error) {
 	if DetectFormat(magic) != FormatTape {
 		return nil, fmt.Errorf("trace: bad tape magic %q", magic[:])
 	}
-	if v := tr.u64(); tr.err == nil && v != tapeVersion {
-		return nil, fmt.Errorf("trace: unsupported tape version %d (have %d)", v, tapeVersion)
+	version := tr.u64()
+	if tr.err == nil && (version < 1 || version > tapeVersion) {
+		return nil, fmt.Errorf("trace: unsupported tape version %d (have %d)", version, tapeVersion)
 	}
 	t := &Tape{seed: tr.u64()}
 	cores := tr.length("core count")
@@ -308,6 +332,27 @@ func ReadTape(r io.Reader) (*Tape, error) {
 	if tr.err == nil {
 		if err := json.Unmarshal(specJSON, &t.spec); err != nil {
 			return nil, fmt.Errorf("trace: decoding tape spec: %w", err)
+		}
+	}
+	if version >= 2 {
+		scnJSON := tr.bytes(tr.sized("scenario", 0, 1<<24))
+		if tr.err == nil && len(scnJSON) > 0 {
+			var scn Scenario
+			if err := json.Unmarshal(scnJSON, &scn); err != nil {
+				return nil, fmt.Errorf("trace: decoding tape scenario: %w", err)
+			}
+			if err := scn.Validate(); err != nil {
+				return nil, fmt.Errorf("trace: tape scenario: %w", err)
+			}
+			t.scenario = &scn
+		}
+		nMarks := tr.sized("phase marks", 0, 1<<16)
+		if nMarks > 0 {
+			t.marks = make([]PhaseMark, nMarks)
+			for i := range t.marks {
+				t.marks[i].Start = tr.u64()
+				t.marks[i].Name = string(tr.bytes(tr.sized("phase name", 0, 1<<10)))
+			}
 		}
 	}
 	if tr.err == nil && (cores <= 0 || cores > math.MaxUint16) {

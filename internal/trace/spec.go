@@ -249,14 +249,15 @@ func Specs() []Spec {
 	}
 }
 
-// ByName returns the full-scale spec with the given name.
+// ByName returns the full-scale spec with the given name; an unknown
+// name reports the nearest match and the full valid list.
 func ByName(name string) (Spec, error) {
 	for _, s := range Specs() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("trace: unknown workload %q", name)
+	return Spec{}, fmt.Errorf("trace: unknown workload %q%s", name, suggestion(name, Names()))
 }
 
 // Names lists all workload names in figure order (Web, OLTP, DSS, Sci).

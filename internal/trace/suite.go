@@ -1,0 +1,146 @@
+package trace
+
+// The built-in scenario suite: named stress scenarios probing the
+// sensitivity claims the stationary Table 1 specs cannot — meta-data
+// staleness across phase changes, stream-length decay, multi-programmed
+// interference, and thread migration. Each is deliberately small in
+// mechanism (one effect per scenario) so a coverage or speedup change
+// in the phase-sensitivity table has an unambiguous cause.
+
+import "fmt"
+
+// mustSpec returns the named Table 1 spec, panicking on a typo — suite
+// construction is static, so a miss is a programming error.
+func mustSpec(name string) Spec {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("trace: suite references unknown workload %q", name))
+}
+
+// AntagonistSpec returns the scan/noise co-runner used by the built-in
+// antagonist scenarios: a small recurring working set buried under
+// aggressive scan bursts and once-visited noise, tuned to pollute the
+// shared L2 and saturate DRAM without contributing temporal streams.
+func AntagonistSpec() Spec {
+	return Spec{
+		Name: "antagonist-scan", Class: DSS,
+		Streams: 512, LenMin: 2, LenMax: 64, LenAlpha: 1.3, ZipfS: 0.3,
+		ReplayMin: 0.7, SkipProb: 0.02, ChurnEvery: 50,
+		NoiseInChase: 0.2, ScanProb: 0.45, NoiseProb: 0.35,
+		ScanBurst: 256, ScanStreams: 4,
+		DepChase: 0.1, DepNoise: 0.05,
+		GapInstrs: 200, GapWork: 200, MemInstrs: 12, MemWork: 6,
+		BurstMean: 3.0, BurstMax: 6, WorkJitter: 0.3,
+		HotBlocks: 16, DirtyFrac: 0.3,
+	}
+}
+
+// Scenarios returns the built-in phase-structured stress suite. Phase
+// durations are fractions of the run budget, so the suite runs at any
+// window size; scenario names never collide with workload names, and
+// both resolve through the lab's plans and the CLIs.
+func Scenarios() []Scenario {
+	apache := mustSpec("web-apache")
+	zeus := mustSpec("web-zeus")
+	db2 := mustSpec("oltp-db2")
+	qry17 := mustSpec("dss-qry17")
+	ocean := mustSpec("sci-ocean")
+	em3d := mustSpec("sci-em3d")
+
+	decayed := db2
+	decayed.ReplayMin = 0.25
+	decayed.SkipProb = 0.08
+	decayed.ChurnEvery = 40
+
+	noisyWeb := apache
+	noisyWeb.NoiseProb = 0.35
+	noisyWeb.NoiseInChase = 0.25
+	noisyWeb.ChurnEvery = 80
+
+	storm := qry17
+	storm.ScanProb = 0.35
+	storm.ScanBurst = 192
+	storm.ScanStreams = 4
+
+	return []Scenario{
+		// A/B/A working-set flip: meta-data recorded in the first Apache
+		// phase goes cold through the OLTP phase, then becomes valid
+		// again — the recovery half of the staleness question.
+		Sequence("phase-flip",
+			Phase{Name: "web", Frac: 0.3, Spec: apache},
+			Phase{Name: "oltp", Frac: 0.4, Spec: db2},
+			Phase{Name: "web-return", Spec: apache},
+		),
+		// Same statistics, fresh streams: Reseed replaces every stream
+		// at the boundary, so surviving coverage in the second phase is
+		// pure re-learning rate — the isolated staleness probe.
+		Sequence("reshuffle",
+			Phase{Name: "learned", Frac: 0.5, Spec: apache},
+			Phase{Name: "reshuffled", Spec: apache, Reseed: 1},
+		),
+		// Gradual stream-length decay: replays truncate earlier, skip
+		// more, and churn faster, while the working set itself stays
+		// put (library fields untouched, so streams stay shared across
+		// the drift).
+		Sequence("stream-decay",
+			Phase{Name: "decay", Frac: 0.85, Spec: db2, DriftTo: &decayed},
+			Phase{Name: "decayed", Spec: decayed},
+		),
+		// Three OLTP cores against one scan/noise antagonist polluting
+		// the shared L2 and DRAM.
+		Antagonist("oltp-antagonist", db2, AntagonistSpec()),
+		// Thread migration: the same two working sets hand off between
+		// cores each phase. Libraries are shared by content, so the
+		// migrated thread's streams — and any cross-core meta-data —
+		// are waiting on the destination core.
+		Sequence("migratory-handoff",
+			Phase{Name: "placement-a", Frac: 0.25, Mix: []Spec{apache, zeus}},
+			Phase{Name: "placement-b", Frac: 0.25, Mix: []Spec{zeus, apache}},
+			Phase{Name: "placement-a2", Mix: []Spec{apache, zeus}},
+		),
+		// Gradual behavioral drift of a web workload toward noise:
+		// coverage should decay smoothly, not cliff.
+		Drift("web-drift", apache, noisyWeb, 8),
+		// Four different commercial workloads, one per core, sharing
+		// the L2, DRAM and off-chip meta-data path.
+		MixOf("mix-commercial", apache, db2, qry17, zeus),
+		// Alternating scan-storm phases stress the stride/temporal
+		// split: scans must stay with the stride prefetcher even when
+		// they dominate.
+		Sequence("scan-storm",
+			Phase{Name: "calm", Frac: 0.3, Spec: qry17},
+			Phase{Name: "storm", Frac: 0.3, Spec: storm},
+			Phase{Name: "calm-return", Spec: qry17},
+		),
+		// Scientific hand-off: one iteration-stream working set is
+		// dropped wholesale for another mid-run.
+		Sequence("sci-handoff",
+			Phase{Name: "ocean", Frac: 0.5, Spec: ocean},
+			Phase{Name: "em3d", Spec: em3d},
+		),
+	}
+}
+
+// ScenarioNames lists the built-in scenario names in suite order.
+func ScenarioNames() []string {
+	scns := Scenarios()
+	names := make([]string, len(scns))
+	for i, s := range scns {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ScenarioByName returns the built-in scenario with the given name; an
+// unknown name reports the nearest match and the full valid list.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("trace: unknown scenario %q%s", name, suggestion(name, ScenarioNames()))
+}

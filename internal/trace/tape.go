@@ -46,14 +46,21 @@ type tapeColumns struct {
 }
 
 // Tape is an immutable columnar materialization of one bounded trace:
-// cores × perCore records of the scaled spec at the given seed. Safe for
-// concurrent replay (Cursors share the tape read-only).
+// cores × perCore records of the scaled spec — or scaled scenario — at
+// the given seed. Safe for concurrent replay (Cursors share the tape
+// read-only).
 type Tape struct {
 	spec    Spec // scaled spec the records were generated from
 	seed    uint64
 	perCore uint64
 	cores   []tapeColumns
 	bytes   int64
+
+	// Scenario provenance: nil/empty for plain spec tapes. The spec
+	// field holds the scenario's EffectiveSpec; marks locate phase
+	// starts so replay windows statistics exactly as live generation.
+	scenario *Scenario
+	marks    []PhaseMark
 }
 
 // NewTape materializes perCore records for each of cores generators of
@@ -78,19 +85,51 @@ func NewTape(spec Spec, seed uint64, cores int, perCore uint64) *Tape {
 	for c := range gens {
 		gens[c] = NewGenerator(lib, c, seed)
 	}
+	t.encode(gens)
+	return t
+}
+
+// NewScenarioTape materializes perCore records for each of cores of the
+// (already scaled) scenario at seed. Phase boundaries are recorded as
+// marks; replaying the tape — including through the on-disk STMSTAPE
+// format — is bit-identical to live scenario generation. Invalid
+// scenarios panic, like invalid specs in NewTape; the lab converts
+// panics to cell errors.
+func NewScenarioTape(scn Scenario, seed uint64, cores int, perCore uint64) *Tape {
+	if cores <= 0 {
+		panic(fmt.Sprintf("trace: tape needs cores > 0, got %d", cores))
+	}
+	gens, marks, err := scn.Generators(seed, cores, perCore)
+	if err != nil {
+		panic(err)
+	}
+	t := &Tape{
+		spec:     scn.EffectiveSpec(cores, perCore),
+		seed:     seed,
+		perCore:  perCore,
+		cores:    make([]tapeColumns, cores),
+		scenario: &scn,
+		marks:    marks,
+	}
+	t.encode(gens)
+	return t
+}
+
+// encode drains the per-core generators into columns concurrently (the
+// generators' mutable state is disjoint per core by construction).
+func (t *Tape) encode(gens []Generator) {
 	var wg sync.WaitGroup
 	for c := range gens {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			t.cores[c] = encodeSegment(gens[c], perCore)
+			t.cores[c] = encodeSegment(gens[c], t.perCore)
 		}(c)
 	}
 	wg.Wait()
 	for i := range t.cores {
 		t.bytes += t.cores[i].footprint()
 	}
-	return t
 }
 
 // encodeSegment drains up to perCore records from gen into columns.
@@ -156,8 +195,18 @@ func (c *tapeColumns) footprint() int64 {
 		int64(len(c.pcRaw))*4 + int64(len(c.dep))*8
 }
 
-// Spec returns the (scaled) workload spec the tape was generated from.
+// Spec returns the (scaled) workload spec the tape was generated from;
+// for scenario tapes, the scenario's EffectiveSpec.
 func (t *Tape) Spec() Spec { return t.spec }
+
+// Scenario returns the scaled scenario the tape materializes, or nil
+// for plain spec tapes.
+func (t *Tape) Scenario() *Scenario { return t.scenario }
+
+// Marks returns the tape's phase-start offsets (per core), nil for
+// plain spec tapes and single-phase scenarios. The slice is shared;
+// callers must not mutate it.
+func (t *Tape) Marks() []PhaseMark { return t.marks }
 
 // Seed returns the trace seed.
 func (t *Tape) Seed() uint64 { return t.seed }

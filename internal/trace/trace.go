@@ -24,6 +24,13 @@
 //
 // Generators are deterministic: the same spec, seed and core produce the
 // same record sequence on every run.
+//
+// Beyond the stationary Table 1 specs, the package models workload
+// behavior over time with phase-structured Scenarios (scenario.go):
+// ordered phase lists with per-core mixes, gradual drift, and stream
+// reseeding, materialized with the same purity guarantee — the same
+// scenario, seed and core produce the same record sequence, live or
+// replayed from a tape. suite.go holds the built-in stress scenarios.
 package trace
 
 // Record is one memory reference plus the work preceding it.

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Extracts every ```sh block from EXPERIMENTS.md and executes it, in
+# order, from the repo root. CI runs this so the handbook's commands
+# cannot rot: if a flag is renamed or an experiment id disappears, the
+# corresponding block fails the build. Output blocks (```text) and API
+# snippets (```go) are not executed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+doc=${1:-EXPERIMENTS.md}
+[ -f "$doc" ] || { echo "check_experiments: $doc not found" >&2; exit 1; }
+
+blocks=0
+block=""
+in_block=0
+lineno=0
+block_start=0
+while IFS= read -r line || [ -n "$line" ]; do
+  lineno=$((lineno + 1))
+  if [ "$in_block" -eq 0 ] && [ "$line" = '```sh' ]; then
+    in_block=1
+    block=""
+    block_start=$lineno
+    continue
+  fi
+  if [ "$in_block" -eq 1 ] && [ "$line" = '```' ]; then
+    in_block=0
+    blocks=$((blocks + 1))
+    echo "== $doc block $blocks (line $block_start) =="
+    sed 's/^/   /' <<<"$block"
+    bash -euo pipefail -c "$block" || {
+      echo "check_experiments: block at $doc:$block_start failed" >&2
+      exit 1
+    }
+    continue
+  fi
+  if [ "$in_block" -eq 1 ]; then
+    block+="$line"$'\n'
+  fi
+done <"$doc"
+
+if [ "$in_block" -eq 1 ]; then
+  echo "check_experiments: unterminated \`\`\`sh block at $doc:$block_start" >&2
+  exit 1
+fi
+if [ "$blocks" -eq 0 ]; then
+  echo "check_experiments: no \`\`\`sh blocks found in $doc" >&2
+  exit 1
+fi
+echo "check_experiments: $blocks command blocks passed"

@@ -191,6 +191,66 @@ const (
 // WorkloadSpec describes one synthetic workload.
 type WorkloadSpec = trace.Spec
 
+// Scenario is a phase-structured, possibly multi-programmed workload:
+// an ordered list of phases (each a WorkloadSpec plus a duration, with
+// optional per-core mixes, gradual drift, and stream reseeding)
+// materialized into one deterministic per-core record stream. Plans
+// accept scenarios as rows (Lab.PlanScenarios, or built-in scenario
+// names in Lab.Plan), results carry per-phase stat windows, and
+// scenario tapes replay bit-identically to live generation.
+type Scenario = trace.Scenario
+
+// Phase is one epoch of a Scenario: a spec (or per-core mix) held for
+// a duration, optionally drifting toward a second spec.
+type Phase = trace.Phase
+
+// PhaseMark locates one phase inside a materialized trace (per-core
+// record offset of its start).
+type PhaseMark = trace.PhaseMark
+
+// PhaseWindow is the slice of a run's counters attributable to one
+// scenario phase (Results.Phases).
+type PhaseWindow = sim.PhaseWindow
+
+// Scenarios returns the built-in phase-structured stress suite
+// (phase-flip, stream-decay, oltp-antagonist, migratory-handoff, ...).
+func Scenarios() []Scenario { return trace.Scenarios() }
+
+// ScenarioNames lists the built-in scenario names in suite order.
+func ScenarioNames() []string { return trace.ScenarioNames() }
+
+// ScenarioByName returns the built-in scenario with the given name; an
+// unknown name reports the nearest match and the full valid list.
+func ScenarioByName(name string) (Scenario, error) { return trace.ScenarioByName(name) }
+
+// ParseScenario decodes and validates a scenario from its versioned
+// JSON format (the format stms-trace -scenario reads and
+// -scenario-out writes).
+func ParseScenario(r io.Reader) (Scenario, error) { return trace.ParseScenario(r) }
+
+// Stationary wraps a plain spec as a single-phase scenario; its record
+// streams are bit-identical to the spec's own.
+func Stationary(name string, spec WorkloadSpec) Scenario { return trace.Stationary(name, spec) }
+
+// Sequence builds a scenario from explicit phases.
+func Sequence(name string, phases ...Phase) Scenario { return trace.Sequence(name, phases...) }
+
+// MixOf builds a single-phase multi-programmed scenario: core c runs
+// specs[c % len(specs)] for the whole run.
+func MixOf(name string, specs ...WorkloadSpec) Scenario { return trace.MixOf(name, specs...) }
+
+// Antagonist builds a single-phase scenario where every fourth core
+// runs the antagonist spec and the rest run base.
+func Antagonist(name string, base, antagonist WorkloadSpec) Scenario {
+	return trace.Antagonist(name, base, antagonist)
+}
+
+// Drift builds a scenario that gradually interpolates from one spec to
+// another over most of the run, then holds the end state.
+func Drift(name string, from, to WorkloadSpec, steps int) Scenario {
+	return trace.Drift(name, from, to, steps)
+}
+
 // Tape is a columnar (structure-of-arrays) materialization of one
 // bounded multi-core trace: built once per trace identity, replayed any
 // number of times through zero-allocation cursors. Lab sessions
@@ -205,6 +265,14 @@ type Tape = trace.Tape
 // parallel. Replaying the tape is bit-identical to live generation.
 func NewTape(spec WorkloadSpec, seed uint64, cores int, perCore uint64) *Tape {
 	return trace.NewTape(spec, seed, cores, perCore)
+}
+
+// NewScenarioTape materializes a (already scaled) phase-structured
+// scenario as a columnar tape, recording phase marks; replay —
+// including through the on-disk STMSTAPE format — is bit-identical to
+// live scenario generation.
+func NewScenarioTape(scn Scenario, seed uint64, cores int, perCore uint64) *Tape {
+	return trace.NewScenarioTape(scn, seed, cores, perCore)
 }
 
 // STMSConfig sizes an STMS instance (history buffers, index table,
@@ -282,6 +350,21 @@ func RunTimedTapeCtx(ctx context.Context, cfg Config, tape *Tape, ps PrefSpec) (
 // RunFunctionalTapeCtx is RunFunctionalCtx over a materialized tape.
 func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *Tape, ps PrefSpec) (Results, error) {
 	return sim.RunFunctionalTapeCtx(ctx, cfg, tape, ps, nil)
+}
+
+// RunTimedScenarioCtx executes the timed simulation of a
+// phase-structured scenario (scaled by cfg.Scale, materialized against
+// the warm + measure budget); Results carry per-phase windows. Prefer
+// Lab plans with scenario rows — they parallelize, memoize, and share
+// scenario tapes.
+func RunTimedScenarioCtx(ctx context.Context, cfg Config, scn Scenario, ps PrefSpec) (Results, error) {
+	return sim.RunTimedScenarioCtx(ctx, cfg, scn, ps, nil)
+}
+
+// RunFunctionalScenarioCtx is RunTimedScenarioCtx on the zero-latency
+// functional driver (timing fields stay zero).
+func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn Scenario, ps PrefSpec) (Results, error) {
+	return sim.RunFunctionalScenarioCtx(ctx, cfg, scn, ps, nil)
 }
 
 // DefaultOptions returns the standard experiment scale for the harness.

@@ -334,6 +334,68 @@ func TestFunctionalModeAndExport(t *testing.T) {
 	}
 }
 
+// TestScenarioSuiteMatrix is the scenario acceptance check: the whole
+// built-in suite runs through one Lab matrix on the shared tape cache
+// (one scenario tape per row, replayed by every variant column), every
+// multi-phase row carries phase windows that sum to its totals, and
+// each cell is bit-identical to a sequential live-generation scenario
+// run at the same seed — the tape-replay-equals-live golden, covering
+// multi-phase, mixed-core, drift and reseed scenarios.
+func TestScenarioSuiteMatrix(t *testing.T) {
+	lab, err := stms.New(tinyLab(stms.WithParallelism(4))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs := []stms.PrefSpec{{Kind: stms.Ideal}, {Kind: stms.STMS, SampleProb: 0.125}}
+	m, err := lab.Run(context.Background(), lab.Plan(stms.ScenarioNames(), prefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Complete() {
+		t.Fatal("matrix has empty cells")
+	}
+	if ts := lab.TapeStats(); ts.Builds != uint64(len(m.Workloads)) || ts.Hits == 0 {
+		t.Fatalf("tape stats %+v: suite did not share one tape per scenario row", ts)
+	}
+
+	cfg := lab.BaseConfig()
+	multiPhase := 0
+	for row, name := range m.Workloads {
+		scn, err := stms.ScenarioByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for col := range m.Labels {
+			got := m.At(row, col).Res
+			want, err := stms.RunTimedScenarioCtx(context.Background(), cfg, scn, prefs[col])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*got, want) {
+				t.Fatalf("cell %s/%s differs from sequential live scenario run", name, m.Labels[col])
+			}
+		}
+		res := m.At(row, 0).Res
+		if len(scn.Phases) > 1 {
+			multiPhase++
+			if len(res.Phases) != len(scn.Phases) {
+				t.Fatalf("%s: %d phase windows for %d phases", name, len(res.Phases), len(scn.Phases))
+			}
+			var recs uint64
+			for _, w := range res.Phases {
+				recs += w.Records
+			}
+			total := cfg.WarmRecords + cfg.MeasureRecords
+			if recs != total*uint64(cfg.Cores) {
+				t.Fatalf("%s: phase windows hold %d records, run processed %d", name, recs, total*uint64(cfg.Cores))
+			}
+		}
+	}
+	if multiPhase == 0 {
+		t.Fatal("suite has no multi-phase scenarios")
+	}
+}
+
 type testBuffer struct{ b []byte }
 
 func (t *testBuffer) Write(p []byte) (int, error) {
