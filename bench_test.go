@@ -278,6 +278,61 @@ func BenchmarkTapeReplay(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
+// BenchmarkFrameDecode measures the tape fast path: decoding frames
+// straight from a materialized tape's columns through Cursor.ReadFrame
+// (compare records/s against BenchmarkTapeReplay's per-record Next).
+func BenchmarkFrameDecode(b *testing.B) {
+	spec, err := trace.ByName("web-zeus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(0.0625)
+	tape := trace.NewTape(spec, 1, 1, 1_000_000)
+	cur := tape.Cursor(0)
+	f := trace.NewFrame()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		if cur.ReadFrame(f) == 0 {
+			cur.Reset()
+			cur.ReadFrame(f)
+		}
+		n += f.Len()
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkFrameVsNext compares the two consumption paths over the same
+// live generator: record-at-a-time Next versus batched ReadFrame.
+func BenchmarkFrameVsNext(b *testing.B) {
+	spec, err := trace.ByName("web-zeus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(0.0625)
+	b.Run("next", func(b *testing.B) {
+		gen := trace.NewGenerator(trace.NewLibrary(spec, 1), 0, 1)
+		var rec trace.Record
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gen.Next(&rec)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+	b.Run("frame", func(b *testing.B) {
+		gen := trace.NewGenerator(trace.NewLibrary(spec, 1), 0, 1)
+		f := trace.NewFrame()
+		b.ResetTimer()
+		var n int
+		for i := 0; i < b.N; i++ {
+			trace.FillFrame(gen, f)
+			n += f.Len()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "records/s")
+	})
+}
+
 // BenchmarkFig8Shared runs the Fig. 8/9 headline matrix — the eight
 // workloads × {baseline, ideal, stms} — on one Lab session per
 // iteration: eight tape builds serve all twenty-four cells. The

@@ -16,11 +16,14 @@
 // CPUs); results are identical regardless.
 //
 // With -json, a machine-readable benchmark document is also written
-// (schema v3): the run options, wall time split into trace
-// materialization (generate_ms) and simulation (simulate_ms), tape
-// cache behaviour (hits/misses/builds/evictions/bytes), simulator
-// throughput (records/sec) and allocation totals for a freshly-timed
-// headline matrix, and the workload × {baseline, ideal, stms} matrix
+// (schema v4): the run options; a reconciled wall-time attribution —
+// the experiment suite and the freshly-timed headline matrix each split
+// into trace materialization, simulation, and explicit residue
+// (report/plan/memo overhead) so elapsed_ms is the sum of its parts;
+// tape cache behaviour (hits/misses/builds/evictions/bytes); frame
+// pipeline counters (frames_decoded/frame_records, also per cell);
+// simulator throughput (records/sec) and allocation totals for the
+// headline matrix; and the workload × {baseline, ideal, stms} matrix
 // with per-cell IPC, coverage and speedup inputs — the format the
 // BENCH_PR*.json trajectory snapshots capture. -cpuprofile/-memprofile
 // write pprof profiles of the whole invocation.
@@ -125,27 +128,54 @@ func main() {
 // benchDoc is the machine-readable trajectory record: enough to compare
 // runs across commits without parsing the text tables. RecordsPerSec and
 // TotalAllocs capture simulator throughput and allocation behaviour so
-// future PRs can track the perf trajectory (BENCH_PR2.json and
-// BENCH_PR3.json are the first snapshots). Schema v3 splits the headline
-// matrix wall time into trace materialization (generate_ms) and
-// simulation (simulate_ms) and reports the session tape cache's
-// behaviour: the matrix generates one tape per workload and replays it
-// across every variant cell.
+// future PRs can track the perf trajectory (BENCH_PR2.json onward are
+// the snapshots).
+//
+// Schema v4 makes the wall-time accounting reconcile: v3's elapsed_ms
+// (the whole experiment-suite run) and generate_ms/simulate_ms (the
+// separately-timed headline matrix) measured two different things, so
+// most of the elapsed time was unattributed. v4 reports the two timed
+// segments explicitly — the experiment suite over the shared session
+// (experiments_ms, split into its own tape builds, cell simulation, and
+// the remainder: report building, plan setup, memo lookups) and the
+// freshly-timed headline matrix (matrix_wall_ms, same split) — with
+// elapsed_ms their sum. v4 also counts the frame pipeline's work
+// (frames_decoded/frame_records aggregated here, per-cell under each
+// matrix cell's Frames), so a run that silently fell back off the
+// batched path is visible.
 type benchDoc struct {
-	Schema        string       `json:"schema"`
-	Experiment    string       `json:"experiment"`
-	Scale         float64      `json:"scale"`
-	Seed          uint64       `json:"seed"`
-	Warm          uint64       `json:"warm_records"`
-	Measure       uint64       `json:"measure_records"`
-	ElapsedMS     float64      `json:"elapsed_ms"`
-	MatrixCells   int          `json:"matrix_cells"`
-	MatrixRecords uint64       `json:"matrix_records"`
-	RecordsPerSec float64      `json:"records_per_sec"`
-	TotalAllocs   uint64       `json:"total_allocs"`
-	TotalAllocMB  float64      `json:"total_alloc_mb"`
-	GenerateMS    float64      `json:"generate_ms"`
-	SimulateMS    float64      `json:"simulate_ms"`
+	Schema     string  `json:"schema"`
+	Experiment string  `json:"experiment"`
+	Scale      float64 `json:"scale"`
+	Seed       uint64  `json:"seed"`
+	Warm       uint64  `json:"warm_records"`
+	Measure    uint64  `json:"measure_records"`
+
+	// Whole-invocation wall time: experiments_ms + matrix_wall_ms.
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Experiment suite (shared session, memoized across figures).
+	ExperimentsMS   float64 `json:"experiments_ms"`
+	SuiteGenerateMS float64 `json:"suite_generate_ms"`
+	SuiteSimulateMS float64 `json:"suite_simulate_ms"`
+	SuiteOtherMS    float64 `json:"suite_other_ms"`
+
+	// Headline workload × {baseline, ideal, stms} matrix, timed on a
+	// fresh session so memoization cannot hide simulator throughput.
+	MatrixWallMS  float64 `json:"matrix_wall_ms"`
+	GenerateMS    float64 `json:"generate_ms"`
+	SimulateMS    float64 `json:"simulate_ms"`
+	MatrixOtherMS float64 `json:"matrix_other_ms"`
+	MatrixCells   int     `json:"matrix_cells"`
+	MatrixRecords uint64  `json:"matrix_records"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	TotalAllocs   uint64  `json:"total_allocs"`
+	TotalAllocMB  float64 `json:"total_alloc_mb"`
+
+	// Frame-pipeline counters summed over the headline matrix cells.
+	FramesDecoded uint64 `json:"frames_decoded"`
+	FrameRecords  uint64 `json:"frame_records"`
+
 	TapeHits      uint64       `json:"tape_hits"`
 	TapeMisses    uint64       `json:"tape_misses"`
 	TapeBuilds    uint64       `json:"tape_builds"`
@@ -189,6 +219,59 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	// Every cell simulates warm+measure records on each core.
 	simRecords := uint64(cells) * (o.Warm + o.Measure) * uint64(stms.DefaultConfig().Cores)
 	ts := lab.TapeStats()
+	sts := r.TapeStats()
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	other := func(wall float64, parts ...float64) float64 {
+		for _, p := range parts {
+			wall -= p
+		}
+		if wall < 0 {
+			// Parallel cells can overlap tape builds with simulation, so
+			// the accounted parts may exceed the wall; clamp rather than
+			// report negative residue.
+			return 0
+		}
+		return wall
+	}
+	doc := benchDoc{
+		Schema:     "stms-bench/v4",
+		Experiment: id,
+		Scale:      o.Scale,
+		Seed:       o.Seed,
+		Warm:       o.Warm,
+		Measure:    o.Measure,
+
+		ExperimentsMS:   ms(elapsed),
+		SuiteGenerateMS: ms(sts.Generate),
+		SuiteSimulateMS: ms(sts.Simulate),
+
+		MatrixWallMS:  ms(matrixElapsed),
+		GenerateMS:    ms(ts.Generate),
+		SimulateMS:    ms(ts.Simulate),
+		MatrixCells:   cells,
+		MatrixRecords: simRecords,
+		RecordsPerSec: float64(simRecords) / matrixElapsed.Seconds(),
+		TotalAllocs:   after.Mallocs - before.Mallocs,
+		TotalAllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+
+		TapeHits:      ts.Hits,
+		TapeMisses:    ts.Misses,
+		TapeBuilds:    ts.Builds,
+		TapeEvictions: ts.Evictions,
+		TapeBytes:     ts.BytesInUse,
+		Matrix:        m,
+	}
+	doc.ElapsedMS = doc.ExperimentsMS + doc.MatrixWallMS
+	doc.SuiteOtherMS = other(doc.ExperimentsMS, doc.SuiteGenerateMS, doc.SuiteSimulateMS)
+	doc.MatrixOtherMS = other(doc.MatrixWallMS, doc.GenerateMS, doc.SimulateMS)
+	for _, c := range m.Cells {
+		if c.Res != nil {
+			doc.FramesDecoded += c.Res.Frames.Frames
+			doc.FrameRecords += c.Res.Frames.Records
+		}
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -196,26 +279,5 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	return enc.Encode(benchDoc{
-		Schema:        "stms-bench/v3",
-		Experiment:    id,
-		Scale:         o.Scale,
-		Seed:          o.Seed,
-		Warm:          o.Warm,
-		Measure:       o.Measure,
-		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
-		MatrixCells:   cells,
-		MatrixRecords: simRecords,
-		RecordsPerSec: float64(simRecords) / matrixElapsed.Seconds(),
-		TotalAllocs:   after.Mallocs - before.Mallocs,
-		TotalAllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
-		GenerateMS:    float64(ts.Generate.Microseconds()) / 1000,
-		SimulateMS:    float64(ts.Simulate.Microseconds()) / 1000,
-		TapeHits:      ts.Hits,
-		TapeMisses:    ts.Misses,
-		TapeBuilds:    ts.Builds,
-		TapeEvictions: ts.Evictions,
-		TapeBytes:     ts.BytesInUse,
-		Matrix:        m,
-	})
+	return enc.Encode(doc)
 }

@@ -65,8 +65,15 @@ type Core struct {
 	id   int
 	cfg  Config
 	eng  *event.Engine
-	gen  trace.Generator
+	src  trace.FrameSource
 	load LoadFunc
+
+	// The core consumes its trace frame-at-a-time: frame holds the
+	// current batch of records (borrowed from src until the next
+	// refill), fpos the next unread index. Reading a record is four
+	// column loads — no per-record interface dispatch.
+	frame *trace.Frame
+	fpos  int
 
 	rec     trace.Record
 	haveRec bool
@@ -99,7 +106,16 @@ type Core struct {
 }
 
 // New creates a core reading records from gen and issuing loads via load.
+// Records are consumed through a synchronous frame source; use NewFramed
+// to feed the core from a shared or pipelined source.
 func New(id int, cfg Config, eng *event.Engine, gen trace.Generator, load LoadFunc) *Core {
+	return NewFramed(id, cfg, eng, trace.Frames(gen), load)
+}
+
+// NewFramed creates a core reading records frame-at-a-time from src and
+// issuing loads via load. The core borrows each frame until it requests
+// the next one; it never closes src.
+func NewFramed(id int, cfg Config, eng *event.Engine, src trace.FrameSource, load LoadFunc) *Core {
 	if cfg.ROB <= 0 {
 		cfg.ROB = 96
 	}
@@ -110,7 +126,7 @@ func New(id int, cfg Config, eng *event.Engine, gen trace.Generator, load LoadFu
 		id:   id,
 		cfg:  cfg,
 		eng:  eng,
-		gen:  gen,
+		src:  src,
 		load: load,
 		// Each record carries at least one instruction, so the ROB can
 		// never hold more outstanding loads than instructions.
@@ -168,7 +184,11 @@ func (c *Core) retireHead() {
 	if e.compTime > c.finish {
 		c.finish = e.compTime
 	}
-	c.head = (c.head + 1) % len(c.ring)
+	// Conditional wrap: the ring is ROB+1 entries, not a power of two, so
+	// a modulo here would be an integer division on the hottest path.
+	if c.head++; c.head == len(c.ring) {
+		c.head = 0
+	}
 	c.count--
 	if c.target != 0 && !c.targetFired && c.retired >= c.target {
 		c.targetFired = true
@@ -196,11 +216,30 @@ func (c *Core) step() {
 			c.retireHead()
 		}
 		if !c.haveRec {
-			if !c.gen.Next(&c.rec) {
-				c.exhausted = true
+			if c.exhausted {
+				// Re-entered by a completion after the source went dry:
+				// keep retiring, never touch the source again.
 				c.drainRetire()
 				return
 			}
+			f := c.frame
+			if f == nil || c.fpos == f.Len() {
+				if f = c.src.NextFrame(); f == nil {
+					c.exhausted = true
+					c.frame = nil
+					c.drainRetire()
+					return
+				}
+				c.frame = f
+				c.fpos = 0
+			}
+			i := c.fpos
+			c.fpos = i + 1
+			c.rec.PC = f.PC[i]
+			c.rec.Block = f.Block[i]
+			c.rec.Dep = f.Dep[i]
+			c.rec.Work = f.Work[i]
+			c.rec.Instrs = f.Instrs[i]
 			if c.rec.Instrs == 0 {
 				c.rec.Instrs = 1
 			}
@@ -242,7 +281,9 @@ func (c *Core) step() {
 		// pathological cases) always finds its slot.
 		idx := c.tail
 		c.ring[idx] = robEntry{instrEnd: c.dispatched}
-		c.tail = (c.tail + 1) % len(c.ring)
+		if c.tail++; c.tail == len(c.ring) {
+			c.tail = 0
+		}
 		c.count++
 		c.lastIdx = idx
 		c.haveLast = true

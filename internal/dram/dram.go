@@ -132,8 +132,14 @@ func (q *reqQueue) push(r request) {
 }
 
 func (q *reqQueue) pop() request {
-	r := q.buf[q.head]
-	q.buf[q.head] = request{} // drop handler/closure references
+	slot := &q.buf[q.head]
+	r := *slot
+	// Drop only the closure reference: clearing the whole slot would
+	// write the full struct back (plus a second pointer barrier for the
+	// handler, which is a long-lived component and safe to retain).
+	if slot.done != nil {
+		slot.done = nil
+	}
 	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return r
@@ -160,13 +166,25 @@ const (
 
 // Controller is the event-driven memory controller. All requests transfer
 // exactly one 64-byte block.
+//
+// Channel occupancy is time-based: a transfer marks the channel busy
+// until busyUntil, and a drain event exists only while requests are
+// actually queued behind it. The common case — a request arriving to an
+// idle, empty channel — costs no internal event at all, only the
+// caller's data-delivery event. Firing order is identical to the old
+// always-evented design: the eager transfer-done event ran before any
+// same-cycle arrivals (it was scheduled earliest) and did nothing but
+// clear the busy flag, which the busyUntil comparison reproduces
+// exactly, and a lazy drain starts the same queued request on the same
+// cycle it always started.
 type Controller struct {
 	cfg Config
 	eng *event.Engine
 
-	hi, lo  reqQueue // FIFO queues per priority
-	busy    bool
-	traffic Traffic
+	hi, lo    reqQueue // FIFO queues per priority
+	busyUntil uint64   // channel occupied for cycles < busyUntil
+	drain     bool     // a kXferDone drain event is pending
+	traffic   Traffic
 
 	// slots parks closure-path done callbacks between service start and
 	// data delivery; free is its free list.
@@ -191,10 +209,22 @@ func New(eng *event.Engine, cfg Config) *Controller {
 // Traffic returns a copy of the per-class counters.
 func (c *Controller) Traffic() Traffic { return c.traffic }
 
+// BusyUntil returns the cycle the in-flight transfer completes (at or
+// below the current cycle when the channel is idle). After a full event
+// drain this is the channel's true end-of-work time: the final
+// transfer's completion no longer fires an event of its own, so the
+// engine clock can stop one transfer slot short of it.
+func (c *Controller) BusyUntil() uint64 { return c.busyUntil }
+
 // Utilization returns the fraction of cycles the channel was busy since
-// construction (or the last ResetStats).
+// construction (or the last ResetStats). The elapsed window extends to
+// the end of the last transfer when that outlives the final event.
 func (c *Controller) Utilization() float64 {
-	elapsed := c.eng.Now() - c.createdCycle
+	now := c.eng.Now()
+	if c.busyUntil > now {
+		now = c.busyUntil
+	}
+	elapsed := now - c.createdCycle
 	if elapsed == 0 {
 		return 0
 	}
@@ -229,6 +259,21 @@ func (c *Controller) Read(class Class, hiPri bool, done func(now uint64)) {
 	c.enqueue(request{class: class, done: done, enqueued: c.eng.Now()}, hiPri)
 }
 
+// busyNow reports whether the channel is mid-transfer at the current
+// cycle. At exactly busyUntil the channel is free once the drain event
+// (when one exists) has fired: under the old eager-event design, events
+// already pending when the transfer started fired before its
+// transfer-done and saw a busy channel, while everything scheduled later
+// fired after it and saw a free one. A pending drain carries exactly the
+// transfer-done's place in that order.
+func (c *Controller) busyNow() bool {
+	now := c.eng.Now()
+	if now < c.busyUntil {
+		return true
+	}
+	return c.drain && now == c.busyUntil
+}
+
 // idle reports whether a new request would start service immediately:
 // channel free, nothing queued ahead. Serving it directly is
 // behaviour-identical to the ring round-trip (the pop would select it
@@ -236,15 +281,26 @@ func (c *Controller) Read(class Class, hiPri bool, done func(now uint64)) {
 // modelled channel runs well under saturation, so most requests arrive
 // to an idle channel.
 func (c *Controller) idle() bool {
-	return !c.busy && c.hi.n == 0 && c.lo.n == 0
+	return c.hi.n == 0 && c.lo.n == 0 && !c.busyNow()
 }
 
 // startXfer accounts and occupies the channel for one zero-wait transfer.
+//
+// The busy interval is usually pure bookkeeping (busyUntil). The one
+// case a timestamp cannot reproduce: an event that was already pending
+// at exactly busyUntil fires before a freshly scheduled transfer-done
+// would have (lower sequence number), so under the old eager-event
+// design it observed a still-busy channel. If such an event exists, a
+// real drain event restores the exact (time, seq) semantics.
 func (c *Controller) startXfer() {
-	c.busy = true
+	c.busyUntil = c.eng.Now() + c.cfg.XferCycles
 	c.servedCount++
 	c.busyCycles += c.cfg.XferCycles
-	c.eng.ScheduleH(c.cfg.XferCycles, c, kXferDone, 0, 0)
+	// Oversized transfer slots always take the eager event: a later
+	// front-inserted drain needs busyUntil inside the wheel horizon.
+	if c.eng.HasPendingAt(c.busyUntil) || c.cfg.XferCycles >= event.WheelHorizon {
+		c.scheduleDrain()
+	}
 }
 
 // ReadH is Read with a typed completion: when the data is available,
@@ -292,7 +348,10 @@ func (c *Controller) queue(r request, hiPri bool) {
 }
 
 func (c *Controller) tryStart() {
-	if c.busy {
+	if c.busyNow() {
+		// Mid-transfer: make sure a drain event will pick the queue up
+		// the moment the channel frees.
+		c.scheduleLateDrain()
 		return
 	}
 	var r request
@@ -307,18 +366,46 @@ func (c *Controller) tryStart() {
 	c.serve(r)
 }
 
+// scheduleDrain arranges (at most once, at transfer start) for the queue
+// to be re-examined when the current transfer completes.
+func (c *Controller) scheduleDrain() {
+	if c.drain {
+		return
+	}
+	c.drain = true
+	c.eng.AtH(c.busyUntil, c, kXferDone, 0, 0)
+}
+
+// scheduleLateDrain is scheduleDrain for drains decided after the
+// transfer already started (a request queued mid-transfer). The drain
+// must fire exactly where the old eager transfer-done would have: ahead
+// of every event now pending at busyUntil — startXfer proved that cycle
+// had no events pending when the transfer began, so everything there now
+// was scheduled later and belongs behind the drain. Front insertion
+// restores that order; if it is not possible (busyUntil at or past the
+// horizon — only with oversized transfer slots, which startXfer handles
+// eagerly), the plain tail insert is the fallback.
+func (c *Controller) scheduleLateDrain() {
+	if c.drain {
+		return
+	}
+	c.drain = true
+	if !c.eng.AtHFront(c.busyUntil, c, kXferDone, 0, 0) {
+		c.eng.AtH(c.busyUntil, c, kXferDone, 0, 0)
+	}
+}
+
 // serve starts one transfer on the (idle) channel.
 func (c *Controller) serve(r request) {
-	c.busy = true
 	now := c.eng.Now()
 	c.queueDelay += now - r.enqueued
-	c.servedCount++
-	c.busyCycles += c.cfg.XferCycles
+	c.startXfer()
 	// Channel is occupied for one transfer slot; data is available after
-	// the full access latency. The transfer-done event is scheduled before
-	// the delivery so both land in the same relative order the old
-	// closure-based controller used.
-	c.eng.ScheduleH(c.cfg.XferCycles, c, kXferDone, 0, 0)
+	// the full access latency. If requests remain queued behind this one,
+	// a drain event re-examines the queue when the slot frees.
+	if c.hi.n > 0 || c.lo.n > 0 {
+		c.scheduleDrain()
+	}
 	if r.isWrite {
 		return
 	}
@@ -347,7 +434,7 @@ func (c *Controller) park(done func(now uint64)) int32 {
 func (c *Controller) Handle(now uint64, kind uint8, a, b uint64) {
 	switch kind {
 	case kXferDone:
-		c.busy = false
+		c.drain = false
 		c.tryStart()
 	case kDeliver:
 		done := c.slots[a]

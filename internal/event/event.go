@@ -76,6 +76,7 @@ type Engine struct {
 
 	bucket   [wheelSize]bucket
 	occupied [wheelSize / 64]uint64
+	occWords uint16 // summary bitmap: bit w set iff occupied[w] != 0
 	wheelN   int
 
 	overflow []*Event // min-heap on (when, seq); all whens >= base+wheelSize
@@ -109,11 +110,15 @@ func (e *Engine) get() *Event {
 	return ev
 }
 
-// put recycles a record. References are cleared so the pool never pins
-// handlers or closures.
+// put recycles a record. Closures are cleared so the pool never pins
+// their captures; handler references stay — handlers are long-lived
+// simulator components (cores, controllers, the simulator itself) that
+// outlive the engine anyway, and skipping the store keeps two GC write
+// barriers off the per-event path.
 func (e *Engine) put(ev *Event) {
-	ev.h = nil
-	ev.fn = nil
+	if ev.fn != nil {
+		ev.fn = nil
+	}
 	ev.next = e.free
 	e.free = ev
 }
@@ -174,11 +179,66 @@ func (e *Engine) pushBucket(ev *Event) {
 	if b.tail == nil {
 		b.head = ev
 		e.occupied[i>>6] |= 1 << (i & 63)
+		e.occWords |= 1 << (i >> 6)
 		e.wheelN++
 	} else {
 		b.tail.next = ev
 	}
 	b.tail = ev
+}
+
+// WheelHorizon is the number of cycles the timing wheel covers beyond
+// the current base: AtHFront and exact HasPendingAt answers are limited
+// to this window.
+const WheelHorizon = wheelSize
+
+// HasPendingAt reports whether any not-yet-fired event is scheduled for
+// exactly time t. Exact (and O(1)) for t within the wheel horizon; for
+// far-future times it conservatively reports true when anything waits in
+// the overflow heap. Components use it to decide whether a state change
+// at t can be represented by a plain timestamp comparison (no pending
+// event can observe the difference) or needs a real event to preserve
+// the engine's (time, seq) firing order.
+func (e *Engine) HasPendingAt(t uint64) bool {
+	if t >= e.base+wheelSize {
+		return len(e.overflow) > 0
+	}
+	b := &e.bucket[t&wheelMask]
+	return b.head != nil && b.head.when == t
+}
+
+// AtHFront schedules h.Handle(t, kind, a, b) to run at t ahead of every
+// event currently pending for that cycle (a normal AtH lands behind
+// them). It exists for components that elide an event and must later
+// reinsert it at the sequence position the elided event would have had:
+// valid only when every event now pending at t was scheduled after the
+// elision point. t must be strictly in the future and within the wheel
+// horizon; AtHFront reports false (scheduling nothing) otherwise.
+func (e *Engine) AtHFront(t uint64, h Handler, kind uint8, a, b uint64) bool {
+	if t <= e.now || t >= e.base+wheelSize {
+		return false
+	}
+	ev := e.get()
+	ev.h = h
+	ev.kind = kind
+	ev.a = a
+	ev.b = b
+	e.seq++
+	ev.when = t
+	ev.seq = e.seq
+	e.n++
+	i := t & wheelMask
+	bkt := &e.bucket[i]
+	if bkt.head == nil {
+		bkt.tail = ev
+		e.occupied[i>>6] |= 1 << (i & 63)
+		e.occWords |= 1 << (i >> 6)
+		e.wheelN++
+	} else {
+		ev.next = bkt.head
+	}
+	bkt.head = ev
+	return true
 }
 
 // nextTime returns the fire time of the earliest pending event. Wheel
@@ -194,20 +254,26 @@ func (e *Engine) nextTime() uint64 {
 }
 
 // scanFrom returns the first occupied bucket index at or (circularly)
-// after start, using the occupancy bitmap. The caller guarantees at least
-// one occupied bucket.
+// after start, using the two-level occupancy bitmap: the summary word
+// locates the first non-empty 64-bucket group in two TrailingZeros
+// instead of a word-by-word sweep. The caller guarantees at least one
+// occupied bucket.
 func (e *Engine) scanFrom(start uint64) uint64 {
 	word := start >> 6
 	if w := e.occupied[word] &^ ((1 << (start & 63)) - 1); w != 0 {
 		return word<<6 + uint64(bits.TrailingZeros64(w))
 	}
-	for k := 1; k <= len(e.occupied); k++ {
-		word = (start>>6 + uint64(k)) % uint64(len(e.occupied))
-		if w := e.occupied[word]; w != 0 {
-			return word<<6 + uint64(bits.TrailingZeros64(w))
-		}
+	// First summary bit circularly after word; a full wrap lands on word
+	// itself again, this time unmasked.
+	s := e.occWords &^ (1<<(word+1) - 1)
+	if s == 0 {
+		s = e.occWords
 	}
-	panic("event: scanFrom on empty wheel")
+	if s == 0 {
+		panic("event: scanFrom on empty wheel")
+	}
+	word = uint64(bits.TrailingZeros16(s))
+	return word<<6 + uint64(bits.TrailingZeros64(e.occupied[word]))
 }
 
 // advance moves the clock (and the wheel base) to t and migrates overflow
@@ -258,7 +324,9 @@ func (e *Engine) fireFrom(b *bucket, i uint64) {
 	b.head = ev.next
 	if b.head == nil {
 		b.tail = nil
-		e.occupied[i>>6] &^= 1 << (i & 63)
+		if e.occupied[i>>6] &^= 1 << (i & 63); e.occupied[i>>6] == 0 {
+			e.occWords &^= 1 << (i >> 6)
+		}
 		e.wheelN--
 	}
 	e.n--

@@ -199,6 +199,12 @@ type cellJSON struct {
 	ElapsedCycles  uint64  `json:"elapsed_cycles,omitempty"`
 	Instrs         uint64  `json:"instrs,omitempty"`
 	OverheadTotal  float64 `json:"overhead_total,omitempty"`
+
+	// Frame-pipeline accounting: how many columnar frames (and records
+	// inside them) the cell's drivers consumed. Zero would mean the cell
+	// somehow bypassed the batched record path.
+	FramesDecoded uint64 `json:"frames_decoded"`
+	FrameRecords  uint64 `json:"frame_records"`
 }
 
 // matrixJSON is the export schema for a whole matrix.
@@ -235,6 +241,8 @@ func (m *Matrix) MarshalJSON() ([]byte, error) {
 			cj.ElapsedCycles = r.ElapsedCycles
 			cj.Instrs = r.Instrs
 			cj.OverheadTotal = r.OverheadTraffic().Total()
+			cj.FramesDecoded = r.Frames.Frames
+			cj.FrameRecords = r.Frames.Records
 		}
 		out.Cells = append(out.Cells, cj)
 	}

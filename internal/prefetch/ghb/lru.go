@@ -1,14 +1,19 @@
 package ghb
 
+import "stms/internal/mem"
+
 // lruIndex is the idealized correlation index: a map from miss address to
 // packed {core, history position}, optionally capacity-bounded with global
 // LRU replacement (Figure 1 left sweeps this capacity).
 //
 // The LRU list is intrusive over slice-backed nodes so the structure stays
-// allocation-friendly at millions of entries.
+// allocation-friendly at millions of entries; the address map is the
+// open-addressed mem.BlockMap — per-miss get/put is the idealized
+// variant's hottest path, and the builtin map's hashing and bucket
+// machinery dominated its profile.
 type lruIndex struct {
 	cap   uint64 // 0 = unbounded
-	m     map[uint64]int32
+	m     *mem.BlockMap
 	nodes []lruNode
 	free  []int32
 	head  int32 // most recent
@@ -26,10 +31,10 @@ type lruNode struct {
 const nilNode = int32(-1)
 
 func newLRUIndex(capacity uint64) *lruIndex {
-	return &lruIndex{cap: capacity, m: make(map[uint64]int32), head: nilNode, tail: nilNode}
+	return &lruIndex{cap: capacity, m: mem.NewBlockMap(int(min(capacity, 1<<16))), head: nilNode, tail: nilNode}
 }
 
-func (l *lruIndex) len() int { return len(l.m) }
+func (l *lruIndex) len() int { return l.m.Len() }
 
 func (l *lruIndex) detach(i int32) {
 	n := &l.nodes[i]
@@ -63,7 +68,7 @@ func (l *lruIndex) pushFront(i int32) {
 // not rewrite the idealized table; recency tracks recording, matching the
 // "most recent occurrence" semantics of §5.3).
 func (l *lruIndex) get(key uint64) (uint64, bool) {
-	i, ok := l.m[key]
+	i, ok := l.m.Get(key)
 	if !ok {
 		return 0, false
 	}
@@ -73,16 +78,16 @@ func (l *lruIndex) get(key uint64) (uint64, bool) {
 // put inserts or updates key, making it most recent, evicting the least
 // recent entry if over capacity.
 func (l *lruIndex) put(key, val uint64) {
-	if i, ok := l.m[key]; ok {
+	if i, ok := l.m.Get(key); ok {
 		l.nodes[i].val = val
 		l.detach(i)
 		l.pushFront(i)
 		return
 	}
-	if l.cap > 0 && uint64(len(l.m)) >= l.cap {
+	if l.cap > 0 && uint64(l.m.Len()) >= l.cap {
 		victim := l.tail
 		l.detach(victim)
-		delete(l.m, l.nodes[victim].key)
+		l.m.Delete(l.nodes[victim].key)
 		l.free = append(l.free, victim)
 		l.evictions++
 	}
@@ -95,16 +100,16 @@ func (l *lruIndex) put(key, val uint64) {
 		i = int32(len(l.nodes) - 1)
 	}
 	l.nodes[i] = lruNode{key: key, val: val, prev: nilNode, next: nilNode}
-	l.m[key] = i
+	l.m.Put(key, i)
 	l.pushFront(i)
 }
 
 func (l *lruIndex) remove(key uint64) {
-	i, ok := l.m[key]
+	i, ok := l.m.Get(key)
 	if !ok {
 		return
 	}
 	l.detach(i)
-	delete(l.m, key)
+	l.m.Delete(key)
 	l.free = append(l.free, i)
 }

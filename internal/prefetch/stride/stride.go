@@ -69,12 +69,22 @@ func New(cfg Config) *Prefetcher {
 	if cfg.MinConfidence <= 0 {
 		cfg.MinConfidence = 2
 	}
-	return &Prefetcher{
+	p := &Prefetcher{
 		cfg:     cfg,
 		entries: make([]entry, cfg.Entries),
 		pcs:     make([]uint32, cfg.Entries),
 	}
+	for i := range p.pcs {
+		p.pcs[i] = freePC
+	}
+	return p
 }
+
+// freePC fills unused pcs slots so the lookup loop needs no parallel
+// validity load. A trace PC may legitimately equal freePC; find
+// double-checks the entry before trusting a match, so the sentinel is a
+// fast-path hint, never a correctness assumption.
+const freePC = ^uint32(0)
 
 // Stats returns detector counters.
 func (p *Prefetcher) Stats() Stats { return p.stats }
@@ -149,8 +159,10 @@ func covered(stride int64, candidate, blk uint64, degree int) bool {
 
 func (p *Prefetcher) find(pc uint32) *entry {
 	for i := range p.pcs {
-		if p.pcs[i] == pc && p.entries[i].valid {
-			return &p.entries[i]
+		if p.pcs[i] == pc {
+			if e := &p.entries[i]; e.valid && e.pc == pc {
+				return e
+			}
 		}
 	}
 	return nil

@@ -10,7 +10,10 @@
 // (uniform, Bernoulli, bounded Pareto, Zipf over a finite set).
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // SplitMix64 is a tiny 64-bit generator used to expand a single seed into
 // the state of larger generators. It passes through every 64-bit value and
@@ -84,21 +87,11 @@ func (r *Rand) Uint64n(n uint64) uint64 {
 	}
 }
 
-// mul64 computes the 128-bit product of a and b.
+// mul64 computes the 128-bit product of a and b. bits.Mul64 is a compiler
+// intrinsic (a single widening multiply on amd64/arm64), bit-exact with
+// the long-form schoolbook product it replaced.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bLo
-	lo = t & mask
-	c := t >> 32
-	t = aHi*bLo + c
-	mid := t & mask
-	hiPart := t >> 32
-	t = aLo*bHi + mid
-	lo |= (t & mask) << 32
-	hi = aHi*bHi + hiPart + (t >> 32)
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Intn returns a uniform int in [0, n). n must be > 0.

@@ -92,9 +92,13 @@ func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefS
 	}
 	scaled := spec.Scaled(cfg.Scale)
 	lib := trace.NewLibrary(scaled, cfg.Seed)
+	total := cfg.WarmRecords + cfg.MeasureRecords
 	gens := make([]trace.Generator, cfg.Cores)
 	for i := range gens {
-		gens[i] = trace.NewGenerator(lib, i, cfg.Seed)
+		// The bound mirrors the timed driver (and the tape path's
+		// CursorN), so frame boundaries — and Results.Frames — are
+		// identical across drivers and trace substrates.
+		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
 	}
 	return runFunctional(ctx, cfg, scaled, gens, nil, ps, progress)
 }
@@ -112,6 +116,9 @@ func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenari
 	gens, marks, err := scaled.Generators(cfg.Seed, cfg.Cores, total)
 	if err != nil {
 		return Results{}, err
+	}
+	for i, g := range gens {
+		gens[i] = &trace.Limit{Gen: g, N: total}
 	}
 	return runFunctional(ctx, cfg, scaled.EffectiveSpec(cfg.Cores, total), gens, marks, ps, progress)
 }
@@ -159,9 +166,26 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 	snapNow := func() phaseSnap { return phaseSnap{cnt: s.cnt} }
 	seen := make([]uint64, cfg.Cores)
 
+	// Frame-at-a-time consumption: each core's records arrive in columnar
+	// frames from a pipelined source (decode overlaps simulation), and the
+	// round-robin interleave reads straight from the frame columns —
+	// identical record order to the old per-record Next loop, without its
+	// per-record interface dispatch.
+	srcs := make([]trace.FrameSource, cfg.Cores)
+	frames := make([]*trace.Frame, cfg.Cores)
+	pos := make([]int, cfg.Cores)
+	for i := range srcs {
+		srcs[i] = trace.AutoFrames(gens[i])
+	}
+	defer func() {
+		for _, src := range srcs {
+			src.Close()
+		}
+	}()
+
 	warmTotal := cfg.WarmRecords * uint64(cfg.Cores)
 	total := warmTotal + cfg.MeasureRecords*uint64(cfg.Cores)
-	var rec trace.Record
+loop:
 	for i := uint64(0); i < total; i++ {
 		if i%pollEvery == 0 && i > 0 {
 			if progress != nil {
@@ -176,11 +200,18 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 			s.engSnap = engineCounts(s.pref.temporal.Stats())
 		}
 		core := int(i % uint64(cfg.Cores))
-		if !gens[core].Next(&rec) {
-			break
+		f := frames[core]
+		k := pos[core]
+		if f == nil || k == f.Len() {
+			if f = srcs[core].NextFrame(); f == nil {
+				break loop
+			}
+			frames[core] = f
+			k = 0
 		}
+		pos[core] = k + 1
 		s.now = i
-		s.step(core, rec.PC, rec.Block)
+		s.step(core, f.PC[k], f.Block[k])
 		if phases != nil {
 			seen[core]++
 			phases.note(core, seen[core], snapNow)
@@ -201,6 +232,9 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 		CoveredPartial: w.PBPartial,
 		Uncovered:      w.L2DemandMisses,
 		Engine:         engineCounts(s.pref.temporal.Stats()).Sub(s.engSnap),
+	}
+	for _, src := range srcs {
+		r.Frames.Add(src.Stats())
 	}
 	if eng := s.pref.engine; eng != nil {
 		r.StreamLens = &eng.Stats().StreamLens

@@ -5,6 +5,7 @@ import (
 	"stms/internal/mem"
 	"stms/internal/prefetch"
 	"stms/internal/stats"
+	"stms/internal/trace"
 )
 
 // EngineCounts is the numeric snapshot of prefetch.EngineStats used for
@@ -67,6 +68,13 @@ type Results struct {
 	Traffic dram.Traffic
 
 	Engine EngineCounts
+
+	// Frames counts the whole-run frame-pipeline activity (frames and
+	// records decoded into the drivers' columnar batches, warm-up
+	// included). Frame boundaries are a pure function of the trace
+	// identity, so the counts — like every other field — are identical
+	// between live generation and tape replay.
+	Frames trace.FrameStats
 
 	// StreamLens is the whole-run stream-length distribution (Fig. 6
 	// left); nil for variants without a stream engine.

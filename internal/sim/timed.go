@@ -46,6 +46,10 @@ type timed struct {
 
 	dirtyThresh uint64
 
+	// srcs are the per-core frame sources feeding the cores: trace decode
+	// (or live generation) is double-buffered behind the simulation.
+	srcs []trace.FrameSource
+
 	// Window management.
 	recordsSeen []uint64
 	crossedWarm int
@@ -359,9 +363,20 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 	s.pref = buildPrefetcher(timedEnv{s}, cfg, ps)
 
 	s.committedSnap = make([]uint64, cfg.Cores)
+	// Each core consumes its trace frame-at-a-time from a pipelined
+	// source: a producer goroutine decodes (or generates) the next frame
+	// while the simulation works through the current one. Sources are
+	// closed on every exit path — an aborted run must not leak producers.
+	s.srcs = make([]trace.FrameSource, cfg.Cores)
+	defer func() {
+		for _, src := range s.srcs {
+			src.Close()
+		}
+	}()
 	for i := 0; i < cfg.Cores; i++ {
+		s.srcs[i] = trace.AutoFrames(gens[i])
 		s.l1 = append(s.l1, cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1(), Assoc: cfg.L1Assoc}))
-		c := cpu.New(i, cfg.Core, s.eng, gens[i], s.load)
+		c := cpu.NewFramed(i, cfg.Core, s.eng, s.srcs[i], s.load)
 		s.cores = append(s.cores, c)
 		c.Start()
 	}
@@ -531,7 +546,14 @@ func (s *timed) results(ps PrefSpec) Results {
 	if eng := s.pref.engine; eng != nil {
 		eng.Flush()
 	}
+	// End-of-run clock: the engine stops at the last fired event, but the
+	// final DRAM transfer holds its channel a few cycles past that (its
+	// completion is bookkeeping, not an event). The run ends when the
+	// channel does.
 	now := s.eng.Now()
+	if bu := s.mc.BusyUntil(); bu > now {
+		now = bu
+	}
 	w := s.cnt.sub(s.cntSnap)
 	var instrs uint64
 	for _, c := range s.cores {
@@ -570,11 +592,19 @@ func (s *timed) results(ps PrefSpec) Results {
 	if mlpB > 0 {
 		r.MLP = mlpW / mlpB
 	}
+	for _, src := range s.srcs {
+		r.Frames.Add(src.Stats())
+	}
 	if eng := s.pref.engine; eng != nil {
 		r.StreamLens = &eng.Stats().StreamLens
 	}
 	if s.phases != nil {
-		r.Phases = s.phases.windows(s.phaseSnapNow())
+		// The final window closes at the end-of-run clock, not the last
+		// event (same clamp as above); mid-run snapshots in phaseSnapNow
+		// use event time, where the channel's tail never outruns events.
+		final := s.phaseSnapNow()
+		final.cycles = now
+		r.Phases = s.phases.windows(final)
 	}
 	return r
 }

@@ -122,11 +122,13 @@ func decodeRecord(buf *[fileRecSize]byte, r *Record) {
 	r.Dep = buf[20]&1 != 0
 }
 
-// FileReader streams records from a trace file; it implements Generator.
+// FileReader streams records from a trace file; it implements Generator
+// and the batched FrameReader fast path.
 type FileReader struct {
 	r         *bufio.Reader
 	remaining uint64
 	err       error
+	buf       []byte // reusable frame-sized read buffer
 }
 
 // NewFileReader validates the header and prepares streaming reads.
@@ -162,6 +164,43 @@ func (f *FileReader) Next(r *Record) bool {
 	decodeRecord(&buf, r)
 	f.remaining--
 	return true
+}
+
+// ReadFrame implements FrameReader: one bulk read covers the whole
+// frame, then the fixed-size records decode straight into the columns.
+// On a truncated file the complete leading records are still delivered
+// — exactly the records a Next loop would have produced before failing
+// — and the error is retained for Err.
+func (f *FileReader) ReadFrame(fr *Frame) int {
+	if f.remaining == 0 || f.err != nil {
+		fr.n = 0
+		return 0
+	}
+	want := uint64(fr.cap)
+	if f.remaining < want {
+		want = f.remaining
+	}
+	need := int(want) * fileRecSize
+	if cap(f.buf) < need {
+		f.buf = make([]byte, need)
+	}
+	buf := f.buf[:need]
+	read, err := io.ReadFull(f.r, buf)
+	n := read / fileRecSize
+	if err != nil {
+		f.err = fmt.Errorf("trace: reading record: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		b := buf[i*fileRecSize:]
+		fr.Block[i] = binary.LittleEndian.Uint64(b[0:])
+		fr.PC[i] = binary.LittleEndian.Uint32(b[8:])
+		fr.Instrs[i] = binary.LittleEndian.Uint32(b[12:])
+		fr.Work[i] = binary.LittleEndian.Uint32(b[16:])
+		fr.Dep[i] = b[20]&1 != 0
+	}
+	f.remaining -= uint64(n)
+	fr.n = n
+	return n
 }
 
 // ReadAll loads an entire trace file into memory.

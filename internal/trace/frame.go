@@ -1,0 +1,276 @@
+package trace
+
+import "runtime"
+
+// Block-batched record plumbing: a Frame is a reusable structure-of-arrays
+// batch of records, the unit the simulation drivers consume instead of one
+// Record at a time. Filling a frame amortizes the per-record virtual call
+// of the Generator interface over FrameCap records, lets the tape Cursor
+// decode straight from its columns in one tight loop, and gives the
+// drivers dense per-column slices to stream through their hot loops.
+//
+// Every bounded or unbounded generator in this package implements the
+// FrameReader fast path; FillFrame falls back to a Next loop for external
+// generators. Frame boundaries carry no semantics: a frame may span
+// scenario phases (the scenario generator switches segment generators
+// mid-frame with exact per-segment budgets), and the drivers keep
+// windowing statistics per record, so results are bit-identical to the
+// record-at-a-time path.
+//
+// On top of FillFrame sit two frame sources: Frames (synchronous, one
+// owned buffer) and PipelinedFrames (a producer goroutine double-buffers
+// the decode so trace generation or tape decompression overlaps
+// simulation of the previous frame).
+
+// FrameCap is the default frame capacity in records. Large enough that
+// per-frame bookkeeping (refill dispatch, channel handoff) vanishes,
+// small enough that a frame's columns (~21 KB at 21 bytes/record) stay
+// cache-resident against the simulator's own hot state while it
+// streams through them.
+const FrameCap = 1024
+
+// Frame is a structure-of-arrays batch of records. The columns share one
+// length (Cap); Len reports how many leading entries are valid after a
+// fill. Frames are plain buffers: fillers overwrite, consumers read.
+type Frame struct {
+	Block  []uint64
+	PC     []uint32
+	Instrs []uint32
+	Work   []uint32
+	Dep    []bool
+
+	n   int // valid records
+	cap int // usable capacity (<= column length); Limit shrinks it mid-fill
+}
+
+// NewFrame returns an empty frame with the default capacity.
+func NewFrame() *Frame { return NewFrameCap(FrameCap) }
+
+// NewFrameCap returns an empty frame with capacity c records.
+func NewFrameCap(c int) *Frame {
+	if c <= 0 {
+		panic("trace: frame capacity must be positive")
+	}
+	return &Frame{
+		Block:  make([]uint64, c),
+		PC:     make([]uint32, c),
+		Instrs: make([]uint32, c),
+		Work:   make([]uint32, c),
+		Dep:    make([]bool, c),
+		cap:    c,
+	}
+}
+
+// Len returns the number of valid records from the last fill.
+func (f *Frame) Len() int { return f.n }
+
+// Cap returns the frame's usable capacity.
+func (f *Frame) Cap() int { return f.cap }
+
+// Record copies record i into r (test and interop helper; the drivers
+// read the columns directly).
+func (f *Frame) Record(i int, r *Record) {
+	r.Block = f.Block[i]
+	r.PC = f.PC[i]
+	r.Instrs = f.Instrs[i]
+	r.Work = f.Work[i]
+	r.Dep = f.Dep[i]
+}
+
+// window returns a view over f's columns covering [off, off+n): a
+// sub-frame that fills in place. Views share backing arrays with f, so
+// filling the view fills f; the caller accounts the combined length.
+func (f *Frame) window(off, n int) Frame {
+	return Frame{
+		Block:  f.Block[off : off+n],
+		PC:     f.PC[off : off+n],
+		Instrs: f.Instrs[off : off+n],
+		Work:   f.Work[off : off+n],
+		Dep:    f.Dep[off : off+n],
+		cap:    n,
+	}
+}
+
+// FrameReader is the batched fast path of a record source: ReadFrame
+// fills up to f.Cap() records into f's columns, sets f.Len, and returns
+// the count. Zero means the source ran dry (never-dry generators never
+// return zero). A reader must produce exactly the record sequence its
+// Next method would.
+type FrameReader interface {
+	ReadFrame(f *Frame) int
+}
+
+// FillFrame fills f from g: through g's ReadFrame fast path when it has
+// one, otherwise record-by-record through Next. Returns the record
+// count; zero means g ran dry.
+func FillFrame(g Generator, f *Frame) int {
+	if fr, ok := g.(FrameReader); ok {
+		return fr.ReadFrame(f)
+	}
+	n := 0
+	var rec Record
+	for n < f.cap && g.Next(&rec) {
+		f.Block[n] = rec.Block
+		f.PC[n] = rec.PC
+		f.Instrs[n] = rec.Instrs
+		f.Work[n] = rec.Work
+		f.Dep[n] = rec.Dep
+		n++
+	}
+	f.n = n
+	return n
+}
+
+// FrameStats counts a frame source's consumed output.
+type FrameStats struct {
+	Frames  uint64 // frames handed to the consumer
+	Records uint64 // records in those frames
+}
+
+// Add accumulates o into s.
+func (s *FrameStats) Add(o FrameStats) {
+	s.Frames += o.Frames
+	s.Records += o.Records
+}
+
+// FrameSource hands out successive frames of a record stream. NextFrame
+// returns a frame valid until the next NextFrame call, or nil when the
+// stream is dry; Close releases any pipeline resources (safe to call
+// more than once, and required for pipelined sources that were not
+// drained). Stats is consumer-side accounting: identical for the
+// synchronous and pipelined implementations of the same stream.
+type FrameSource interface {
+	NextFrame() *Frame
+	Stats() FrameStats
+	Close()
+}
+
+// Frames returns a synchronous FrameSource over g with one owned buffer.
+func Frames(g Generator) FrameSource { return &frameIter{g: g, f: NewFrame()} }
+
+type frameIter struct {
+	g     Generator
+	f     *Frame
+	stats FrameStats
+}
+
+func (it *frameIter) NextFrame() *Frame {
+	if FillFrame(it.g, it.f) == 0 {
+		return nil
+	}
+	it.stats.Frames++
+	it.stats.Records += uint64(it.f.n)
+	return it.f
+}
+
+func (it *frameIter) Stats() FrameStats { return it.stats }
+
+func (it *frameIter) Close() {}
+
+// AutoFrames returns the best frame source for this process: pipelined
+// (filled by a producer goroutine) when the runtime has a spare
+// processor to run it on, synchronous otherwise — on a single-processor
+// runtime the producer cannot overlap the consumer, so the channel
+// handoff and scheduler switches would be pure cost. The consumed frame
+// sequence and Stats are identical either way; only wall-clock overlap
+// differs.
+func AutoFrames(g Generator) FrameSource {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return PipelinedFrames(g)
+	}
+	return Frames(g)
+}
+
+// pipeDepth is the filled-frame queue depth of a pipelined source. With
+// one frame at the consumer, one in flight, and pipeDepth queued, the
+// producer stays at most pipeDepth frames ahead.
+const pipeDepth = 2
+
+// PipelinedFrames returns a FrameSource whose frames are filled by a
+// dedicated goroutine: decoding (or generating) frame k+1 overlaps the
+// consumer's work on frame k — within one simulation, not just across a
+// run matrix. The consumed frame sequence, and Stats, are identical to
+// Frames(g); only the wall-clock overlap differs. The caller must Close
+// the source (idempotent) unless it drained it to nil.
+//
+// g is handed to the producer goroutine: it must not be used elsewhere
+// while the source is open. Per-core generators, scenario generators,
+// tape cursors and file readers all satisfy this — their mutable state
+// is core-local by construction.
+func PipelinedFrames(g Generator) FrameSource {
+	p := &framePipe{
+		filled: make(chan *Frame, pipeDepth),
+		free:   make(chan *Frame, pipeDepth+1),
+		stop:   make(chan struct{}),
+	}
+	for i := 0; i < pipeDepth+1; i++ {
+		p.free <- NewFrame()
+	}
+	go p.fill(g)
+	return p
+}
+
+type framePipe struct {
+	filled chan *Frame
+	free   chan *Frame
+	stop   chan struct{}
+
+	cur    *Frame // frame the consumer holds; recycled on the next call
+	stats  FrameStats
+	closed bool
+}
+
+// fill is the producer loop: recycle a buffer, fill it, hand it over.
+// It exits when the generator runs dry (closing filled) or when Close
+// fires stop.
+func (p *framePipe) fill(g Generator) {
+	for {
+		var f *Frame
+		select {
+		case f = <-p.free:
+		case <-p.stop:
+			return
+		}
+		if FillFrame(g, f) == 0 {
+			close(p.filled)
+			return
+		}
+		select {
+		case p.filled <- f:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *framePipe) NextFrame() *Frame {
+	if p.closed {
+		// The producer may have parked on stop without closing filled;
+		// a post-Close read must not block forever.
+		return nil
+	}
+	if p.cur != nil {
+		// Three buffers circulate and the consumer holds at most one, so
+		// this send cannot block.
+		p.free <- p.cur
+		p.cur = nil
+	}
+	f, ok := <-p.filled
+	if !ok {
+		return nil
+	}
+	p.cur = f
+	p.stats.Frames++
+	p.stats.Records += uint64(f.n)
+	return f
+}
+
+func (p *framePipe) Stats() FrameStats { return p.stats }
+
+func (p *framePipe) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.stop)
+}

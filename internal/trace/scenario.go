@@ -546,6 +546,7 @@ type scenarioGen struct {
 	lims []uint64 // per-segment budgets; 0 = unbounded
 	idx  int
 	left uint64
+	win  Frame // reusable sub-frame view for batched per-segment fills
 }
 
 // Next implements Generator.
@@ -561,4 +562,40 @@ func (g *scenarioGen) Next(r *Record) bool {
 		g.idx++
 		g.left = g.lims[g.idx]
 	}
+}
+
+// ReadFrame implements FrameReader. A frame may span segment (and
+// therefore phase) boundaries: each bounded segment contributes exactly
+// its remaining budget through one batched sub-fill of its own
+// generator, so the record sequence — and any consumer that windows
+// statistics per record — is bit-identical to Next. The final segment
+// is unbounded and fills whatever space remains, so scenario frames,
+// like plain workload frames, always fill completely.
+func (g *scenarioGen) ReadFrame(f *Frame) int {
+	total := 0
+	for total < f.cap {
+		if g.lims[g.idx] == 0 {
+			g.win = f.window(total, f.cap-total)
+			total += FillFrame(g.gens[g.idx], &g.win)
+			break
+		}
+		if g.left == 0 {
+			g.idx++
+			g.left = g.lims[g.idx]
+			continue
+		}
+		want := f.cap - total
+		if uint64(want) > g.left {
+			want = int(g.left)
+		}
+		g.win = f.window(total, want)
+		got := FillFrame(g.gens[g.idx], &g.win)
+		g.left -= uint64(got)
+		total += got
+		if got < want {
+			break // segment generator ran dry (defensive; ours never do)
+		}
+	}
+	f.n = total
+	return total
 }

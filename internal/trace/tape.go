@@ -293,6 +293,75 @@ func (cu *Cursor) Next(r *Record) bool {
 	return true
 }
 
+// ReadFrame implements FrameReader: it decodes the next run of records
+// straight from the tape columns into the frame's columns in one pass —
+// no per-record virtual call, column bases hoisted, and the dependence
+// bitset expanded word-at-a-time. The sequence is exactly what Next
+// would produce; Cursor state advances past the decoded run.
+func (cu *Cursor) ReadFrame(f *Frame) int {
+	col := cu.col
+	n := uint64(f.cap)
+	if rem := cu.n - cu.pos; rem < n {
+		n = rem
+	}
+	if n == 0 {
+		f.n = 0
+		return 0
+	}
+	data := col.data
+	pairs := col.pairs
+	off := cu.off
+	prev := cu.prev
+	blocks := f.Block[:n]
+	instrs := f.Instrs[:n]
+	works := f.Work[:n]
+	for i := range blocks {
+		// Inline single-byte uvarint fast path (most deltas and all cost
+		// bytes are one byte).
+		var d uint64
+		if c := data[off]; c < 0x80 {
+			d = uint64(c)
+			off++
+		} else {
+			d, off = readUvarint(data, off)
+		}
+		prev += uint64(unzigzag(d))
+		blocks[i] = prev
+		if pi := data[off]; pi != costEscape {
+			pair := pairs[pi]
+			instrs[i] = uint32(pair >> 32)
+			works[i] = uint32(pair)
+			off++
+		} else {
+			var v uint64
+			v, off = readUvarint(data, off+1)
+			instrs[i] = uint32(v)
+			v, off = readUvarint(data, off)
+			works[i] = uint32(v)
+		}
+	}
+	pos := cu.pos
+	pcs := f.PC[:n]
+	if col.pcIdx != nil {
+		dict := col.pcDict
+		for i, di := range col.pcIdx[pos : pos+n] {
+			pcs[i] = dict[di]
+		}
+	} else {
+		copy(pcs, col.pcRaw[pos:pos+n])
+	}
+	deps := f.Dep[:n]
+	for i := range deps {
+		j := pos + uint64(i)
+		deps[i] = col.dep[j>>6]>>(j&63)&1 != 0
+	}
+	cu.off = off
+	cu.prev = prev
+	cu.pos = pos + n
+	f.n = int(n)
+	return int(n)
+}
+
 // zigzag maps signed deltas onto small unsigned values.
 func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
 

@@ -75,6 +75,25 @@ func (s *SliceGenerator) Next(r *Record) bool {
 	return true
 }
 
+// ReadFrame implements FrameReader by scattering the next run of records
+// into f's columns.
+func (s *SliceGenerator) ReadFrame(f *Frame) int {
+	n := len(s.Records) - s.pos
+	if n > f.cap {
+		n = f.cap
+	}
+	for i, rec := range s.Records[s.pos : s.pos+n] {
+		f.Block[i] = rec.Block
+		f.PC[i] = rec.PC
+		f.Instrs[i] = rec.Instrs
+		f.Work[i] = rec.Work
+		f.Dep[i] = rec.Dep
+	}
+	s.pos += n
+	f.n = n
+	return n
+}
+
 // Limit wraps a generator and stops it after n records.
 type Limit struct {
 	Gen Generator
@@ -94,6 +113,26 @@ func (l *Limit) Next(r *Record) bool {
 	}
 	l.N--
 	return true
+}
+
+// ReadFrame implements FrameReader: it shrinks the frame to the
+// remaining budget and fills through the wrapped generator's own fast
+// path. Like Next, the budget is consumed only by records actually
+// produced, so a dry source leaves N at the exact unclaimed count even
+// when the frame was larger than the remaining budget.
+func (l *Limit) ReadFrame(f *Frame) int {
+	if l.N == 0 {
+		f.n = 0
+		return 0
+	}
+	saved := f.cap
+	if uint64(saved) > l.N {
+		f.cap = int(l.N)
+	}
+	n := FillFrame(l.Gen, f)
+	f.cap = saved
+	l.N -= uint64(n)
+	return n
 }
 
 // Func adapts a function to the Generator interface.

@@ -275,6 +275,44 @@ func NewScenarioTape(scn Scenario, seed uint64, cores int, perCore uint64) *Tape
 	return trace.NewScenarioTape(scn, seed, cores, perCore)
 }
 
+// Frame is a reusable structure-of-arrays batch of trace records — the
+// unit the simulation drivers consume (DESIGN.md §10). Custom consumers
+// of workload streams can use FillFrame/Frames/PipelinedFrames to read
+// any generator block-at-a-time instead of record-at-a-time.
+type Frame = trace.Frame
+
+// FrameReader is the batched fast path implemented by every built-in
+// generator: ReadFrame fills up to Frame.Cap records and returns the
+// count (0 = dry), producing exactly the sequence Next would.
+type FrameReader = trace.FrameReader
+
+// FrameSource hands out successive frames of a record stream; see
+// trace.Frames (synchronous) and trace.PipelinedFrames (decode
+// overlapped with consumption on a producer goroutine).
+type FrameSource = trace.FrameSource
+
+// FrameStats counts frames and records consumed from a FrameSource;
+// Results.Frames reports the per-run totals (identical between live
+// generation and tape replay).
+type FrameStats = trace.FrameStats
+
+// NewFrame returns an empty frame with the default capacity
+// (trace.FrameCap records).
+func NewFrame() *Frame { return trace.NewFrame() }
+
+// FillFrame fills f from any generator, using its ReadFrame fast path
+// when it has one; returns the record count (0 = dry).
+func FillFrame(g trace.Generator, f *Frame) int { return trace.FillFrame(g, f) }
+
+// Frames returns a synchronous frame source over g.
+func Frames(g trace.Generator) FrameSource { return trace.Frames(g) }
+
+// PipelinedFrames returns a double-buffered frame source: a producer
+// goroutine fills the next frame while the caller works on the current
+// one. The frame sequence is identical to Frames(g); Close it unless it
+// was drained to nil.
+func PipelinedFrames(g trace.Generator) FrameSource { return trace.PipelinedFrames(g) }
+
 // STMSConfig sizes an STMS instance (history buffers, index table,
 // sampling probability, bucket buffer).
 type STMSConfig = core.Config
