@@ -7,6 +7,7 @@
 //	stms-bench [-run all|table1|table2|fig1l|fig1r|fig4|fig5l|fig5r|fig6l|fig6r|fig7|fig8|fig9|abl]
 //	           [-scale 0.125] [-seed 42] [-warm 80000] [-measure 120000]
 //	           [-par 0] [-out results.txt] [-json bench.json]
+//	           [-workers http://host1:9090,http://host2:9090]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Sizes are scaled together (caches, meta-data tables, workload
@@ -15,8 +16,12 @@
 // -measure accordingly). -par bounds the matrix worker pool (0 = all
 // CPUs); results are identical regardless.
 //
+// With -workers, the headline matrix timed for -json is dispatched to
+// the given stms-serve worker daemons instead of simulating in-process
+// (results are bit-identical; throughput then measures the fleet).
+//
 // With -json, a machine-readable benchmark document is also written
-// (schema v4): the run options; a reconciled wall-time attribution —
+// (schema v5): the run options; a reconciled wall-time attribution —
 // the experiment suite and the freshly-timed headline matrix each split
 // into trace materialization, simulation, and explicit residue
 // (report/plan/memo overhead) so elapsed_ms is the sum of its parts;
@@ -38,6 +43,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"stms"
@@ -53,6 +59,7 @@ func main() {
 	par := flag.Int("par", 0, "matrix worker pool size (0 = all CPUs)")
 	out := flag.String("out", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark document to this file")
+	workers := flag.String("workers", "", "comma-separated stms-serve worker URLs for the headline matrix")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -117,7 +124,13 @@ func main() {
 		elapsed.Round(time.Millisecond), o.Scale, o.Seed, o.Warm, o.Measure)
 
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, r, o, *run, elapsed); err != nil {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if err := writeBenchJSON(*jsonOut, r, o, *run, elapsed, urls); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -143,6 +156,13 @@ func main() {
 // (frames_decoded/frame_records aggregated here, per-cell under each
 // matrix cell's Frames), so a run that silently fell back off the
 // batched path is visible.
+//
+// Schema v5 adds distributed-lab accounting for -workers runs:
+// worker_count (configured pool size), remote_cells (headline-matrix
+// cells completed by a worker rather than in-process), and
+// tape_fetches (remote cells whose tape crossed the network from a
+// peer worker instead of being rebuilt). A purely local run reports
+// zeroes, keeping v4 documents comparable.
 type benchDoc struct {
 	Schema     string  `json:"schema"`
 	Experiment string  `json:"experiment"`
@@ -176,25 +196,34 @@ type benchDoc struct {
 	FramesDecoded uint64 `json:"frames_decoded"`
 	FrameRecords  uint64 `json:"frame_records"`
 
-	TapeHits      uint64       `json:"tape_hits"`
-	TapeMisses    uint64       `json:"tape_misses"`
-	TapeBuilds    uint64       `json:"tape_builds"`
-	TapeEvictions uint64       `json:"tape_evictions"`
-	TapeBytes     int64        `json:"tape_bytes"`
-	Matrix        *stms.Matrix `json:"matrix"`
+	TapeHits      uint64 `json:"tape_hits"`
+	TapeMisses    uint64 `json:"tape_misses"`
+	TapeBuilds    uint64 `json:"tape_builds"`
+	TapeEvictions uint64 `json:"tape_evictions"`
+	TapeBytes     int64  `json:"tape_bytes"`
+
+	// Distributed-lab accounting (zero on purely local runs).
+	WorkerCount int    `json:"worker_count"`
+	RemoteCells uint64 `json:"remote_cells"`
+	TapeFetches uint64 `json:"tape_fetches"`
+
+	Matrix *stms.Matrix `json:"matrix"`
 }
 
 // writeBenchJSON times the headline workload × {baseline, ideal, stms}
 // matrix on a fresh session (the shared session would serve memoized
 // results, hiding the simulator's real throughput) and writes the
 // benchmark document with throughput and allocation totals.
-func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elapsed time.Duration) error {
+func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elapsed time.Duration, workers []string) error {
 	opts := []stms.Option{
 		stms.WithScale(o.Scale), stms.WithSeed(o.Seed),
 		stms.WithWindows(o.Warm, o.Measure),
 	}
 	if o.Parallel > 0 {
 		opts = append(opts, stms.WithParallelism(o.Parallel))
+	}
+	if len(workers) > 0 {
+		opts = append(opts, stms.WithWorkers(workers))
 	}
 	lab, err := stms.New(opts...)
 	if err != nil {
@@ -234,8 +263,9 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 		}
 		return wall
 	}
+	rs := lab.RemoteStats()
 	doc := benchDoc{
-		Schema:     "stms-bench/v4",
+		Schema:     "stms-bench/v5",
 		Experiment: id,
 		Scale:      o.Scale,
 		Seed:       o.Seed,
@@ -260,7 +290,12 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 		TapeBuilds:    ts.Builds,
 		TapeEvictions: ts.Evictions,
 		TapeBytes:     ts.BytesInUse,
-		Matrix:        m,
+
+		WorkerCount: rs.Workers,
+		RemoteCells: rs.RemoteCells,
+		TapeFetches: rs.TapeFetches,
+
+		Matrix: m,
 	}
 	doc.ElapsedMS = doc.ExperimentsMS + doc.MatrixWallMS
 	doc.SuiteOtherMS = other(doc.ExperimentsMS, doc.SuiteGenerateMS, doc.SuiteSimulateMS)

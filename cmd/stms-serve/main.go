@@ -1,0 +1,308 @@
+// Command stms-serve is the distributed lab: the same run matrices the
+// stms.Lab API executes in-process, sharded across worker processes
+// over a content-addressed tape store.
+//
+// Worker mode serves the dist HTTP API — cell jobs in, streamed JSON
+// progress events out — over a two-tier tape store (memory LRU → an
+// optional on-disk STMSTAPE directory):
+//
+//	stms-serve -worker -listen :9090 -tape-dir /var/tmp/stms-tapes \
+//	           -peers http://host2:9090,http://host3:9090
+//
+// Peers let workers exchange tapes (GET/PUT /tapes/{key}) so each
+// unique trace identity is materialized once fleet-wide, wherever the
+// coordinator's affinity routing first lands it.
+//
+// Coordinate mode plans a workload × variant matrix and dispatches its
+// cells to workers, retrying transport failures and degrading to local
+// execution when no worker is reachable:
+//
+//	stms-serve -coordinate -workers http://host1:9090,http://host2:9090 \
+//	           -variants baseline,ideal,stms@p=0.125 -scale 0.125 \
+//	           -manifest run.manifest -json out.json
+//
+// Cells are pure functions of their configuration, so the matrix a
+// worker pool produces is bit-identical to an in-process run; -json
+// exports are byte-comparable across runs and topologies (the
+// per-cell wall_ms, which measures the machine rather than the
+// simulated system, is zeroed in the export). -manifest makes the run
+// resumable: a killed coordinator restarted with the same flags skips
+// every cell the manifest already holds.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"stms"
+	"stms/internal/dist"
+)
+
+func main() {
+	worker := flag.Bool("worker", false, "run as a worker daemon")
+	coordinate := flag.Bool("coordinate", false, "run a matrix as coordinator")
+
+	// Worker flags.
+	listen := flag.String("listen", ":9090", "worker listen address")
+	name := flag.String("name", "", "worker name in results and health documents (default: the listen address)")
+	tapeMem := flag.Int64("tape-mem", 512<<20, "tape store memory-tier budget in bytes")
+	tapeDir := flag.String("tape-dir", "", "tape store disk tier (STMSTAPE directory; empty = memory only)")
+	peers := flag.String("peers", "", "comma-separated sibling worker URLs to fetch tapes from")
+	maxJobs := flag.Int("max-jobs", 0, "concurrent job bound (0 = all CPUs)")
+
+	// Coordinator flags.
+	workers := flag.String("workers", "", "comma-separated worker URLs to dispatch cells to")
+	workloads := flag.String("workloads", "", "comma-separated workload names (default: the paper's figure-eight suite)")
+	variants := flag.String("variants", "baseline,ideal,stms@p=0.125",
+		"comma-separated prefetcher variants: baseline|ideal|stms|tse|ebcp|ulmt|markov, with optional @p=<prob> @d=<depth> @h=<history> @i=<index>")
+	mode := flag.String("mode", "timed", "simulation driver: timed or functional")
+	scale := flag.Float64("scale", 0.125, "system scale factor")
+	seed := flag.Uint64("seed", 42, "trace and sampling seed")
+	warm := flag.Uint64("warm", 80_000, "warm-up records per core")
+	measure := flag.Uint64("measure", 120_000, "measured records per core")
+	par := flag.Int("par", 0, "in-flight cell bound (0 = all CPUs)")
+	manifest := flag.String("manifest", "", "resumable job manifest path (JSON lines)")
+	jsonOut := flag.String("json", "", "write the matrix JSON (canonical: per-cell wall_ms zeroed) to this file")
+	flag.Parse()
+
+	switch {
+	case *worker == *coordinate:
+		fmt.Fprintln(os.Stderr, "stms-serve: pass exactly one of -worker and -coordinate")
+		os.Exit(2)
+	case *worker:
+		if err := runWorker(*listen, *name, *tapeMem, *tapeDir, splitList(*peers), *maxJobs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		err := runCoordinator(coordinatorOptions{
+			workers:   splitList(*workers),
+			workloads: splitList(*workloads),
+			variants:  splitList(*variants),
+			mode:      *mode,
+			scale:     *scale,
+			seed:      *seed,
+			warm:      *warm,
+			measure:   *measure,
+			par:       *par,
+			manifest:  *manifest,
+			jsonOut:   *jsonOut,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// splitList parses a comma-separated flag, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// runWorker serves the dist worker API until interrupted.
+func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []string, maxJobs int) error {
+	if name == "" {
+		name = listen
+	}
+	var store *stms.TapeStore
+	if tapeMem > 0 || tapeDir != "" {
+		store = stms.NewTapeStore(tapeMem, tapeDir)
+	}
+	srv := stms.NewWorkerServer(stms.WorkerConfig{
+		Name:    name,
+		Store:   store,
+		Peers:   peers,
+		MaxJobs: maxJobs,
+	})
+	hs := &http.Server{Addr: listen, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "stms-serve: worker %q listening on %s (tapes: mem=%d dir=%q, peers=%d)\n",
+		name, listen, tapeMem, tapeDir, len(peers))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+type coordinatorOptions struct {
+	workers   []string
+	workloads []string
+	variants  []string
+	mode      string
+	scale     float64
+	seed      uint64
+	warm      uint64
+	measure   uint64
+	par       int
+	manifest  string
+	jsonOut   string
+}
+
+// runCoordinator executes one matrix across the worker pool and prints
+// the speedup table plus dispatch accounting.
+func runCoordinator(o coordinatorOptions) error {
+	prefs, labels, err := parseVariants(o.variants)
+	if err != nil {
+		return err
+	}
+	if len(o.workloads) == 0 {
+		o.workloads = stms.FigureEight()
+	}
+
+	opts := []stms.Option{
+		stms.WithScale(o.scale), stms.WithSeed(o.seed),
+		stms.WithWindows(o.warm, o.measure),
+	}
+	if o.par > 0 {
+		opts = append(opts, stms.WithParallelism(o.par))
+	}
+	if len(o.workers) > 0 {
+		opts = append(opts, stms.WithWorkers(o.workers))
+	}
+	if o.manifest != "" {
+		opts = append(opts, stms.WithManifest(o.manifest))
+	}
+	lab, err := stms.New(opts...)
+	if err != nil {
+		return err
+	}
+
+	for _, u := range o.workers {
+		c := dist.NewClient(u)
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		h, err := c.Health(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stms-serve: worker %s unreachable (%v); its cells will retry elsewhere or run locally\n", u, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "stms-serve: worker %s: %q, %d cores, %d tapes resident\n", u, h.Name, h.Cores, h.Tapes)
+	}
+
+	planOpts := []stms.PlanOption{stms.WithLabels(labels...)}
+	if o.mode == "functional" {
+		planOpts = append(planOpts, stms.InMode(stms.Functional))
+	} else if o.mode != "timed" {
+		return fmt.Errorf("stms-serve: -mode %q is neither timed nor functional", o.mode)
+	}
+	plan := lab.Plan(o.workloads, prefs, planOpts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	m, err := lab.Run(ctx, plan)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if t, err := m.SpeedupTable(labels[0]); err == nil {
+		fmt.Print(t)
+	}
+	rs := lab.RemoteStats()
+	fmt.Fprintf(os.Stderr, "stms-serve: %d cells in %s: %d remote, %d local, %d retries (%d workers)\n",
+		len(m.Cells), elapsed.Round(time.Millisecond), rs.RemoteCells, rs.LocalCells, rs.Retries, rs.Workers)
+
+	if o.jsonOut != "" {
+		// Canonical export: per-cell wall time measures this machine and
+		// this topology, not the simulated system — zero it so local and
+		// remote exports of the same matrix are byte-identical.
+		for i := range m.Cells {
+			m.Cells[i].Wall = 0
+		}
+		f, err := os.Create(o.jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stms-serve: wrote %s\n", o.jsonOut)
+	}
+	return nil
+}
+
+// parseVariants maps variant strings like "stms@p=0.125@d=8" to
+// prefetcher specs, keeping the raw strings as column labels.
+func parseVariants(vs []string) ([]stms.PrefSpec, []string, error) {
+	if len(vs) == 0 {
+		return nil, nil, fmt.Errorf("stms-serve: no variants given")
+	}
+	kinds := map[string]stms.Kind{
+		"baseline": stms.None, "none": stms.None,
+		"ideal": stms.Ideal, "stms": stms.STMS,
+		"tse": stms.TSE, "ebcp": stms.EBCP,
+		"ulmt": stms.ULMT, "markov": stms.Markov,
+	}
+	var prefs []stms.PrefSpec
+	var labels []string
+	for _, v := range vs {
+		parts := strings.Split(v, "@")
+		kind, ok := kinds[parts[0]]
+		if !ok {
+			return nil, nil, fmt.Errorf("stms-serve: unknown variant %q (want baseline|ideal|stms|tse|ebcp|ulmt|markov)", parts[0])
+		}
+		ps := stms.PrefSpec{Kind: kind}
+		for _, p := range parts[1:] {
+			k, val, ok := strings.Cut(p, "=")
+			if !ok {
+				return nil, nil, fmt.Errorf("stms-serve: variant parameter %q is not key=value", p)
+			}
+			switch k {
+			case "p":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("stms-serve: variant %q: %v", v, err)
+				}
+				ps.SampleProb = f
+			case "d":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, nil, fmt.Errorf("stms-serve: variant %q: %v", v, err)
+				}
+				ps.MaxDepth = n
+			case "h":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("stms-serve: variant %q: %v", v, err)
+				}
+				ps.HistoryEntries = n
+			case "i":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("stms-serve: variant %q: %v", v, err)
+				}
+				ps.IndexEntries = n
+			default:
+				return nil, nil, fmt.Errorf("stms-serve: variant %q: unknown parameter %q (want p, d, h or i)", v, k)
+			}
+		}
+		prefs = append(prefs, ps)
+		labels = append(labels, v)
+	}
+	return prefs, labels, nil
+}

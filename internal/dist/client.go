@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"stms/internal/trace"
+)
+
+// Client is the coordinator's handle on one worker. Errors it returns
+// are either *TransportError (the worker or the network failed —
+// retry the job on another worker) or plain errors (the job itself
+// failed — deterministic, so retrying elsewhere would fail the same
+// way). The zero value is not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the worker at base (e.g.
+// "http://127.0.0.1:9090"). Jobs can legitimately run for a long time,
+// so the client sets no overall timeout; pass a context to bound one.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// URL returns the worker's base URL.
+func (c *Client) URL() string { return c.base }
+
+// Health fetches the worker's health document.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &TransportError{fmt.Errorf("dist: %s/healthz: %s", c.base, resp.Status)}
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, &TransportError{fmt.Errorf("dist: decoding health from %s: %w", c.base, err)}
+	}
+	if h.Version != HealthFormatVersion {
+		return nil, &TransportError{fmt.Errorf("dist: %s speaks health version %d, want %d", c.base, h.Version, HealthFormatVersion)}
+	}
+	return &h, nil
+}
+
+// RunJob posts a job to the worker and consumes its event stream until
+// the terminal event, invoking onEvent (if non-nil) for every event —
+// including the terminal one — as it arrives. It returns the Result of
+// a "done" event; a "failed" event becomes a plain (non-transport)
+// error, and a stream that ends without a terminal event is a
+// transport failure.
+func (c *Client) RunJob(ctx context.Context, job *Job, onEvent func(Event)) (*Result, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding job: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusBadRequest {
+		// The worker rejected the job's structure: deterministic.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("dist: %s rejected the job: %s", c.base, strings.TrimSpace(string(msg)))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &TransportError{fmt.Errorf("dist: %s/jobs: %s", c.base, resp.Status)}
+	}
+
+	// The stream is a sequence of JSON values; json.Decoder handles
+	// arbitrarily large results without line-length limits.
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, &TransportError{fmt.Errorf("dist: job stream from %s cut: %w", c.base, err)}
+		}
+		if ev.Version != EventFormatVersion {
+			return nil, &TransportError{fmt.Errorf("dist: %s speaks event version %d, want %d", c.base, ev.Version, EventFormatVersion)}
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		switch ev.Kind {
+		case "done":
+			if ev.Result == nil || ev.Result.Version != ResultFormatVersion {
+				return nil, &TransportError{fmt.Errorf("dist: malformed done event from %s", c.base)}
+			}
+			return ev.Result, nil
+		case "failed":
+			return nil, fmt.Errorf("dist: job %s/%s failed on %s: %s", job.Workload, job.Variant, c.base, ev.Error)
+		}
+	}
+}
+
+// FetchTape downloads the tape at the given address. Any failure is a
+// transport error; the caller's store verifies the content against the
+// address before trusting it.
+func (c *Client) FetchTape(ctx context.Context, key string) (*trace.Tape, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/tapes/"+key, nil)
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &TransportError{fmt.Errorf("dist: %s/tapes/%.12s…: %s", c.base, key, resp.Status)}
+	}
+	t, err := trace.ReadTape(resp.Body)
+	if err != nil {
+		return nil, &TransportError{fmt.Errorf("dist: decoding tape %.12s… from %s: %w", key, c.base, err)}
+	}
+	return t, nil
+}
+
+// PushTape uploads a tape to the worker's store under its address.
+func (c *Client) PushTape(ctx context.Context, key string, t *trace.Tape) error {
+	var buf bytes.Buffer
+	if err := trace.WriteTape(&buf, t); err != nil {
+		return fmt.Errorf("dist: encoding tape: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/tapes/"+key, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return &TransportError{err}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &TransportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusBadRequest {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("dist: %s rejected the tape: %s", c.base, strings.TrimSpace(string(msg)))
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return &TransportError{fmt.Errorf("dist: %s/tapes/%.12s…: %s", c.base, key, resp.Status)}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"context"
+
+	"stms/internal/sim"
+	"stms/internal/trace"
+)
+
+// ExecuteJob runs one cell job to completion, serving its record
+// stream from the store when one is given (fetch, usually a peer
+// lookup, feeds the store's miss path). The execution mirrors the
+// in-process lab's cell path exactly — same validation order, same
+// scaled identities, same sim entry points — which is what makes a
+// remotely executed matrix bit-identical to a local run.
+func ExecuteJob(ctx context.Context, job *Job, store *Store,
+	fetch func(context.Context, string) (*trace.Tape, error), progress sim.Progress) (sim.Results, TapeSource, error) {
+	if err := job.Validate(); err != nil {
+		return sim.Results{}, TapeLive, err
+	}
+	scn, err := job.scenario()
+	if err != nil {
+		return sim.Results{}, TapeLive, err
+	}
+	cfg := job.Config
+	functional := job.Mode == "functional"
+
+	if store == nil {
+		// Live generation, exactly as a lab with tape caching disabled.
+		var res sim.Results
+		switch {
+		case scn != nil && functional:
+			res, err = sim.RunFunctionalScenarioCtx(ctx, cfg, *scn, job.Pref, progress)
+		case scn != nil:
+			res, err = sim.RunTimedScenarioCtx(ctx, cfg, *scn, job.Pref, progress)
+		case functional:
+			res, err = sim.RunFunctionalCtx(ctx, cfg, *job.Spec, job.Pref, progress)
+		default:
+			res, err = sim.RunTimedCtx(ctx, cfg, *job.Spec, job.Pref, progress)
+		}
+		return res, TapeLive, err
+	}
+
+	// Validate before touching the store — the sim entry points
+	// validate again, but only after the tape exists, and a job with a
+	// broken config must not cost a tape build.
+	if err := cfg.Validate(); err != nil {
+		return sim.Results{}, TapeLive, err
+	}
+	seed, cores, perCore := cfg.Seed, cfg.Cores, cfg.WarmRecords+cfg.MeasureRecords
+	var key string
+	var build func() *trace.Tape
+	if scn != nil {
+		scaled := scn.Scaled(cfg.Scale)
+		key = TapeKey(trace.Spec{}, scaled.Key(), seed, cores, perCore)
+		build = func() *trace.Tape { return trace.NewScenarioTape(scaled, seed, cores, perCore) }
+	} else {
+		scaled := job.Spec.Scaled(cfg.Scale)
+		key = TapeKey(scaled, "", seed, cores, perCore)
+		build = func() *trace.Tape { return trace.NewTape(scaled, seed, cores, perCore) }
+	}
+	var fetchKey func(context.Context) (*trace.Tape, error)
+	if fetch != nil {
+		fetchKey = func(ctx context.Context) (*trace.Tape, error) { return fetch(ctx, key) }
+	}
+	tape, src, err := store.GetOrBuild(ctx, key, fetchKey, build)
+	if err != nil {
+		return sim.Results{}, src, err
+	}
+	var res sim.Results
+	if functional {
+		res, err = sim.RunFunctionalTapeCtx(ctx, cfg, tape, job.Pref, progress)
+	} else {
+		res, err = sim.RunTimedTapeCtx(ctx, cfg, tape, job.Pref, progress)
+	}
+	return res, src, err
+}

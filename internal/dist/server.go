@@ -1,0 +1,314 @@
+package dist
+
+// The worker daemon's HTTP API (stms-serve -worker):
+//
+//	GET  /healthz      → Health document (capacity, in-flight jobs)
+//	POST /jobs         → execute a Job; the response is a stream of
+//	                     Event JSON values: started, throttled
+//	                     progress, then done (with the Result) or
+//	                     failed. The request context is the job's
+//	                     context: a coordinator that dies mid-run
+//	                     cancels its jobs.
+//	GET  /jobs/{id}    → status of a job seen by this worker
+//	GET  /tapes/{key}  → STMSTAPE bytes of a resident tape
+//	PUT  /tapes/{key}  → admit a tape (verified against its address)
+//
+// Unknown job ids and tape keys answer 404 with a nearest-match
+// suggestion, the same way trace.ByName treats workload typos.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"stms/internal/editdist"
+	"stms/internal/sim"
+	"stms/internal/trace"
+)
+
+// ServerConfig configures a worker.
+type ServerConfig struct {
+	// Name identifies the worker in results and health documents
+	// (default: "worker").
+	Name string
+	// Store serves and caches tapes; nil runs every job live.
+	Store *Store
+	// Peers are base URLs of sibling workers asked for a tape before
+	// building it.
+	Peers []string
+	// MaxJobs bounds concurrently executing jobs (default:
+	// runtime.NumCPU()); excess POST /jobs block until a slot frees.
+	MaxJobs int
+}
+
+// Server is the worker daemon: an http.Handler executing cell jobs
+// over a content-addressed tape store.
+type Server struct {
+	cfg   ServerConfig
+	peers []*Client
+	sem   chan struct{}
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*jobStatus
+	inflight int
+}
+
+// jobStatus is the GET /jobs/{id} view of one job.
+type jobStatus struct {
+	ID       string  `json:"job_id"`
+	Workload string  `json:"workload"`
+	Variant  string  `json:"variant"`
+	State    string  `json:"state"` // running | done | failed
+	Done     uint64  `json:"done"`
+	Total    uint64  `json:"total"`
+	Error    string  `json:"error,omitempty"`
+	WallMS   float64 `json:"wall_ms,omitempty"`
+}
+
+// NewServer constructs a worker over its store and peer list.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = runtime.NumCPU()
+	}
+	s := &Server{
+		cfg:  cfg,
+		sem:  make(chan struct{}, cfg.MaxJobs),
+		jobs: make(map[string]*jobStatus),
+	}
+	for _, p := range cfg.Peers {
+		s.peers = append(s.peers, NewClient(p))
+	}
+	return s
+}
+
+// Store returns the server's tape store (nil when running live).
+func (s *Server) Store() *Store { return s.cfg.Store }
+
+// ServeHTTP routes the worker API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
+		s.handleHealth(w)
+	case r.URL.Path == "/jobs" && r.Method == http.MethodPost:
+		s.handleRunJob(w, r)
+	case strings.HasPrefix(r.URL.Path, "/jobs/") && r.Method == http.MethodGet:
+		s.handleJobStatus(w, strings.TrimPrefix(r.URL.Path, "/jobs/"))
+	case strings.HasPrefix(r.URL.Path, "/tapes/"):
+		s.handleTape(w, r, strings.TrimPrefix(r.URL.Path, "/tapes/"))
+	default:
+		http.Error(w, fmt.Sprintf("dist: no route %s %s", r.Method, r.URL.Path), http.StatusNotFound)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter) {
+	s.mu.Lock()
+	h := Health{
+		Version:  HealthFormatVersion,
+		Name:     s.cfg.Name,
+		Cores:    runtime.NumCPU(),
+		MaxJobs:  s.cfg.MaxJobs,
+		InFlight: s.inflight,
+	}
+	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		h.Tapes = s.cfg.Store.Len()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleRunJob executes a job, streaming Event JSON values as they
+// happen. The stream itself is the protocol: a "done" or "failed"
+// event terminates it; a connection cut before that is a transport
+// failure the coordinator retries elsewhere.
+func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
+	var job Job
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&job); err != nil {
+		http.Error(w, fmt.Sprintf("dist: decoding job: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := job.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Bound in-flight executions; queue on the semaphore, but give up
+	// when the caller does.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		return
+	}
+
+	st := s.track(&job)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev Event) {
+		ev.Version = EventFormatVersion
+		ev.JobID = st.ID
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(Event{Kind: "started"})
+
+	// Throttled progress: at most ~4 events/second on the wire, every
+	// callback into the status table.
+	var lastSent time.Time
+	progress := func(done, total uint64) {
+		s.mu.Lock()
+		st.Done, st.Total = done, total
+		s.mu.Unlock()
+		if time.Since(lastSent) < 250*time.Millisecond {
+			return
+		}
+		lastSent = time.Now()
+		emit(Event{Kind: "progress", Done: done, Total: total})
+	}
+
+	start := time.Now()
+	res, src, err := s.execute(r.Context(), &job, progress)
+	wallMS := float64(time.Since(start).Microseconds()) / 1000
+
+	s.mu.Lock()
+	s.inflight--
+	if err != nil {
+		st.State, st.Error = "failed", err.Error()
+	} else {
+		st.State, st.WallMS = "done", wallMS
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		emit(Event{Kind: "failed", Error: err.Error()})
+		return
+	}
+	emit(Event{Kind: "done", Result: &Result{
+		Version:    ResultFormatVersion,
+		Res:        res,
+		TapeSource: src,
+		Worker:     s.cfg.Name,
+		WallMS:     wallMS,
+	}})
+}
+
+// execute contains panics to the failing job, like the lab's cell
+// runner does — a worker must survive a malformed cell.
+func (s *Server) execute(ctx context.Context, job *Job, progress sim.Progress) (res sim.Results, src TapeSource, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dist: job %s/%s panicked: %v", job.Workload, job.Variant, r)
+		}
+	}()
+	return ExecuteJob(ctx, job, s.cfg.Store, s.fetchFromPeers, progress)
+}
+
+// fetchFromPeers asks each sibling worker for a tape; the first one
+// holding it wins. Used as the store's miss hook so a tape built
+// anywhere in the fleet is fetched, not rebuilt.
+func (s *Server) fetchFromPeers(ctx context.Context, key string) (*trace.Tape, error) {
+	var lastErr error
+	for _, p := range s.peers {
+		t, err := p.FetchTape(ctx, key)
+		if err == nil {
+			return t, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("dist: no peers hold tape %.12s…", key)
+	}
+	return nil, lastErr
+}
+
+// track registers a job in the status table under a fresh id.
+func (s *Server) track(job *Job) *jobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	st := &jobStatus{
+		ID:       fmt.Sprintf("job-%d", s.seq),
+		Workload: job.Workload,
+		Variant:  job.Variant,
+		State:    "running",
+	}
+	s.jobs[st.ID] = st
+	s.inflight++
+	return st
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	st, ok := s.jobs[id]
+	var snapshot jobStatus
+	if ok {
+		snapshot = *st
+	}
+	known := make([]string, 0, len(s.jobs))
+	for k := range s.jobs {
+		known = append(known, k)
+	}
+	s.mu.Unlock()
+	if !ok {
+		msg := fmt.Sprintf("dist: unknown job id %q", id)
+		if near := editdist.Nearest(id, known); near != "" {
+			msg += fmt.Sprintf(" (did you mean %q?)", near)
+		}
+		http.Error(w, msg, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snapshot)
+}
+
+// handleTape serves and accepts tapes in the STMSTAPE wire format.
+func (s *Server) handleTape(w http.ResponseWriter, r *http.Request, key string) {
+	if s.cfg.Store == nil {
+		http.Error(w, "dist: this worker runs without a tape store", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		t, ok := s.cfg.Store.Get(key)
+		if !ok {
+			msg := fmt.Sprintf("dist: no tape at address %.12s…", key)
+			if near := editdist.Nearest(key, s.cfg.Store.Keys()); near != "" {
+				msg += fmt.Sprintf(" (nearest resident address: %.12s…)", near)
+			}
+			http.Error(w, msg, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := trace.WriteTape(w, t); err != nil && r.Context().Err() == nil {
+			// Mid-stream failure; the client sees a truncated tape and
+			// treats it as a miss.
+			return
+		}
+	case http.MethodPut:
+		t, err := trace.ReadTape(r.Body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("dist: decoding tape: %v", err), http.StatusBadRequest)
+			return
+		}
+		if err := s.cfg.Store.Put(key, t); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "dist: tapes support GET and PUT", http.StatusMethodNotAllowed)
+	}
+}

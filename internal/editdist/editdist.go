@@ -1,0 +1,52 @@
+// Package editdist provides the Levenshtein edit distance and the
+// nearest-match suggester built on it. It exists so every layer that
+// resolves user-supplied names — workload and scenario lookup in
+// internal/trace, tape keys and job ids in internal/dist, CLI flag
+// values — renders the same "did you mean" help instead of growing
+// private copies of the dynamic program.
+package editdist
+
+// Distance returns the Levenshtein distance between a and b, computed
+// over bytes (the name spaces it serves are ASCII).
+func Distance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Nearest returns the candidate with the smallest edit distance to
+// name, or "" when nothing is close enough to be a plausible typo
+// (distance more than half the name's length).
+func Nearest(name string, candidates []string) string {
+	best, bestDist := "", len(name)/2+1
+	for _, c := range candidates {
+		if d := Distance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

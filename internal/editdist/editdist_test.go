@@ -1,0 +1,44 @@
+package editdist
+
+import "testing"
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"oltp-db2", "oltp-dbb2", 1},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		// Distance is symmetric.
+		if got := Distance(c.b, c.a); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	names := []string{"web-apache", "oltp-db2", "dss-qry2", "sci-em3d"}
+	if got := Nearest("oltp-db", names); got != "oltp-db2" {
+		t.Errorf("Nearest(oltp-db) = %q, want oltp-db2", got)
+	}
+	if got := Nearest("web-apach", names); got != "web-apache" {
+		t.Errorf("Nearest(web-apach) = %q, want web-apache", got)
+	}
+	// A hopeless typo (beyond the len/2+1 threshold) suggests nothing.
+	if got := Nearest("zzzzzzzzzzzzzzzz", names); got != "" {
+		t.Errorf("Nearest(garbage) = %q, want no suggestion", got)
+	}
+	if got := Nearest("anything", nil); got != "" {
+		t.Errorf("Nearest with no candidates = %q, want \"\"", got)
+	}
+}

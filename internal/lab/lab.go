@@ -21,14 +21,20 @@ import (
 	"runtime"
 	"sync"
 
+	"stms/internal/dist"
 	"stms/internal/sim"
 )
 
 // Lab is a simulation session: a base system configuration, an
 // execution-parallelism budget, an optional progress sink, a memo of
-// completed cells, and a bounded cache of materialized trace tapes
+// completed cells, and a bounded store of materialized trace tapes
 // shared by every cell with the same trace identity. A Lab is safe for
 // concurrent use.
+//
+// A Lab normally simulates in-process; WithWorkers turns the same
+// session into a coordinator that dispatches cells to stms-serve
+// worker daemons (falling back to local execution when none are
+// reachable), and WithManifest makes interrupted runs resumable.
 type Lab struct {
 	base    sim.Config
 	par     int
@@ -36,10 +42,15 @@ type Lab struct {
 
 	mu    sync.Mutex
 	memo  map[string]*sim.Results
-	tapes *tapeCache // nil = tape caching disabled (live generation)
-	simNS int64      // cumulative cell simulation time, excluding tape access
+	tapes *dist.Store // nil = tape caching disabled (live generation)
+	simNS int64       // cumulative cell simulation time, excluding tape access
 
-	tapeBytes int64 // resolved WithTapeCache budget
+	tapeBytes    int64  // resolved WithTapeCache budget
+	tapeDir      string // resolved WithTapeDir directory
+	workerURLs   []string
+	remote       *remotePool // nil = local execution
+	manifestPath string
+	manifest     *manifest // nil = no manifest
 }
 
 // Option configures a Lab at construction time.
@@ -66,8 +77,18 @@ func New(opts ...Option) (*Lab, error) {
 	if err := l.base.Validate(); err != nil {
 		return nil, err
 	}
-	if l.tapeBytes > 0 {
-		l.tapes = newTapeCache(l.tapeBytes)
+	if l.tapeBytes > 0 || l.tapeDir != "" {
+		l.tapes = dist.NewStore(l.tapeBytes, l.tapeDir)
+	}
+	if len(l.workerURLs) > 0 {
+		l.remote = newRemotePool(l.workerURLs)
+	}
+	if l.manifestPath != "" {
+		m, err := openManifest(l.manifestPath, l.memo)
+		if err != nil {
+			return nil, err
+		}
+		l.manifest = m
 	}
 	return l, nil
 }
@@ -145,6 +166,58 @@ func WithTapeCache(maxBytes int64) Option {
 	}
 }
 
+// WithTapeDir adds an on-disk tier to the session's tape store: a
+// directory of STMSTAPE files named by trace-identity hash
+// (dist.TapeKey). Tapes built by this session persist there across
+// process restarts, and any session or stms-serve worker pointed at
+// the same directory shares them. The memory tier (WithTapeCache) sits
+// in front; results are bit-identical with or without the directory.
+func WithTapeDir(dir string) Option {
+	return func(l *Lab) error {
+		l.tapeDir = dir
+		return nil
+	}
+}
+
+// WithWorkers turns the session into a coordinator: plan cells are
+// dispatched to the stms-serve worker daemons at the given base URLs
+// (e.g. "http://host:9090") instead of simulating in-process. Cells
+// route to workers by tape-identity affinity, so every variant column
+// of a matrix row lands on the worker that already holds the row's
+// tape and each unique tape is built once fleet-wide; transport
+// failures retry on the next worker, and when no worker is reachable
+// the cell degrades gracefully to local execution. Results are
+// bit-identical to an in-process run — remote execution is
+// memoization over the network.
+func WithWorkers(urls []string) Option {
+	return func(l *Lab) error {
+		for _, u := range urls {
+			if u == "" {
+				return fmt.Errorf("lab: empty worker URL")
+			}
+		}
+		l.workerURLs = append([]string(nil), urls...)
+		return nil
+	}
+}
+
+// WithManifest makes runs resumable: every completed cell is appended
+// to the versioned JSON-lines manifest at path, and a new session
+// given the same path preloads those results into its memo — so
+// restarting a killed coordinator skips every finished cell and
+// completes the matrix instead of re-running it. Results round-trip
+// the manifest losslessly; a resumed matrix is bit-identical to an
+// uninterrupted one.
+func WithManifest(path string) Option {
+	return func(l *Lab) error {
+		if path == "" {
+			return fmt.Errorf("lab: empty manifest path")
+		}
+		l.manifestPath = path
+		return nil
+	}
+}
+
 // WithProgress registers a sink for ResultEvents (cell started /
 // finished / failed). Events are delivered serialized, from worker
 // goroutines, while Run executes.
@@ -200,6 +273,10 @@ func (l *Lab) lookup(key string) (*sim.Results, bool) {
 
 func (l *Lab) store(key string, r *sim.Results) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	fresh := l.memo[key] == nil
 	l.memo[key] = r
+	l.mu.Unlock()
+	if fresh && l.manifest != nil {
+		l.manifest.append(key, r)
+	}
 }

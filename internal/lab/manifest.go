@@ -1,0 +1,163 @@
+package lab
+
+// The job manifest makes matrix runs resumable. It is a versioned
+// JSON-lines file — a {"stms_manifest":1} header, then one
+// {"key":..., "results":...} entry per completed cell — appended and
+// fsync'd as cells finish. A session opened on an existing manifest
+// preloads every entry into its memo, so a coordinator killed mid-run
+// and restarted with the same plan skips the finished cells and
+// simulates only the remainder. A partially written trailing entry
+// (the kill arrived mid-append) is truncated away, not treated as
+// corruption: everything before it is intact by construction.
+//
+// Results round-trip the manifest losslessly (sim.Results and
+// stats.CDF define exact JSON codecs), so a resumed matrix is
+// bit-identical to an uninterrupted one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"stms/internal/sim"
+)
+
+// manifestFormatVersion stamps the header line.
+const manifestFormatVersion = 1
+
+type manifestHeader struct {
+	Version int `json:"stms_manifest"`
+}
+
+type manifestEntry struct {
+	Key string       `json:"key"`
+	Res *sim.Results `json:"results"`
+}
+
+// manifest is an open, append-only manifest file.
+type manifest struct {
+	mu     sync.Mutex
+	f      *os.File
+	enc    *json.Encoder
+	loaded int // entries preloaded into the memo at open
+}
+
+// openManifest opens (creating if absent) the manifest at path and
+// loads its entries into memo. A truncated final entry — the tail of a
+// run killed mid-append — is discarded by truncating the file back to
+// the last complete entry.
+func openManifest(path string, memo map[string]*sim.Results) (*manifest, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lab: opening manifest: %w", err)
+	}
+	m := &manifest{f: f, enc: json.NewEncoder(f)}
+
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lab: manifest: %w", err)
+	}
+	if info.Size() == 0 {
+		if err := m.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return m, nil
+	}
+
+	dec := json.NewDecoder(f)
+	var hdr manifestHeader
+	if err := dec.Decode(&hdr); err != nil {
+		// Not even a complete header: the process died during the very
+		// first write. Start the file over.
+		if err := m.restart(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return m, nil
+	}
+	if hdr.Version != manifestFormatVersion {
+		f.Close()
+		return nil, fmt.Errorf("lab: manifest %s: format version %d, want %d",
+			path, hdr.Version, manifestFormatVersion)
+	}
+
+	good := dec.InputOffset()
+	for {
+		var e manifestEntry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			// A torn trailing entry; drop it and keep the prefix.
+			if err := m.truncate(good); err != nil {
+				f.Close()
+				return nil, err
+			}
+			break
+		}
+		if e.Key == "" || e.Res == nil {
+			if err := m.truncate(good); err != nil {
+				f.Close()
+				return nil, err
+			}
+			break
+		}
+		memo[e.Key] = e.Res
+		m.loaded++
+		good = dec.InputOffset()
+	}
+	// The decoder read ahead of the file offset; park the descriptor at
+	// the end of the valid prefix for appending.
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lab: manifest: %w", err)
+	}
+	return m, nil
+}
+
+func (m *manifest) writeHeader() error {
+	if err := m.enc.Encode(manifestHeader{Version: manifestFormatVersion}); err != nil {
+		return fmt.Errorf("lab: manifest header: %w", err)
+	}
+	return m.sync()
+}
+
+// restart wipes the file and writes a fresh header.
+func (m *manifest) restart() error {
+	if err := m.truncate(0); err != nil {
+		return err
+	}
+	return m.writeHeader()
+}
+
+func (m *manifest) truncate(off int64) error {
+	if err := m.f.Truncate(off); err != nil {
+		return fmt.Errorf("lab: manifest: %w", err)
+	}
+	if _, err := m.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("lab: manifest: %w", err)
+	}
+	return nil
+}
+
+func (m *manifest) sync() error {
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("lab: manifest: %w", err)
+	}
+	return nil
+}
+
+// append records one completed cell. Failures are deliberately
+// swallowed: the manifest is a resume accelerator, and a full disk must
+// not fail the run it is protecting.
+func (m *manifest) append(key string, r *sim.Results) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.enc.Encode(manifestEntry{Key: key, Res: r}) == nil {
+		m.f.Sync()
+	}
+}

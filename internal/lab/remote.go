@@ -1,0 +1,176 @@
+package lab
+
+// The coordinator side of the distributed lab. A session given
+// WithWorkers dispatches plan cells to stms-serve worker daemons
+// instead of simulating in-process:
+//
+//   - cells route to workers by rendezvous hashing on their tape
+//     address, so every variant column of a matrix row lands where the
+//     row's tape already lives and each unique tape is built once
+//     fleet-wide;
+//   - transport failures (connection refused, stream cut) retry the
+//     cell on the next-ranked worker; job failures are deterministic
+//     and surface immediately — retrying elsewhere would fail the same
+//     way;
+//   - when every worker is unreachable the cell degrades gracefully to
+//     in-process simulation, so a matrix always completes.
+//
+// Cells are pure functions of their configuration, so remote execution
+// is memoization over the network: the Matrix a worker pool produces is
+// bit-identical to an in-process run.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"stms/internal/dist"
+	"stms/internal/sim"
+)
+
+// RemoteStats reports a coordinator session's dispatch accounting.
+type RemoteStats struct {
+	Workers     int    // configured worker count
+	RemoteCells uint64 // cells completed by a worker
+	LocalCells  uint64 // cells that fell back to in-process simulation
+	Retries     uint64 // transport failures retried on another worker
+	TapeFetches uint64 // remote cells whose tape crossed the network (peer tier)
+	TapeBuilds  uint64 // remote cells whose tape was built fresh on the worker
+}
+
+// RemoteStats returns a snapshot of the session's remote dispatch
+// accounting. A purely local session reports zeroes.
+func (l *Lab) RemoteStats() RemoteStats {
+	if l.remote == nil {
+		return RemoteStats{}
+	}
+	return l.remote.snapshot()
+}
+
+// remotePool holds the coordinator's worker clients and accounting.
+type remotePool struct {
+	clients []*dist.Client
+
+	mu    sync.Mutex
+	stats RemoteStats
+}
+
+func newRemotePool(urls []string) *remotePool {
+	p := &remotePool{}
+	for _, u := range urls {
+		p.clients = append(p.clients, dist.NewClient(u))
+	}
+	p.stats.Workers = len(p.clients)
+	return p
+}
+
+func (p *remotePool) snapshot() RemoteStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// jobFromCell serializes a cell into its wire identity.
+func jobFromCell(c *Cell) (*dist.Job, error) {
+	job := &dist.Job{
+		Version:  dist.JobFormatVersion,
+		Mode:     "timed",
+		Workload: c.Workload,
+		Variant:  c.Label,
+		Config:   c.Config,
+		Pref:     c.Pref,
+	}
+	if c.Mode == Functional {
+		job.Mode = "functional"
+	}
+	if c.Scenario != nil {
+		b, err := json.Marshal(c.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("lab: encoding scenario %q: %w", c.Scenario.Name, err)
+		}
+		job.Scenario = b
+	} else {
+		spec := c.Spec
+		job.Spec = &spec
+	}
+	return job, nil
+}
+
+// rank orders the pool's workers for a tape address by rendezvous
+// (highest-random-weight) hashing: every coordinator ranks the same
+// address the same way, cells sharing a tape agree on a home worker,
+// and losing a worker reshuffles only the tapes it owned.
+func (p *remotePool) rank(key string) []*dist.Client {
+	type scored struct {
+		c     *dist.Client
+		score uint64
+	}
+	s := make([]scored, len(p.clients))
+	for i, c := range p.clients {
+		h := fnv.New64a()
+		h.Write([]byte(c.URL()))
+		h.Write([]byte{'|'})
+		h.Write([]byte(key))
+		s[i] = scored{c, h.Sum64()}
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].score != s[j].score {
+			return s[i].score > s[j].score
+		}
+		return s[i].c.URL() < s[j].c.URL()
+	})
+	out := make([]*dist.Client, len(s))
+	for i := range s {
+		out[i] = s[i].c
+	}
+	return out
+}
+
+// run executes one cell remotely, retrying transport failures down the
+// affinity ranking and falling back to local simulation when every
+// worker is unreachable.
+func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, time.Duration, error) {
+	job, err := jobFromCell(cell)
+	if err != nil {
+		return sim.Results{}, 0, err
+	}
+	key, err := job.TapeKey()
+	if err != nil {
+		return sim.Results{}, 0, err
+	}
+	for _, c := range p.rank(key) {
+		if ctx.Err() != nil {
+			return sim.Results{}, 0, ctx.Err()
+		}
+		r, err := c.RunJob(ctx, job, nil)
+		if err == nil {
+			p.mu.Lock()
+			p.stats.RemoteCells++
+			switch r.TapeSource {
+			case dist.TapeFromPeer:
+				p.stats.TapeFetches++
+			case dist.TapeBuilt:
+				p.stats.TapeBuilds++
+			}
+			p.mu.Unlock()
+			return r.Res, 0, nil
+		}
+		if !dist.IsTransport(err) {
+			// The job itself failed; deterministic, so no retry.
+			return sim.Results{}, 0, err
+		}
+		p.mu.Lock()
+		p.stats.Retries++
+		p.mu.Unlock()
+	}
+	// Every worker is unreachable (or the pool is empty): degrade to
+	// in-process execution rather than failing the matrix.
+	p.mu.Lock()
+	p.stats.LocalCells++
+	p.mu.Unlock()
+	return l.simulate(ctx, cell)
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stms/internal/dist"
 	"stms/internal/sim"
 	"stms/internal/trace"
 )
@@ -128,8 +129,19 @@ feed:
 	return m, m.Err()
 }
 
+// dispatch routes a cell to the session's worker pool when one is
+// configured (WithWorkers) and to in-process simulation otherwise.
+// Either path produces bit-identical results; the remote pool itself
+// degrades to simulate when every worker is unreachable.
+func (l *Lab) dispatch(ctx context.Context, cell *Cell) (sim.Results, time.Duration, error) {
+	if l.remote == nil {
+		return l.simulate(ctx, cell)
+	}
+	return l.remote.run(ctx, l, cell)
+}
+
 // simulate executes one cell's simulation, serving its record stream
-// from the session tape cache when enabled: every cell with the same
+// from the session tape store when enabled: every cell with the same
 // trace identity replays one materialized tape. tapeWait is how much of
 // the cell's wall time went to tape access (building, or waiting on a
 // sibling's build) rather than simulation.
@@ -147,32 +159,32 @@ func (l *Lab) simulate(ctx context.Context, cell *Cell) (res sim.Results, tapeWa
 		}
 		return res, 0, err
 	}
-	// Validate before touching the tape cache — the sim entry points
+	// Validate before touching the tape store — the sim entry points
 	// validate again, but only after the tape exists, and a cell with a
 	// broken per-cell override must not cost a tape build.
 	if err := cell.Config.Validate(); err != nil {
 		return sim.Results{}, 0, err
 	}
-	key := tapeKey{
-		seed:    cell.Config.Seed,
-		cores:   cell.Config.Cores,
-		perCore: cell.Config.WarmRecords + cell.Config.MeasureRecords,
-	}
+	seed := cell.Config.Seed
+	cores := cell.Config.Cores
+	perCore := cell.Config.WarmRecords + cell.Config.MeasureRecords
+	var key string
 	var build func() *trace.Tape
 	if cell.Scenario != nil {
 		scn := cell.Scenario.Scaled(cell.Config.Scale)
-		key.scenario = scn.Key()
+		key = dist.TapeKey(trace.Spec{}, scn.Key(), seed, cores, perCore)
 		build = func() *trace.Tape {
-			return trace.NewScenarioTape(scn, key.seed, key.cores, key.perCore)
+			return trace.NewScenarioTape(scn, seed, cores, perCore)
 		}
 	} else {
-		key.spec = cell.Spec.Scaled(cell.Config.Scale)
+		spec := cell.Spec.Scaled(cell.Config.Scale)
+		key = dist.TapeKey(spec, "", seed, cores, perCore)
 		build = func() *trace.Tape {
-			return trace.NewTape(key.spec, key.seed, key.cores, key.perCore)
+			return trace.NewTape(spec, seed, cores, perCore)
 		}
 	}
 	t0 := time.Now()
-	tape, err := l.tapeFor(ctx, key, build)
+	tape, _, err := l.tapes.GetOrBuild(ctx, key, nil, build)
 	tapeWait = time.Since(t0)
 	if err != nil {
 		return sim.Results{}, tapeWait, err
@@ -231,7 +243,7 @@ func (st *runState) runCell(ctx context.Context, i int) {
 				err = fmt.Errorf("lab: cell %s/%s panicked: %v", cell.Workload, cell.Label, r)
 			}
 		}()
-		res, tapeWait, err = st.lab.simulate(ctx, &cell)
+		res, tapeWait, err = st.lab.dispatch(ctx, &cell)
 	}()
 
 	cr.Wall = time.Since(start)

@@ -1,161 +1,37 @@
 package lab
 
-// The session tape cache: run-matrix cells that share a trace identity
-// — (scaled spec, seed, cores, records per core) — replay one columnar
-// trace.Tape instead of re-deriving the record stream per variant. A
-// Fig. 8-style matrix of 8 workloads × N variants materializes 8 tapes,
-// and the baseline/ideal/stms cells of a row replay the same memory.
+// The session tape store: run-matrix cells that share a trace identity
+// — (scaled spec or scenario, seed, cores, records per core) — replay
+// one columnar trace.Tape instead of re-deriving the record stream per
+// variant. A Fig. 8-style matrix of 8 workloads × N variants
+// materializes 8 tapes, and the baseline/ideal/stms cells of a row
+// replay the same memory.
 //
-// The cache is bounded (LRU by tape footprint) and singleflight-guarded:
-// concurrent cells wanting the same identity wait for one build instead
-// of duplicating it. Eviction only drops the cache's reference — cells
-// still replaying an evicted tape keep it alive; a later cell with the
-// same identity rebuilds it deterministically.
+// The store itself is dist.Store — the content-addressed two-tier
+// (memory LRU → on-disk STMSTAPE directory) store the distributed
+// lab's workers share — so a session given WithTapeDir persists its
+// tapes across process restarts and alongside any worker pointed at
+// the same directory. Identities are hashed by dist.TapeKey, the same
+// address a worker computes for the same cell, fleet-wide.
 
 import (
-	"container/list"
-	"context"
-	"fmt"
+	"sync/atomic"
 	"time"
-
-	"stms/internal/trace"
 )
 
-// tapeKey is a trace identity. trace.Spec is a flat comparable struct,
-// so spec keys work directly as map keys — no string marshalling;
-// scenario rows (whose phase lists cannot be comparable) carry their
-// canonical Scenario.Key instead, with a zero spec.
-type tapeKey struct {
-	spec     trace.Spec // scaled spec (Config.Scale already applied)
-	scenario string     // scaled Scenario.Key(); "" for plain specs
-	seed     uint64
-	cores    int
-	perCore  uint64
-}
-
-type tapeEntry struct {
-	key   tapeKey
-	ready chan struct{} // closed when tape/err is set
-	tape  *trace.Tape
-	err   error
-	elem  *list.Element
-}
-
-// tapeCache is the bounded, singleflight-guarded tape store. All fields
-// are guarded by the Lab mutex that owns the cache.
-type tapeCache struct {
-	maxBytes int64
-	bytes    int64
-	entries  map[tapeKey]*tapeEntry
-	lru      *list.List // front = most recently used
-
-	hits, misses, builds, evictions uint64
-	buildTime                       time.Duration
-}
-
-// defaultTapeCacheBytes bounds the cache when WithTapeCache is not
-// given: comfortably above a full paper matrix (a 200k-records/core ×
-// 4-core tape encodes to ~7 MB) without threatening small machines.
+// defaultTapeCacheBytes bounds the memory tier when WithTapeCache is
+// not given: comfortably above a full paper matrix (a 200k-records/core
+// × 4-core tape encodes to ~7 MB) without threatening small machines.
 const defaultTapeCacheBytes = 512 << 20
 
-func newTapeCache(maxBytes int64) *tapeCache {
-	return &tapeCache{
-		maxBytes: maxBytes,
-		entries:  make(map[tapeKey]*tapeEntry),
-		lru:      list.New(),
-	}
-}
-
-// tapeFor returns the tape for key, materializing it with build (at
-// most once per identity, however many cells wait) on a miss. Waiters
-// honour ctx; the builder itself runs to completion so siblings are
-// never abandoned mid-build.
-func (l *Lab) tapeFor(ctx context.Context, key tapeKey, build func() *trace.Tape) (*trace.Tape, error) {
-	l.mu.Lock()
-	c := l.tapes
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		c.lru.MoveToFront(e.elem)
-		l.mu.Unlock()
-		select {
-		case <-e.ready:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-		return e.tape, e.err
-	}
-	c.misses++
-	e := &tapeEntry{key: key, ready: make(chan struct{})}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	l.mu.Unlock()
-
-	start := time.Now()
-	func() {
-		defer func() {
-			// The substrate panics on invariant breaks (invalid specs):
-			// convert to an error so every waiter fails like the builder,
-			// then drop the broken entry so a fixed plan can retry.
-			if r := recover(); r != nil {
-				name := key.spec.Name
-				if name == "" {
-					name = "scenario"
-				}
-				e.err = fmt.Errorf("lab: tape build for %s panicked: %v", name, r)
-			}
-			close(e.ready)
-		}()
-		e.tape = build()
-	}()
-	elapsed := time.Since(start)
-
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	c.builds++
-	c.buildTime += elapsed
-	if e.err != nil {
-		c.lru.Remove(e.elem)
-		delete(c.entries, key)
-		return nil, e.err
-	}
-	c.bytes += e.tape.Bytes()
-	// Evict least-recently-used completed tapes over budget; never the
-	// entry just built (a cell is about to replay it) or in-flight
-	// builds (their builders adjust accounting when they finish).
-	for c.bytes > c.maxBytes {
-		back := c.lru.Back()
-		if back == nil {
-			break
-		}
-		v := back.Value.(*tapeEntry)
-		if v == e {
-			break
-		}
-		select {
-		case <-v.ready:
-		default:
-			// Still building; it carries no accounted bytes yet. Skip by
-			// bumping it forward so the scan can terminate.
-			c.lru.MoveToFront(back)
-			continue
-		}
-		c.lru.Remove(back)
-		delete(c.entries, v.key)
-		if v.tape != nil {
-			c.bytes -= v.tape.Bytes()
-		}
-		c.evictions++
-	}
-	return e.tape, nil
-}
-
-// TapeStats reports the session's tape-cache and wall-time accounting.
+// TapeStats reports the session's tape-store and wall-time accounting.
 type TapeStats struct {
 	Hits       uint64 // cells served an existing (or in-flight) tape
-	Misses     uint64 // cells that initiated a build
+	Misses     uint64 // cells that initiated a resolution
 	Builds     uint64 // completed builds (including failed ones)
-	Evictions  uint64 // tapes dropped by the byte budget
-	BytesInUse int64  // current accounted tape footprint
+	Evictions  uint64 // tapes dropped by the memory byte budget
+	DiskHits   uint64 // resolutions served by the on-disk tier
+	BytesInUse int64  // current memory-tier tape footprint
 
 	// Generate is cumulative tape-build wall time; Simulate is
 	// cumulative cell simulation wall time excluding tape access. The
@@ -168,14 +44,13 @@ type TapeStats struct {
 // TapeStats returns a snapshot of the session's tape accounting. A lab
 // created with tape caching disabled reports zeroes except Simulate.
 func (l *Lab) TapeStats() TapeStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	s := TapeStats{Simulate: time.Duration(l.simNS)}
+	s := TapeStats{Simulate: time.Duration(atomic.LoadInt64(&l.simNS))}
 	if l.tapes != nil {
-		c := l.tapes
-		s.Hits, s.Misses, s.Builds, s.Evictions = c.hits, c.misses, c.builds, c.evictions
-		s.BytesInUse = c.bytes
-		s.Generate = c.buildTime
+		st := l.tapes.Stats()
+		s.Hits, s.Misses, s.Builds, s.Evictions = st.Hits, st.Misses, st.Builds, st.Evictions
+		s.DiskHits = st.DiskHits
+		s.BytesInUse = st.BytesInUse
+		s.Generate = st.BuildTime
 	}
 	return s
 }

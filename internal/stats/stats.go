@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -151,6 +152,35 @@ func (c *CDF) Add(value, weight float64) {
 
 // N returns the number of samples.
 func (c *CDF) N() int { return len(c.vals) }
+
+// cdfJSON is the wire form of a CDF. The sorted flag rides along so a
+// decoded CDF is field-for-field identical (reflect.DeepEqual) to the
+// one encoded — the distributed lab ships whole Results structures
+// between processes and asserts bit-identity on arrival.
+type cdfJSON struct {
+	Vals    []float64 `json:"vals"`
+	Weights []float64 `json:"weights"`
+	Sorted  bool      `json:"sorted,omitempty"`
+}
+
+// MarshalJSON encodes the CDF's samples and weights losslessly
+// (float64 values round-trip exactly through encoding/json).
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	return json.Marshal(cdfJSON{Vals: c.vals, Weights: c.weights, Sorted: c.sorted})
+}
+
+// UnmarshalJSON restores a CDF encoded by MarshalJSON.
+func (c *CDF) UnmarshalJSON(b []byte) error {
+	var w cdfJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if len(w.Vals) != len(w.Weights) {
+		return fmt.Errorf("stats: CDF with %d values but %d weights", len(w.Vals), len(w.Weights))
+	}
+	c.vals, c.weights, c.sorted = w.Vals, w.Weights, w.Sorted
+	return nil
+}
 
 func (c *CDF) sort() {
 	if c.sorted {

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -190,5 +192,52 @@ func TestFormatFloat(t *testing.T) {
 func TestPct(t *testing.T) {
 	if got := Pct(0.421); got != "42.1%" {
 		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestCDFJSONRoundTrip(t *testing.T) {
+	var c CDF
+	for i := 0; i < 100; i++ {
+		// Awkward floats: exact round-tripping must survive values that
+		// have no short decimal form.
+		c.Add(math.Sqrt(float64(i))*1e-3, 1/(float64(i)+0.1))
+	}
+	c.Quantile(0.5) // force the sorted state so it must ride the wire
+
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CDF
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&c, &back) {
+		t.Fatalf("CDF not identical after JSON round trip:\n got %+v\nwant %+v", back, c)
+	}
+	// A second hop must also be byte-identical (canonical encoding).
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-encoding differs:\n%s\nvs\n%s", b, b2)
+	}
+
+	// The zero CDF round-trips to the zero CDF (nil slices preserved).
+	var zero, zback CDF
+	zb, _ := json.Marshal(&zero)
+	if err := json.Unmarshal(zb, &zback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&zero, &zback) {
+		t.Fatalf("zero CDF round trip: got %+v", zback)
+	}
+}
+
+func TestCDFJSONLengthMismatch(t *testing.T) {
+	var c CDF
+	if err := json.Unmarshal([]byte(`{"vals":[1,2],"weights":[1]}`), &c); err == nil {
+		t.Fatal("want error for vals/weights length mismatch")
 	}
 }

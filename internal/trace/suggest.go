@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"strings"
+
+	"stms/internal/editdist"
 )
 
 // UnknownNameError reports a name that resolves to neither a workload
@@ -10,7 +12,7 @@ import (
 // and listing each.
 func UnknownNameError(name string) error {
 	near := ""
-	if n := nearest(name, append(Names(), ScenarioNames()...)); n != "" {
+	if n := editdist.Nearest(name, append(Names(), ScenarioNames()...)); n != "" {
 		near = fmt.Sprintf(" (did you mean %q?)", n)
 	}
 	return fmt.Errorf("trace: %q names neither a workload nor a scenario%s; workloads: %s; scenarios: %s",
@@ -22,54 +24,9 @@ func UnknownNameError(name string) error {
 // list, so a CLI typo never dead-ends.
 func suggestion(name string, valid []string) string {
 	var b strings.Builder
-	if near := nearest(name, valid); near != "" {
+	if near := editdist.Nearest(name, valid); near != "" {
 		fmt.Fprintf(&b, " (did you mean %q?)", near)
 	}
 	fmt.Fprintf(&b, "; valid names: %s", strings.Join(valid, ", "))
 	return b.String()
-}
-
-// nearest returns the candidate with the smallest edit distance to
-// name, or "" when nothing is close enough to be a plausible typo
-// (distance more than half the name's length).
-func nearest(name string, candidates []string) string {
-	best, bestDist := "", len(name)/2+1
-	for _, c := range candidates {
-		if d := editDistance(name, c); d < bestDist {
-			best, bestDist = c, d
-		}
-	}
-	return best
-}
-
-// editDistance is the Levenshtein distance between a and b (bytes; the
-// name space is ASCII).
-func editDistance(a, b string) int {
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
 }

@@ -4,13 +4,24 @@
 # cannot rot: if a flag is renamed or an experiment id disappears, the
 # corresponding block fails the build. Output blocks (```text) and API
 # snippets (```go) are not executed.
+#
+# Parsing and execution are two separate passes. Running blocks while
+# still reading the doc had two `set -e` traps: a block that read stdin
+# would silently consume the rest of the handbook (the loop's redirect
+# was the block's stdin), and a failure inside the read loop could kill
+# the script before the diagnostic named the failing block. Blocks are
+# collected first, then each runs with stdin from /dev/null and an
+# explicit status check, so every failure reports its block index,
+# line number, and exit status.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 doc=${1:-EXPERIMENTS.md}
 [ -f "$doc" ] || { echo "check_experiments: $doc not found" >&2; exit 1; }
 
-blocks=0
+# Pass 1: parse the handbook into blocks[] / starts[].
+blocks=()
+starts=()
 block=""
 in_block=0
 lineno=0
@@ -25,13 +36,8 @@ while IFS= read -r line || [ -n "$line" ]; do
   fi
   if [ "$in_block" -eq 1 ] && [ "$line" = '```' ]; then
     in_block=0
-    blocks=$((blocks + 1))
-    echo "== $doc block $blocks (line $block_start) =="
-    sed 's/^/   /' <<<"$block"
-    bash -euo pipefail -c "$block" || {
-      echo "check_experiments: block at $doc:$block_start failed" >&2
-      exit 1
-    }
+    blocks+=("$block")
+    starts+=("$block_start")
     continue
   fi
   if [ "$in_block" -eq 1 ]; then
@@ -43,8 +49,30 @@ if [ "$in_block" -eq 1 ]; then
   echo "check_experiments: unterminated \`\`\`sh block at $doc:$block_start" >&2
   exit 1
 fi
-if [ "$blocks" -eq 0 ]; then
+if [ "${#blocks[@]}" -eq 0 ]; then
   echo "check_experiments: no \`\`\`sh blocks found in $doc" >&2
   exit 1
 fi
-echo "check_experiments: $blocks command blocks passed"
+
+# Pass 2: execute. Stdin is /dev/null so an interactive or stdin-reading
+# command fails its own block instead of eating the document; the
+# status of every block is checked explicitly so `set -e` can never
+# skip the diagnostic.
+failed=0
+for i in "${!blocks[@]}"; do
+  n=$((i + 1))
+  echo "== $doc block $n (line ${starts[$i]}) =="
+  sed 's/^/   /' <<<"${blocks[$i]}"
+  status=0
+  bash -euo pipefail -c "${blocks[$i]}" </dev/null || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "check_experiments: block $n at $doc:${starts[$i]} failed with exit status $status" >&2
+    failed=1
+    break
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  exit 1
+fi
+echo "check_experiments: ${#blocks[@]} command blocks passed"

@@ -53,6 +53,7 @@ import (
 	"io"
 
 	"stms/internal/core"
+	"stms/internal/dist"
 	"stms/internal/expt"
 	"stms/internal/lab"
 	"stms/internal/prefetch"
@@ -141,6 +142,55 @@ func WithTapeCache(maxBytes int64) Option { return lab.WithTapeCache(maxBytes) }
 // TapeStats reports a session's tape-cache accounting and its
 // generate-vs-simulate wall-time split (Lab.TapeStats).
 type TapeStats = lab.TapeStats
+
+// WithTapeDir adds an on-disk tier to the session's tape store: a
+// directory of STMSTAPE files named by trace-identity hash, shared
+// across sessions, process restarts, and any stms-serve worker pointed
+// at the same directory. Results are bit-identical with or without it.
+func WithTapeDir(dir string) Option { return lab.WithTapeDir(dir) }
+
+// WithWorkers turns the session into a coordinator: plan cells are
+// dispatched to the stms-serve worker daemons at the given base URLs,
+// routed by tape-identity affinity so each unique tape is built once
+// fleet-wide, with transport failures retried on other workers and
+// graceful degradation to local execution when none is reachable. The
+// Matrix is bit-identical to an in-process run.
+func WithWorkers(urls []string) Option { return lab.WithWorkers(urls) }
+
+// WithManifest makes runs resumable: completed cells are appended to
+// the versioned JSON-lines manifest at path, and a session reopened on
+// it preloads them into the memo, so a restarted coordinator skips
+// every finished cell.
+func WithManifest(path string) Option { return lab.WithManifest(path) }
+
+// RemoteStats reports a coordinator session's dispatch accounting
+// (Lab.RemoteStats): remote vs local cells, transport retries, and
+// how worker tapes were satisfied.
+type RemoteStats = lab.RemoteStats
+
+// TapeStore is the content-addressed two-tier (memory LRU → on-disk
+// STMSTAPE directory) tape store underlying lab sessions and worker
+// daemons. Tapes are addressed by the hash of their trace identity,
+// and every receiving tier re-derives the address before trusting a
+// tape, so corrupt files are rebuilt rather than served.
+type TapeStore = dist.Store
+
+// NewTapeStore creates a tape store with the given memory budget and
+// disk directory ("" disables the disk tier).
+func NewTapeStore(memBytes int64, dir string) *TapeStore { return dist.NewStore(memBytes, dir) }
+
+// WorkerConfig configures a worker daemon (name, tape store, sibling
+// workers to fetch tapes from, concurrent-job bound).
+type WorkerConfig = dist.ServerConfig
+
+// WorkerServer is the stms-serve worker daemon: an http.Handler
+// executing cell jobs over a content-addressed tape store, streaming
+// progress as JSON lines. Mount it on any http.Server; stms-serve
+// -worker is exactly that plus flags.
+type WorkerServer = dist.Server
+
+// NewWorkerServer constructs a worker daemon handler.
+func NewWorkerServer(cfg WorkerConfig) *WorkerServer { return dist.NewServer(cfg) }
 
 // WithProgress registers a serialized sink for cell lifecycle events.
 func WithProgress(fn func(ResultEvent)) Option { return lab.WithProgress(fn) }
