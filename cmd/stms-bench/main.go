@@ -163,6 +163,14 @@ func main() {
 // tape_fetches (remote cells whose tape crossed the network from a
 // peer worker instead of being rebuilt). A purely local run reports
 // zeroes, keeping v4 documents comparable.
+//
+// Schema v6 adds the coordinator's resilience counters:
+// remote_retries (transport failures retried elsewhere or later),
+// breaker_trips (per-worker circuit breakers tripped open),
+// stall_aborts (event streams cut by the stall detector), and
+// backoff_waits (inter-round backoff sleeps). All four are zero on
+// purely local runs and on healthy worker pools, so v5 documents stay
+// comparable.
 type benchDoc struct {
 	Schema     string  `json:"schema"`
 	Experiment string  `json:"experiment"`
@@ -206,6 +214,13 @@ type benchDoc struct {
 	WorkerCount int    `json:"worker_count"`
 	RemoteCells uint64 `json:"remote_cells"`
 	TapeFetches uint64 `json:"tape_fetches"`
+
+	// Resilience accounting (v6; zero on purely local runs and on
+	// healthy pools).
+	RemoteRetries uint64 `json:"remote_retries"`
+	BreakerTrips  uint64 `json:"breaker_trips"`
+	StallAborts   uint64 `json:"stall_aborts"`
+	BackoffWaits  uint64 `json:"backoff_waits"`
 
 	Matrix *stms.Matrix `json:"matrix"`
 }
@@ -265,7 +280,7 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	}
 	rs := lab.RemoteStats()
 	doc := benchDoc{
-		Schema:     "stms-bench/v5",
+		Schema:     "stms-bench/v6",
 		Experiment: id,
 		Scale:      o.Scale,
 		Seed:       o.Seed,
@@ -294,6 +309,11 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 		WorkerCount: rs.Workers,
 		RemoteCells: rs.RemoteCells,
 		TapeFetches: rs.TapeFetches,
+
+		RemoteRetries: rs.Retries,
+		BreakerTrips:  rs.BreakerTrips,
+		StallAborts:   rs.StallAborts,
+		BackoffWaits:  rs.BackoffWaits,
 
 		Matrix: m,
 	}

@@ -48,6 +48,7 @@ import (
 func main() {
 	worker := flag.Bool("worker", false, "run as a worker daemon")
 	coordinate := flag.Bool("coordinate", false, "run a matrix as coordinator")
+	token := flag.String("token", "", "shared-secret bearer token: required of callers in worker mode, presented to workers in coordinate mode (GET /healthz stays open)")
 
 	// Worker flags.
 	listen := flag.String("listen", ":9090", "worker listen address")
@@ -70,6 +71,10 @@ func main() {
 	par := flag.Int("par", 0, "in-flight cell bound (0 = all CPUs)")
 	manifest := flag.String("manifest", "", "resumable job manifest path (JSON lines)")
 	jsonOut := flag.String("json", "", "write the matrix JSON (canonical: per-cell wall_ms zeroed) to this file")
+	retryRounds := flag.Int("retry-rounds", 0, "passes over the worker ranking per cell (0 = default 3)")
+	stall := flag.Duration("stall", 0, "max silence on a job's event stream before the cell retries elsewhere (0 = default 30s)")
+	breakerAfter := flag.Int("breaker-after", 0, "consecutive transport failures that trip a worker's circuit breaker (0 = default 3)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "breaker open time before a half-open /healthz probe (0 = default 10s)")
 	flag.Parse()
 
 	switch {
@@ -77,7 +82,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stms-serve: pass exactly one of -worker and -coordinate")
 		os.Exit(2)
 	case *worker:
-		if err := runWorker(*listen, *name, *tapeMem, *tapeDir, splitList(*peers), *maxJobs); err != nil {
+		if err := runWorker(*listen, *name, *tapeMem, *tapeDir, splitList(*peers), *maxJobs, *token); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -94,6 +99,13 @@ func main() {
 			par:       *par,
 			manifest:  *manifest,
 			jsonOut:   *jsonOut,
+			token:     *token,
+			resilience: stms.Resilience{
+				RetryRounds:     *retryRounds,
+				Stall:           *stall,
+				BreakerAfter:    *breakerAfter,
+				BreakerCooldown: *breakerCooldown,
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -114,7 +126,7 @@ func splitList(s string) []string {
 }
 
 // runWorker serves the dist worker API until interrupted.
-func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []string, maxJobs int) error {
+func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []string, maxJobs int, token string) error {
 	if name == "" {
 		name = listen
 	}
@@ -127,6 +139,7 @@ func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []strin
 		Store:   store,
 		Peers:   peers,
 		MaxJobs: maxJobs,
+		Token:   token,
 	})
 	hs := &http.Server{Addr: listen, Handler: srv}
 
@@ -148,17 +161,19 @@ func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []strin
 }
 
 type coordinatorOptions struct {
-	workers   []string
-	workloads []string
-	variants  []string
-	mode      string
-	scale     float64
-	seed      uint64
-	warm      uint64
-	measure   uint64
-	par       int
-	manifest  string
-	jsonOut   string
+	workers    []string
+	workloads  []string
+	variants   []string
+	mode       string
+	scale      float64
+	seed       uint64
+	warm       uint64
+	measure    uint64
+	par        int
+	manifest   string
+	jsonOut    string
+	token      string
+	resilience stms.Resilience
 }
 
 // runCoordinator executes one matrix across the worker pool and prints
@@ -180,7 +195,10 @@ func runCoordinator(o coordinatorOptions) error {
 		opts = append(opts, stms.WithParallelism(o.par))
 	}
 	if len(o.workers) > 0 {
-		opts = append(opts, stms.WithWorkers(o.workers))
+		opts = append(opts, stms.WithWorkers(o.workers), stms.WithResilience(o.resilience))
+		if o.token != "" {
+			opts = append(opts, stms.WithWorkerAuth(o.token))
+		}
 	}
 	if o.manifest != "" {
 		opts = append(opts, stms.WithManifest(o.manifest))
@@ -225,6 +243,10 @@ func runCoordinator(o coordinatorOptions) error {
 	rs := lab.RemoteStats()
 	fmt.Fprintf(os.Stderr, "stms-serve: %d cells in %s: %d remote, %d local, %d retries (%d workers)\n",
 		len(m.Cells), elapsed.Round(time.Millisecond), rs.RemoteCells, rs.LocalCells, rs.Retries, rs.Workers)
+	if rs.BreakerTrips > 0 || rs.StallAborts > 0 || rs.BackoffWaits > 0 {
+		fmt.Fprintf(os.Stderr, "stms-serve: resilience: %d breaker trips, %d stall aborts, %d backoff waits\n",
+			rs.BreakerTrips, rs.StallAborts, rs.BackoffWaits)
+	}
 
 	if o.jsonOut != "" {
 		// Canonical export: per-cell wall time measures this machine and

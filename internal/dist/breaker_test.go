@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// Breaker tests drive the state machine with synthetic clocks — Gate
+// and Failure take explicit times, so no test sleeps.
+
+func TestBreakerTripProbeRecover(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewBreaker(2, 50*time.Millisecond)
+
+	if g := b.Gate(t0); g != BreakerProceed {
+		t.Fatalf("fresh breaker gate = %v, want proceed", g)
+	}
+	if b.Failure(t0) {
+		t.Fatal("first failure tripped a breaker configured for 2")
+	}
+	if !b.Failure(t0) {
+		t.Fatal("second consecutive failure did not trip")
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after trip = %v, want open", st)
+	}
+	if n := b.Trips(); n != 1 {
+		t.Fatalf("trips = %d, want 1", n)
+	}
+
+	// Cooling down: attempts skip.
+	if g := b.Gate(t0.Add(10 * time.Millisecond)); g != BreakerSkip {
+		t.Fatalf("gate during cooldown = %v, want skip", g)
+	}
+	// Cooldown elapsed: exactly one caller gets the probe, others skip.
+	t1 := t0.Add(60 * time.Millisecond)
+	if g := b.Gate(t1); g != BreakerProbe {
+		t.Fatalf("gate after cooldown = %v, want probe", g)
+	}
+	if g := b.Gate(t1); g != BreakerSkip {
+		t.Fatalf("concurrent gate during probe = %v, want skip", g)
+	}
+
+	// A failed probe re-trips and restarts the cooldown.
+	if !b.Failure(t1) {
+		t.Fatal("failed half-open probe did not re-trip")
+	}
+	if n := b.Trips(); n != 2 {
+		t.Fatalf("trips after failed probe = %d, want 2", n)
+	}
+	if g := b.Gate(t1.Add(10 * time.Millisecond)); g != BreakerSkip {
+		t.Fatalf("gate right after re-trip = %v, want skip", g)
+	}
+
+	// A successful probe closes the breaker; the worker rejoins.
+	t2 := t1.Add(60 * time.Millisecond)
+	if g := b.Gate(t2); g != BreakerProbe {
+		t.Fatalf("gate after second cooldown = %v, want probe", g)
+	}
+	b.Success()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if g := b.Gate(t2); g != BreakerProceed {
+		t.Fatalf("gate after recovery = %v, want proceed", g)
+	}
+	// The failure streak reset with the success.
+	if b.Failure(t2) {
+		t.Fatal("single failure after recovery tripped the breaker")
+	}
+}
+
+func TestBreakerOpenFailuresDontExtendCooldown(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b := NewBreaker(1, 50*time.Millisecond)
+	if !b.Failure(t0) {
+		t.Fatal("breaker configured for 1 did not trip on first failure")
+	}
+	// In-flight attempts that fail while the breaker is already open
+	// neither re-trip nor push the cooldown out.
+	if b.Failure(t0.Add(40 * time.Millisecond)) {
+		t.Fatal("failure while open reported a trip")
+	}
+	if n := b.Trips(); n != 1 {
+		t.Fatalf("trips = %d, want 1", n)
+	}
+	if g := b.Gate(t0.Add(55 * time.Millisecond)); g != BreakerProbe {
+		t.Fatalf("gate at original cooldown expiry = %v, want probe", g)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	t0 := time.Unix(3000, 0)
+	b.Failure(t0)
+	b.Failure(t0)
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped before the default 3 failures")
+	}
+	if !b.Failure(t0) {
+		t.Fatal("third failure did not trip the default breaker")
+	}
+	if g := b.Gate(t0.Add(9 * time.Second)); g != BreakerSkip {
+		t.Fatalf("gate before default 10s cooldown = %v, want skip", g)
+	}
+	if g := b.Gate(t0.Add(11 * time.Second)); g != BreakerProbe {
+		t.Fatalf("gate after default cooldown = %v, want probe", g)
+	}
+}

@@ -1,0 +1,342 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"stms/internal/sim"
+)
+
+// fireSequence records which of n successive matches of a probabilistic
+// rule fire.
+func fireSequence(seed uint64, n int) []bool {
+	in := NewInjector(seed, nil, FaultRule{Kind: FaultCut, Prob: 0.5})
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = len(in.decide("h", "/p")) > 0
+	}
+	return out
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	a, b := fireSequence(7, 256), fireSequence(7, 256)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and schedule produced different fault sequences")
+	}
+	c := fireSequence(8, 256)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical 256-trial fault sequences")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired < 64 || fired > 192 {
+		t.Fatalf("Prob=0.5 rule fired %d/256 times", fired)
+	}
+}
+
+func TestInjectorWindowAndMatching(t *testing.T) {
+	in := NewInjector(1, nil,
+		FaultRule{Kind: FaultRefuse, Host: "alpha", From: 1, Until: 3})
+	var fires []bool
+	for i := 0; i < 4; i++ {
+		fires = append(fires, len(in.decide("alpha:9090", "/jobs")) > 0)
+	}
+	if !reflect.DeepEqual(fires, []bool{false, true, true, false}) {
+		t.Fatalf("[1,3) window fired %v", fires)
+	}
+	// A non-matching host neither fires nor advances the counter.
+	if len(in.decide("beta:9090", "/jobs")) != 0 {
+		t.Fatal("rule fired for a non-matching host")
+	}
+	if got := in.Fired()[FaultRefuse]; got != 2 {
+		t.Fatalf("fired count = %d, want 2", got)
+	}
+}
+
+func TestInjectorCutAndCorruptBodies(t *testing.T) {
+	payload := strings.Repeat("0123456789", 10)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	get := func(in *Injector) ([]byte, error) {
+		c := &http.Client{Transport: in}
+		resp, err := c.Get(ts.URL + "/data")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+
+	// Cut: exactly After bytes arrive intact, then the stream errors.
+	cut := NewInjector(1, nil, FaultRule{Kind: FaultCut, After: 7})
+	got, err := get(cut)
+	if err == nil {
+		t.Fatal("cut stream read to completion")
+	}
+	if string(got) != payload[:7] {
+		t.Fatalf("cut delivered %q, want the first 7 bytes intact", got)
+	}
+
+	// Corrupt: After bytes intact, everything after flipped.
+	cor := NewInjector(1, nil, FaultRule{Kind: FaultCorrupt, After: 7})
+	got, err = get(cor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) || string(got[:7]) != payload[:7] {
+		t.Fatalf("corrupt body prefix damaged: %q", got)
+	}
+	if string(got[7:]) == payload[7:] {
+		t.Fatal("bytes past the corruption threshold arrived intact")
+	}
+
+	// Refuse: no response at all.
+	ref := NewInjector(1, nil, FaultRule{Kind: FaultRefuse})
+	if _, err := get(ref); err == nil {
+		t.Fatal("refused request succeeded")
+	}
+}
+
+// eventStub is a hand-rolled worker endpoint streaming scripted event
+// lines, for failure modes the real server can't be asked to produce.
+func eventStub(t *testing.T, script func(w http.ResponseWriter, flush func())) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/jobs" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		f, _ := w.(http.Flusher)
+		script(w, func() {
+			if f != nil {
+				f.Flush()
+			}
+		})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientStallAbortsBounded(t *testing.T) {
+	// A real worker whose response stream goes silent mid-event: the
+	// injector delivers 10 bytes of the first event and then stalls. The
+	// stall detector must abort the cell within its window rather than
+	// hanging Run forever.
+	srv := NewServer(ServerConfig{Name: "w", Store: NewStore(1<<30, "")})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	in := NewInjector(3, BaseTransport(Timeouts{}),
+		FaultRule{Kind: FaultStall, Path: "/jobs", After: 10})
+	c := NewClient(ts.URL,
+		WithTransport(in),
+		WithTimeouts(Timeouts{Stall: 200 * time.Millisecond}))
+
+	start := time.Now()
+	_, err := c.RunJob(context.Background(), testJob(t, "sci-em3d", sim.PrefSpec{Kind: sim.None}), nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled stream succeeded")
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("stall classified as %v, want ErrStalled", err)
+	}
+	if !IsTransport(err) {
+		t.Fatalf("stall not classified as transport: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("stall detector took %s, want bounded by the 200ms window", elapsed)
+	}
+	if got := in.Fired()[FaultStall]; got != 1 {
+		t.Fatalf("stall fired %d times, want 1", got)
+	}
+}
+
+func TestClientCutBetweenEvents(t *testing.T) {
+	ts := eventStub(t, func(w http.ResponseWriter, flush func()) {
+		fmt.Fprintf(w, `{"stms_event":1,"event":"started","job_id":"j"}`+"\n")
+		flush()
+		panic(http.ErrAbortHandler) // connection dies between events
+	})
+	c := NewClient(ts.URL, WithTimeouts(Timeouts{Stall: time.Second}))
+	var kinds []string
+	_, err := c.RunJob(context.Background(), testJob(t, "sci-em3d", sim.PrefSpec{Kind: sim.None}),
+		func(ev Event) { kinds = append(kinds, ev.Kind) })
+	if err == nil || !IsTransport(err) {
+		t.Fatalf("cut stream error = %v, want transport", err)
+	}
+	if errors.Is(err, ErrStalled) {
+		t.Fatalf("clean cut misclassified as stall: %v", err)
+	}
+	if len(kinds) != 1 || kinds[0] != "started" {
+		t.Fatalf("events before the cut = %v", kinds)
+	}
+}
+
+func TestClientMalformedTerminalEvent(t *testing.T) {
+	// A "done" event with no result payload is a protocol break, not a
+	// job result — transport, so the cell retries elsewhere.
+	ts := eventStub(t, func(w http.ResponseWriter, flush func()) {
+		fmt.Fprintf(w, `{"stms_event":1,"event":"done"}`+"\n")
+	})
+	c := NewClient(ts.URL)
+	_, err := c.RunJob(context.Background(), testJob(t, "sci-em3d", sim.PrefSpec{Kind: sim.None}), nil)
+	if err == nil || !IsTransport(err) {
+		t.Fatalf("malformed done error = %v, want transport", err)
+	}
+
+	// So is an event speaking the wrong protocol version.
+	ts2 := eventStub(t, func(w http.ResponseWriter, flush func()) {
+		fmt.Fprintf(w, `{"stms_event":99,"event":"started"}`+"\n")
+	})
+	c2 := NewClient(ts2.URL)
+	_, err = c2.RunJob(context.Background(), testJob(t, "sci-em3d", sim.PrefSpec{Kind: sim.None}), nil)
+	if err == nil || !IsTransport(err) {
+		t.Fatalf("wrong event version error = %v, want transport", err)
+	}
+}
+
+func TestClientCancellationRacesHeartbeat(t *testing.T) {
+	// A worker emitting steady heartbeats keeps the stall detector
+	// happy; cancelling the job context must still end RunJob promptly,
+	// classified as cancellation rather than stall or cut.
+	ts := eventStub(t, func(w http.ResponseWriter, flush func()) {
+		for i := 0; ; i++ {
+			if _, err := fmt.Fprintf(w, `{"stms_event":1,"event":"progress","done":%d,"total":100}`+"\n", i); err != nil {
+				return
+			}
+			flush()
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+	c := NewClient(ts.URL, WithTimeouts(Timeouts{Stall: time.Second}))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.RunJob(ctx, testJob(t, "sci-em3d", sim.PrefSpec{Kind: sim.None}), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled job error = %v, want context.Canceled", err)
+	}
+	if IsTransport(err) {
+		t.Fatalf("cancellation misclassified as transport: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %s", elapsed)
+	}
+}
+
+func TestServerAuth(t *testing.T) {
+	srv := NewServer(ServerConfig{Name: "locked", Store: NewStore(1<<30, ""), Token: "s3cret"})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	job := testJob(t, "sci-em3d", sim.PrefSpec{Kind: sim.None})
+
+	// /healthz stays open — load balancers and breaker probes don't
+	// carry credentials.
+	anon := NewClient(ts.URL)
+	if _, err := anon.Health(context.Background()); err != nil {
+		t.Fatalf("unauthenticated health check failed: %v", err)
+	}
+
+	// Everything else rejects missing or wrong tokens with a
+	// deterministic (non-transport) error: retrying elsewhere would be
+	// rejected identically, so the coordinator must not burn retries.
+	if _, err := anon.RunJob(context.Background(), job, nil); err == nil || IsTransport(err) {
+		t.Fatalf("unauthenticated job error = %v, want plain 401 rejection", err)
+	}
+	wrong := NewClient(ts.URL, WithAuth("nope"))
+	if _, err := wrong.RunJob(context.Background(), job, nil); err == nil || IsTransport(err) {
+		t.Fatalf("wrong-token job error = %v, want plain 401 rejection", err)
+	}
+	if _, err := wrong.FetchTape(context.Background(), strings.Repeat("0", 64)); err == nil || IsTransport(err) {
+		t.Fatalf("wrong-token fetch error = %v, want plain 401 rejection", err)
+	}
+
+	ok := NewClient(ts.URL, WithAuth("s3cret"))
+	res, err := ok.RunJob(context.Background(), job, nil)
+	if err != nil {
+		t.Fatalf("authenticated job failed: %v", err)
+	}
+	if res.Worker != "locked" {
+		t.Fatalf("result worker = %q", res.Worker)
+	}
+}
+
+func TestAuthedPeersExchangeTapes(t *testing.T) {
+	// Workers sharing a token still exchange tapes: the server's peer
+	// clients present the same credential it demands.
+	a := NewServer(ServerConfig{Name: "a", Store: NewStore(1<<30, ""), Token: "tok"})
+	tsA := httptest.NewServer(a)
+	defer tsA.Close()
+	b := NewServer(ServerConfig{Name: "b", Store: NewStore(1<<30, ""), Peers: []string{tsA.URL}, Token: "tok"})
+	tsB := httptest.NewServer(b)
+	defer tsB.Close()
+
+	job := testJob(t, "oltp-db2", sim.PrefSpec{Kind: sim.None})
+	ca, cb := NewClient(tsA.URL, WithAuth("tok")), NewClient(tsB.URL, WithAuth("tok"))
+	if _, err := ca.RunJob(context.Background(), job, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cb.RunJob(context.Background(), job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TapeSource != TapeFromPeer {
+		t.Fatalf("authed peer fetch source = %q, want peer", res.TapeSource)
+	}
+}
+
+func TestCorruptedPeerTapeIsRebuilt(t *testing.T) {
+	// Worker A serves tapes through corrupting middleware; worker B's
+	// peer fetch receives damaged bytes. Content addressing must reject
+	// them — B rebuilds, and the result is still bit-identical.
+	in := NewInjector(5, nil, FaultRule{Kind: FaultCorrupt, Path: "/tapes", After: 64})
+	a := NewServer(ServerConfig{Name: "a", Store: NewStore(1<<30, "")})
+	tsA := httptest.NewServer(in.Wrap(a))
+	defer tsA.Close()
+	b := NewServer(ServerConfig{Name: "b", Store: NewStore(1<<30, ""), Peers: []string{tsA.URL}})
+	tsB := httptest.NewServer(b)
+	defer tsB.Close()
+
+	job := testJob(t, "oltp-db2", sim.PrefSpec{Kind: sim.None})
+	ca, cb := NewClient(tsA.URL), NewClient(tsB.URL)
+	resA, err := ca.RunJob(context.Background(), job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := cb.RunJob(context.Background(), job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.TapeSource != TapeBuilt {
+		t.Fatalf("tape source after corrupted peer fetch = %q, want a rebuild", resB.TapeSource)
+	}
+	if got := in.Fired()[FaultCorrupt]; got == 0 {
+		t.Fatal("corruption rule never fired")
+	}
+	if !reflect.DeepEqual(resA.Res, resB.Res) {
+		t.Fatal("rebuilt result differs from the original")
+	}
+	if st := b.Store().Stats(); st.PeerHits != 0 || st.Builds != 1 {
+		t.Fatalf("worker b stats = %+v, want a pure rebuild", st)
+	}
+}

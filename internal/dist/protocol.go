@@ -162,9 +162,12 @@ type Result struct {
 	WallMS     float64     `json:"wall_ms"`
 }
 
-// Event is one line of a job's progress stream. Kind is "started",
+// Event is one line of a job's progress stream. Kind is "queued" (a
+// heartbeat while the job waits for an execution slot), "started",
 // "progress" (Done/Total records processed), "done" (Result set), or
-// "failed" (Error set).
+// "failed" (Error set). Consumers ignore kinds they don't know, so new
+// heartbeat kinds are not a protocol break; any event resets the
+// client's stall detector.
 type Event struct {
 	Version int     `json:"stms_event"`
 	Kind    string  `json:"event"`

@@ -4,7 +4,8 @@ package dist
 //
 //	GET  /healthz      → Health document (capacity, in-flight jobs)
 //	POST /jobs         → execute a Job; the response is a stream of
-//	                     Event JSON values: started, throttled
+//	                     Event JSON values: queued heartbeats while
+//	                     waiting for a slot, started, throttled
 //	                     progress, then done (with the Result) or
 //	                     failed. The request context is the job's
 //	                     context: a coordinator that dies mid-run
@@ -18,6 +19,7 @@ package dist
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -44,6 +46,11 @@ type ServerConfig struct {
 	// MaxJobs bounds concurrently executing jobs (default:
 	// runtime.NumCPU()); excess POST /jobs block until a slot frees.
 	MaxJobs int
+	// Token, when non-empty, requires every request except GET /healthz
+	// to carry "Authorization: Bearer <Token>"; everything else answers
+	// 401. The worker presents the same token to its peers, so one
+	// shared secret protects a whole fleet.
+	Token string
 }
 
 // Server is the worker daemon: an http.Handler executing cell jobs
@@ -64,7 +71,7 @@ type jobStatus struct {
 	ID       string  `json:"job_id"`
 	Workload string  `json:"workload"`
 	Variant  string  `json:"variant"`
-	State    string  `json:"state"` // running | done | failed
+	State    string  `json:"state"` // running | done | failed | aborted
 	Done     uint64  `json:"done"`
 	Total    uint64  `json:"total"`
 	Error    string  `json:"error,omitempty"`
@@ -85,7 +92,11 @@ func NewServer(cfg ServerConfig) *Server {
 		jobs: make(map[string]*jobStatus),
 	}
 	for _, p := range cfg.Peers {
-		s.peers = append(s.peers, NewClient(p))
+		var opts []ClientOption
+		if cfg.Token != "" {
+			opts = append(opts, WithAuth(cfg.Token))
+		}
+		s.peers = append(s.peers, NewClient(p, opts...))
 	}
 	return s
 }
@@ -93,8 +104,29 @@ func NewServer(cfg ServerConfig) *Server {
 // Store returns the server's tape store (nil when running live).
 func (s *Server) Store() *Store { return s.cfg.Store }
 
+// authorized enforces the shared-secret bearer token on everything but
+// the health endpoint (load balancers and half-open breaker probes may
+// check liveness without credentials; the health document carries no
+// job or tape content).
+func (s *Server) authorized(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.Token == "" || r.URL.Path == "/healthz" {
+		return true
+	}
+	want := "Bearer " + s.cfg.Token
+	got := r.Header.Get("Authorization")
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1 {
+		return true
+	}
+	w.Header().Set("WWW-Authenticate", `Bearer realm="stms-serve"`)
+	http.Error(w, "dist: this worker requires a bearer token (-token)", http.StatusUnauthorized)
+	return false
+}
+
 // ServeHTTP routes the worker API.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(w, r) {
+		return
+	}
 	switch {
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
 		s.handleHealth(w)
@@ -142,27 +174,48 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Bound in-flight executions; queue on the semaphore, but give up
-	// when the caller does.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-r.Context().Done():
-		return
-	}
-
-	st := s.track(&job)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	var jobID string
 	emit := func(ev Event) {
 		ev.Version = EventFormatVersion
-		ev.JobID = st.ID
+		ev.JobID = jobID
 		enc.Encode(ev)
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+
+	// Bound in-flight executions; queue on the semaphore, but give up
+	// when the caller does — and keep the stream audibly alive while
+	// queued, so a coordinator's stall detector can tell a busy worker
+	// from a dead one.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	default:
+		emit(Event{Kind: "queued"})
+		beat := time.NewTicker(time.Second)
+		defer beat.Stop()
+	queue:
+		for {
+			select {
+			case s.sem <- struct{}{}:
+				break queue
+			case <-beat.C:
+				emit(Event{Kind: "queued"})
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	defer func() { <-s.sem }()
+
+	st := s.track(&job)
+	defer s.untrack(st)
+	jobID = st.ID
 	emit(Event{Kind: "started"})
 
 	// Throttled progress: at most ~4 events/second on the wire, every
@@ -184,7 +237,6 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 	wallMS := float64(time.Since(start).Microseconds()) / 1000
 
 	s.mu.Lock()
-	s.inflight--
 	if err != nil {
 		st.State, st.Error = "failed", err.Error()
 	} else {
@@ -248,6 +300,18 @@ func (s *Server) track(job *Job) *jobStatus {
 	s.jobs[st.ID] = st
 	s.inflight++
 	return st
+}
+
+// untrack balances track however the job ends — normal completion, a
+// panic unwinding through a chaos-cut response stream, a vanished
+// caller. A job still "running" on the way out was aborted mid-flight.
+func (s *Server) untrack(st *jobStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	if st.State == "running" {
+		st.State = "aborted"
+	}
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, id string) {

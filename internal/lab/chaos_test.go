@@ -1,0 +1,215 @@
+package lab
+
+// Chaos soak: the distributed lab under a seeded fault schedule —
+// refused connections, a stream stalled mid-event, circuit breakers
+// tripping — must still produce a canonical matrix export
+// byte-identical to an in-process run. Cells are pure functions of
+// their configuration, which gives these tests a perfect oracle:
+// resilience machinery may change *where* and *when* a cell runs,
+// never *what* it computes.
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"stms/internal/dist"
+)
+
+// fastResilience keeps chaos tests snappy: millisecond backoffs, a
+// short stall window, and a breaker cooldown long enough that a tripped
+// worker stays out for the rest of the test (deterministic gating).
+func fastResilience() Resilience {
+	return Resilience{
+		Stall:           300 * time.Millisecond,
+		RetryRounds:     2,
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      5 * time.Millisecond,
+		BreakerAfter:    2,
+		BreakerCooldown: 10 * time.Minute,
+		ProbeTimeout:    time.Second,
+	}
+}
+
+func TestChaosSoakByteIdenticalExport(t *testing.T) {
+	urls, _ := testWorkers(t, 2)
+	workloads := []string{"sci-em3d", "oltp-db2"}
+	prefs := remotePrefs[:2]
+
+	// The fault schedule, deterministic in (seed, rule match counters)
+	// with Parallelism(1) fixing the request order:
+	//   - the first three POST /jobs are refused: cell 1 fails on both
+	//     workers, backs off, fails once more (tripping that worker's
+	//     breaker at the second consecutive failure), and lands on the
+	//     fourth attempt;
+	//   - the fifth POST /jobs delivers 20 bytes and stalls: cell 2's
+	//     first live attempt aborts via the stall detector, backs off,
+	//     and succeeds on the retry;
+	//   - cells 3 and 4 run clean (on whichever workers the breaker
+	//     still admits).
+	in := dist.NewInjector(42, dist.BaseTransport(dist.Timeouts{}),
+		dist.FaultRule{Kind: dist.FaultRefuse, Path: "/jobs", From: 0, Until: 3},
+		dist.FaultRule{Kind: dist.FaultStall, Path: "/jobs", From: 4, Until: 5, After: 20},
+	)
+	var notes []string
+	chaos := testLab(t,
+		WithWorkers(urls),
+		WithParallelism(1),
+		WithResilience(fastResilience()),
+		WithWorkerTransport(in),
+		WithProgress(func(ev ResultEvent) {
+			if ev.Note != "" {
+				notes = append(notes, ev.Note)
+			}
+		}),
+	)
+	cm, err := chaos.Run(context.Background(), chaos.Plan(workloads, prefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := testLab(t)
+	lm, err := local.Run(context.Background(), local.Plan(workloads, prefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The headline claim: canonical exports (wall zeroed — it measures
+	// the machine and the injected faults, not the simulated system) are
+	// byte-identical however unkind the network was.
+	for i := range cm.Cells {
+		cm.Cells[i].Wall = 0
+		lm.Cells[i].Wall = 0
+	}
+	var cj, lj bytes.Buffer
+	if err := cm.WriteJSON(&cj); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.WriteJSON(&lj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cj.Bytes(), lj.Bytes()) {
+		t.Fatalf("chaos export differs from local:\nchaos %s\nlocal %s", cj.Bytes(), lj.Bytes())
+	}
+
+	// Every cell still completed remotely, and the resilience machinery
+	// demonstrably engaged. The counters are exact: the fault sequence
+	// is a pure function of (seed, schedule) and Parallelism(1) fixes
+	// the request order.
+	rs := chaos.RemoteStats()
+	if int(rs.RemoteCells) != len(cm.Cells) || rs.LocalCells != 0 {
+		t.Fatalf("dispatch stats = %+v, want all %d cells remote", rs, len(cm.Cells))
+	}
+	if rs.Retries != 4 {
+		t.Errorf("retries = %d, want 4 (3 refusals + 1 stall)", rs.Retries)
+	}
+	if rs.BreakerTrips != 1 {
+		t.Errorf("breaker trips = %d, want 1", rs.BreakerTrips)
+	}
+	if rs.StallAborts != 1 {
+		t.Errorf("stall aborts = %d, want 1", rs.StallAborts)
+	}
+	if rs.BackoffWaits != 2 {
+		t.Errorf("backoff waits = %d, want 2", rs.BackoffWaits)
+	}
+	fired := in.Fired()
+	if fired[dist.FaultRefuse] != 3 || fired[dist.FaultStall] != 1 {
+		t.Errorf("injector fired %v, want 3 refusals and 1 stall", fired)
+	}
+
+	// Satellite: degradation is never silent — the recovered cells'
+	// events carry the aggregated per-attempt errors.
+	if len(notes) == 0 {
+		t.Fatal("no ResultEvent carried a degradation note")
+	}
+	if !strings.Contains(strings.Join(notes, "\n"), "recovered on") {
+		t.Fatalf("notes never mention recovery: %q", notes)
+	}
+}
+
+func TestChaosFallbackStillExact(t *testing.T) {
+	// Refuse everything: every cell degrades to in-process execution,
+	// loudly, and the matrix still matches a purely local run.
+	urls, _ := testWorkers(t, 2)
+	in := dist.NewInjector(7, dist.BaseTransport(dist.Timeouts{}),
+		dist.FaultRule{Kind: dist.FaultRefuse, Path: "/jobs"})
+	var notes []string
+	chaos := testLab(t,
+		WithWorkers(urls),
+		WithParallelism(1),
+		WithResilience(fastResilience()),
+		WithWorkerTransport(in),
+		WithProgress(func(ev ResultEvent) {
+			if ev.Note != "" {
+				notes = append(notes, ev.Note)
+			}
+		}),
+	)
+	workloads := []string{"sci-em3d"}
+	cm, err := chaos.Run(context.Background(), chaos.Plan(workloads, remotePrefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := testLab(t)
+	lm, err := local.Run(context.Background(), local.Plan(workloads, remotePrefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lm.Cells {
+		if cm.Cells[i].Res == nil || !reflect.DeepEqual(cm.Cells[i].Res, lm.Cells[i].Res) {
+			t.Fatalf("cell %d: degraded result differs from local", i)
+		}
+	}
+	rs := chaos.RemoteStats()
+	if rs.RemoteCells != 0 || int(rs.LocalCells) != len(cm.Cells) {
+		t.Fatalf("dispatch stats = %+v, want every cell local", rs)
+	}
+	if rs.BreakerTrips == 0 {
+		t.Fatalf("dispatch stats = %+v, want breaker trips under total refusal", rs)
+	}
+	if len(notes) == 0 || !strings.Contains(notes[0], "degraded to local") {
+		t.Fatalf("fallback notes = %q, want explicit degradation", notes)
+	}
+}
+
+func TestWorkerAuthAtLabLevel(t *testing.T) {
+	srv := dist.NewServer(dist.ServerConfig{Name: "locked", Store: dist.NewStore(1<<30, ""), Token: "tok"})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	url := ts.URL
+	workloads := []string{"sci-em3d"}
+
+	// Wrong token: a deterministic rejection — the cell fails without
+	// burning transport retries or silently degrading to local.
+	bad := testLab(t,
+		WithWorkers([]string{url}),
+		WithWorkerAuth("wrong"),
+		WithResilience(fastResilience()),
+	)
+	m, err := bad.Run(context.Background(), bad.Plan(workloads, remotePrefs[:1]))
+	if err == nil {
+		t.Fatal("wrong-token run succeeded")
+	}
+	if m.Cells[0].Err == nil || !strings.Contains(m.Cells[0].Err.Error(), "401") {
+		t.Fatalf("cell error = %v, want a 401 rejection", m.Cells[0].Err)
+	}
+	rs := bad.RemoteStats()
+	if rs.Retries != 0 || rs.LocalCells != 0 {
+		t.Fatalf("dispatch stats = %+v, want a 401 neither retried nor degraded", rs)
+	}
+
+	// Matching token: business as usual.
+	good := testLab(t, WithWorkers([]string{url}), WithWorkerAuth("tok"))
+	gm, err := good.Run(context.Background(), good.Plan(workloads, remotePrefs[:1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grs := good.RemoteStats()
+	if int(grs.RemoteCells) != len(gm.Cells) || grs.Retries != 0 {
+		t.Fatalf("dispatch stats = %+v, want all cells remote with no retries", grs)
+	}
+}

@@ -18,6 +18,7 @@ package lab
 
 import (
 	"fmt"
+	"net/http"
 	"runtime"
 	"sync"
 
@@ -48,7 +49,10 @@ type Lab struct {
 	tapeBytes    int64  // resolved WithTapeCache budget
 	tapeDir      string // resolved WithTapeDir directory
 	workerURLs   []string
-	remote       *remotePool // nil = local execution
+	resilience   Resilience        // worker-pool deadlines, retries, breakers
+	workerToken  string            // shared-secret bearer token for workers
+	workerRT     http.RoundTripper // transport override (fault injection)
+	remote       *remotePool       // nil = local execution
 	manifestPath string
 	manifest     *manifest // nil = no manifest
 }
@@ -81,7 +85,7 @@ func New(opts ...Option) (*Lab, error) {
 		l.tapes = dist.NewStore(l.tapeBytes, l.tapeDir)
 	}
 	if len(l.workerURLs) > 0 {
-		l.remote = newRemotePool(l.workerURLs)
+		l.remote = newRemotePool(l.workerURLs, l.resilience, l.workerToken, l.workerRT)
 	}
 	if l.manifestPath != "" {
 		m, err := openManifest(l.manifestPath, l.memo)
@@ -197,6 +201,41 @@ func WithWorkers(urls []string) Option {
 			}
 		}
 		l.workerURLs = append([]string(nil), urls...)
+		return nil
+	}
+}
+
+// WithResilience replaces the coordinator's resilience policy —
+// per-attempt deadlines, the event-stream stall window, retry rounds
+// and backoff, and the per-worker circuit breaker thresholds. Zero
+// fields keep their defaults; sessions without WithWorkers ignore it.
+func WithResilience(r Resilience) Option {
+	return func(l *Lab) error {
+		l.resilience = r
+		return nil
+	}
+}
+
+// WithWorkerAuth attaches a shared-secret bearer token to every request
+// the coordinator makes to its workers, matching stms-serve -token. A
+// worker that rejects the token fails the cell deterministically (401
+// is not a transport failure — retrying elsewhere would be rejected the
+// same way).
+func WithWorkerAuth(token string) Option {
+	return func(l *Lab) error {
+		l.workerToken = token
+		return nil
+	}
+}
+
+// WithWorkerTransport replaces the HTTP transport the coordinator's
+// worker clients use — the hook the chaos tests inject faults through.
+// The dial and header deadlines of WithResilience do not apply through
+// a custom transport (wrap dist.BaseTransport to keep them); the stall
+// detector still does.
+func WithWorkerTransport(rt http.RoundTripper) Option {
+	return func(l *Lab) error {
+		l.workerRT = rt
 		return nil
 	}
 }

@@ -8,23 +8,36 @@ package lab
 //     address, so every variant column of a matrix row lands where the
 //     row's tape already lives and each unique tape is built once
 //     fleet-wide;
-//   - transport failures (connection refused, stream cut) retry the
-//     cell on the next-ranked worker; job failures are deterministic
-//     and surface immediately — retrying elsewhere would fail the same
-//     way;
-//   - when every worker is unreachable the cell degrades gracefully to
-//     in-process simulation, so a matrix always completes.
+//   - transport failures (connection refused, stream cut, a stream
+//     silent past the stall window) retry the cell on the next-ranked
+//     worker; after a full pass over the ranking the coordinator backs
+//     off (exponential, full jitter) and tries again, up to
+//     Resilience.RetryRounds passes. Job failures are deterministic and
+//     surface immediately — retrying elsewhere would fail the same way;
+//   - each worker has a circuit breaker: after Resilience.BreakerAfter
+//     consecutive transport failures its attempts are skipped outright,
+//     and once the cooldown elapses a single /healthz probe decides
+//     whether it rejoins. Because the rendezvous ranking is a pure
+//     function of (worker URL, tape key) and the breaker only gates it,
+//     a recovered worker rejoins exactly its old affinity positions;
+//   - when every attempt fails the cell degrades gracefully to
+//     in-process simulation, so a matrix always completes — but never
+//     silently: the per-attempt errors are aggregated into the cell's
+//     ResultEvent note and the session's RemoteStats counters.
 //
 // Cells are pure functions of their configuration, so remote execution
 // is memoization over the network: the Matrix a worker pool produces is
-// bit-identical to an in-process run.
+// bit-identical to an in-process run, however unkind the network was.
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,14 +45,67 @@ import (
 	"stms/internal/sim"
 )
 
+// Resilience bounds the coordinator's patience with a misbehaving
+// worker pool. The zero value of any field means its default; a
+// negative Stall disables the stall detector (not recommended).
+type Resilience struct {
+	Dial           time.Duration // per-attempt TCP connect deadline (default 5s)
+	ResponseHeader time.Duration // per-attempt response-header deadline (default 15s)
+	Stall          time.Duration // max silence on a job's event stream (default 30s)
+
+	RetryRounds int           // passes over the worker ranking per cell (default 3)
+	BackoffBase time.Duration // backoff before the second pass (default 100ms)
+	BackoffMax  time.Duration // backoff cap for later passes (default 5s)
+
+	BreakerAfter    int           // consecutive transport failures that trip a worker's breaker (default 3)
+	BreakerCooldown time.Duration // open time before a half-open /healthz probe (default 10s)
+	ProbeTimeout    time.Duration // deadline on that probe (default 2s)
+}
+
+// withDefaults fills zero fields with the defaults.
+func (r Resilience) withDefaults() Resilience {
+	if r.Dial == 0 {
+		r.Dial = 5 * time.Second
+	}
+	if r.ResponseHeader == 0 {
+		r.ResponseHeader = 15 * time.Second
+	}
+	if r.Stall == 0 {
+		r.Stall = 30 * time.Second
+	}
+	if r.RetryRounds <= 0 {
+		r.RetryRounds = 3
+	}
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = 100 * time.Millisecond
+	}
+	if r.BackoffMax <= 0 {
+		r.BackoffMax = 5 * time.Second
+	}
+	if r.BreakerAfter <= 0 {
+		r.BreakerAfter = 3
+	}
+	if r.BreakerCooldown <= 0 {
+		r.BreakerCooldown = 10 * time.Second
+	}
+	if r.ProbeTimeout <= 0 {
+		r.ProbeTimeout = 2 * time.Second
+	}
+	return r
+}
+
 // RemoteStats reports a coordinator session's dispatch accounting.
 type RemoteStats struct {
 	Workers     int    // configured worker count
 	RemoteCells uint64 // cells completed by a worker
 	LocalCells  uint64 // cells that fell back to in-process simulation
-	Retries     uint64 // transport failures retried on another worker
+	Retries     uint64 // transport failures retried (on another worker or a later round)
 	TapeFetches uint64 // remote cells whose tape crossed the network (peer tier)
 	TapeBuilds  uint64 // remote cells whose tape was built fresh on the worker
+
+	BreakerTrips uint64 // circuit breakers tripped open (fresh trips and failed probes)
+	StallAborts  uint64 // event streams aborted by the stall detector
+	BackoffWaits uint64 // backoff sleeps between retry rounds
 }
 
 // RemoteStats returns a snapshot of the session's remote dispatch
@@ -51,18 +117,35 @@ func (l *Lab) RemoteStats() RemoteStats {
 	return l.remote.snapshot()
 }
 
-// remotePool holds the coordinator's worker clients and accounting.
+// remotePool holds the coordinator's worker clients, their circuit
+// breakers, and the session's dispatch accounting.
 type remotePool struct {
-	clients []*dist.Client
+	clients  []*dist.Client
+	breakers map[*dist.Client]*dist.Breaker
+	res      Resilience
 
 	mu    sync.Mutex
 	stats RemoteStats
 }
 
-func newRemotePool(urls []string) *remotePool {
-	p := &remotePool{}
+func newRemotePool(urls []string, res Resilience, token string, rt http.RoundTripper) *remotePool {
+	res = res.withDefaults()
+	p := &remotePool{res: res, breakers: make(map[*dist.Client]*dist.Breaker)}
+	opts := []dist.ClientOption{dist.WithTimeouts(dist.Timeouts{
+		Dial:           res.Dial,
+		ResponseHeader: res.ResponseHeader,
+		Stall:          res.Stall,
+	})}
+	if token != "" {
+		opts = append(opts, dist.WithAuth(token))
+	}
+	if rt != nil {
+		opts = append(opts, dist.WithTransport(rt))
+	}
 	for _, u := range urls {
-		p.clients = append(p.clients, dist.NewClient(u))
+		c := dist.NewClient(u, opts...)
+		p.clients = append(p.clients, c)
+		p.breakers[c] = dist.NewBreaker(res.BreakerAfter, res.BreakerCooldown)
 	}
 	p.stats.Workers = len(p.clients)
 	return p
@@ -72,6 +155,13 @@ func (p *remotePool) snapshot() RemoteStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// count applies a stats mutation under the pool lock.
+func (p *remotePool) count(f func(*RemoteStats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
 }
 
 // jobFromCell serializes a cell into its wire identity.
@@ -103,7 +193,9 @@ func jobFromCell(c *Cell) (*dist.Job, error) {
 // rank orders the pool's workers for a tape address by rendezvous
 // (highest-random-weight) hashing: every coordinator ranks the same
 // address the same way, cells sharing a tape agree on a home worker,
-// and losing a worker reshuffles only the tapes it owned.
+// and losing a worker reshuffles only the tapes it owned. The breaker
+// gates the ranking but never reorders it, so a recovered worker
+// resumes exactly its old positions.
 func (p *remotePool) rank(key string) []*dist.Client {
 	type scored struct {
 		c     *dist.Client
@@ -130,47 +222,145 @@ func (p *remotePool) rank(key string) []*dist.Client {
 	return out
 }
 
-// run executes one cell remotely, retrying transport failures down the
-// affinity ranking and falling back to local simulation when every
-// worker is unreachable.
-func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, time.Duration, error) {
+// backoff computes the sleep before retry round `round` (1-based):
+// exponential in the round with full jitter — uniform in (0, cap] —
+// derived deterministically from the tape key, so a replayed run backs
+// off identically and concurrent cells don't thundering-herd a
+// recovering worker.
+func (p *remotePool) backoff(key string, round int) time.Duration {
+	ceil := p.res.BackoffBase << (round - 1)
+	if ceil <= 0 || ceil > p.res.BackoffMax {
+		ceil = p.res.BackoffMax
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	fmt.Fprintf(h, "|round=%d", round)
+	return time.Duration(h.Sum64()%uint64(ceil)) + 1
+}
+
+// attemptLog aggregates per-attempt failures for one cell so a degraded
+// dispatch is never silent: the log becomes the cell's ResultEvent
+// note.
+type attemptLog struct{ entries []string }
+
+func (a *attemptLog) add(format string, args ...any) {
+	a.entries = append(a.entries, fmt.Sprintf(format, args...))
+}
+
+// String renders the log, capped so a long outage doesn't flood the
+// progress stream.
+func (a *attemptLog) String() string {
+	const max = 6
+	if len(a.entries) <= max {
+		return strings.Join(a.entries, "; ")
+	}
+	return strings.Join(a.entries[:max], "; ") +
+		fmt.Sprintf("; (+%d more attempts)", len(a.entries)-max)
+}
+
+// run executes one cell remotely. It makes up to Resilience.RetryRounds
+// passes over the affinity ranking, backing off between passes, gating
+// each attempt through the worker's circuit breaker, and falling back
+// to local simulation when every attempt fails. The returned duration
+// is the cell's non-simulation overhead (coordinator wall minus the
+// worker-measured simulation time, or tape wait when local); the
+// returned note records any degradation.
+func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, time.Duration, string, error) {
+	start := time.Now()
 	job, err := jobFromCell(cell)
 	if err != nil {
-		return sim.Results{}, 0, err
+		return sim.Results{}, 0, "", err
 	}
 	key, err := job.TapeKey()
 	if err != nil {
-		return sim.Results{}, 0, err
+		return sim.Results{}, 0, "", err
 	}
-	for _, c := range p.rank(key) {
-		if ctx.Err() != nil {
-			return sim.Results{}, 0, ctx.Err()
-		}
-		r, err := c.RunJob(ctx, job, nil)
-		if err == nil {
-			p.mu.Lock()
-			p.stats.RemoteCells++
-			switch r.TapeSource {
-			case dist.TapeFromPeer:
-				p.stats.TapeFetches++
-			case dist.TapeBuilt:
-				p.stats.TapeBuilds++
+	ranking := p.rank(key)
+	var log attemptLog
+	for round := 0; round < p.res.RetryRounds; round++ {
+		if round > 0 {
+			d := p.backoff(key, round)
+			p.count(func(s *RemoteStats) { s.BackoffWaits++ })
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return sim.Results{}, 0, "", ctx.Err()
 			}
-			p.mu.Unlock()
-			return r.Res, 0, nil
 		}
-		if !dist.IsTransport(err) {
-			// The job itself failed; deterministic, so no retry.
-			return sim.Results{}, 0, err
+		for _, c := range ranking {
+			if ctx.Err() != nil {
+				return sim.Results{}, 0, "", ctx.Err()
+			}
+			b := p.breakers[c]
+			switch b.Gate(time.Now()) {
+			case dist.BreakerSkip:
+				continue
+			case dist.BreakerProbe:
+				pctx, cancel := context.WithTimeout(ctx, p.res.ProbeTimeout)
+				_, herr := c.Health(pctx)
+				cancel()
+				if herr != nil {
+					if b.Failure(time.Now()) {
+						p.count(func(s *RemoteStats) { s.BreakerTrips++ })
+					}
+					log.add("%s: probe failed: %v", c.URL(), herr)
+					continue
+				}
+				b.Success()
+			}
+			r, err := c.RunJob(ctx, job, nil)
+			if err == nil {
+				b.Success()
+				p.count(func(s *RemoteStats) {
+					s.RemoteCells++
+					switch r.TapeSource {
+					case dist.TapeFromPeer:
+						s.TapeFetches++
+					case dist.TapeBuilt:
+						s.TapeBuilds++
+					}
+				})
+				// Satellite accounting fix: the worker measured its own
+				// simulation time (Result.WallMS); everything else the
+				// coordinator waited through — dial, queueing, retries,
+				// tape movement — is overhead, not simulation.
+				overhead := time.Since(start) - time.Duration(r.WallMS*float64(time.Millisecond))
+				if overhead < 0 {
+					overhead = 0
+				}
+				note := ""
+				if len(log.entries) > 0 {
+					note = fmt.Sprintf("recovered on %s after %d failed attempts: %s",
+						c.URL(), len(log.entries), log.String())
+				}
+				return r.Res, overhead, note, nil
+			}
+			if !dist.IsTransport(err) {
+				// The job itself failed (or the worker rejected it
+				// deterministically — bad structure, bad credentials);
+				// retrying elsewhere would fail identically.
+				return sim.Results{}, 0, log.String(), err
+			}
+			p.count(func(s *RemoteStats) {
+				s.Retries++
+				if errors.Is(err, dist.ErrStalled) {
+					s.StallAborts++
+				}
+			})
+			if b.Failure(time.Now()) {
+				p.count(func(s *RemoteStats) { s.BreakerTrips++ })
+			}
+			log.add("%s: %v", c.URL(), err)
 		}
-		p.mu.Lock()
-		p.stats.Retries++
-		p.mu.Unlock()
 	}
-	// Every worker is unreachable (or the pool is empty): degrade to
-	// in-process execution rather than failing the matrix.
-	p.mu.Lock()
-	p.stats.LocalCells++
-	p.mu.Unlock()
-	return l.simulate(ctx, cell)
+	// Every attempt failed (or the pool is empty): degrade to in-process
+	// execution rather than failing the matrix — loudly, via the note.
+	p.count(func(s *RemoteStats) { s.LocalCells++ })
+	note := ""
+	if len(log.entries) > 0 {
+		note = fmt.Sprintf("degraded to local after %d failed remote attempts: %s",
+			len(log.entries), log.String())
+	}
+	res, tapeWait, err := l.simulate(ctx, cell)
+	return res, tapeWait, note, err
 }

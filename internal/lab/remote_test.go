@@ -127,8 +127,9 @@ func TestRemoteMatrixBitIdentical(t *testing.T) {
 func TestRemoteDegradesToLocal(t *testing.T) {
 	// No worker is listening on these: every cell must fall back to
 	// in-process simulation and still match a purely local run.
+	// (fastResilience keeps the retry rounds and backoffs snappy.)
 	urls := []string{"http://127.0.0.1:1", "http://127.0.0.1:2"}
-	remote := testLab(t, WithWorkers(urls))
+	remote := testLab(t, WithWorkers(urls), WithResilience(fastResilience()))
 	workloads := []string{"sci-em3d"}
 	rm, err := remote.Run(context.Background(), remote.Plan(workloads, remotePrefs))
 	if err != nil {

@@ -45,6 +45,7 @@ type ResultEvent struct {
 	Res   *sim.Results  // CellFinished only (read-only; shared with the Matrix)
 	Err   error         // CellFailed only
 	Wall  time.Duration // CellFinished/CellFailed: wall-clock cell time
+	Note  string        // dispatch degradation note (retries, breaker skips, local fallback)
 }
 
 // Run executes the plan's cells across the session's worker pool and
@@ -132,10 +133,14 @@ feed:
 // dispatch routes a cell to the session's worker pool when one is
 // configured (WithWorkers) and to in-process simulation otherwise.
 // Either path produces bit-identical results; the remote pool itself
-// degrades to simulate when every worker is unreachable.
-func (l *Lab) dispatch(ctx context.Context, cell *Cell) (sim.Results, time.Duration, error) {
+// degrades to simulate when every attempt fails. The duration is the
+// cell's non-simulation overhead (tape access locally; network,
+// queueing and retries remotely) and the note records any remote
+// degradation for the progress stream.
+func (l *Lab) dispatch(ctx context.Context, cell *Cell) (sim.Results, time.Duration, string, error) {
 	if l.remote == nil {
-		return l.simulate(ctx, cell)
+		res, tapeWait, err := l.simulate(ctx, cell)
+		return res, tapeWait, "", err
 	}
 	return l.remote.run(ctx, l, cell)
 }
@@ -234,7 +239,8 @@ func (st *runState) runCell(ctx context.Context, i int) {
 
 	var res sim.Results
 	var err error
-	var tapeWait time.Duration
+	var overhead time.Duration
+	var note string
 	func() {
 		// The simulator substrate panics on internal invariant breaks;
 		// contain those to the failing cell.
@@ -243,17 +249,20 @@ func (st *runState) runCell(ctx context.Context, i int) {
 				err = fmt.Errorf("lab: cell %s/%s panicked: %v", cell.Workload, cell.Label, r)
 			}
 		}()
-		res, tapeWait, err = st.lab.dispatch(ctx, &cell)
+		res, overhead, note, err = st.lab.dispatch(ctx, &cell)
 	}()
 
 	cr.Wall = time.Since(start)
-	atomic.AddInt64(&st.lab.simNS, int64(cr.Wall-tapeWait))
+	if overhead > cr.Wall {
+		overhead = cr.Wall
+	}
+	atomic.AddInt64(&st.lab.simNS, int64(cr.Wall-overhead))
 	if err != nil {
 		if ctx.Err() == nil {
 			// Real cell failure, not cancellation fallout: record it on
 			// the representative and every identical cell.
 			cr.Err = err
-			st.emit(ResultEvent{Kind: CellFailed, Cell: cell, Err: err, Wall: cr.Wall})
+			st.emit(ResultEvent{Kind: CellFailed, Cell: cell, Err: err, Wall: cr.Wall, Note: note})
 			for _, d := range st.dups[i] {
 				dr := &st.m.Cells[d]
 				dr.Err = err
@@ -264,7 +273,7 @@ func (st *runState) runCell(ctx context.Context, i int) {
 	}
 	cr.Res = &res
 	st.lab.store(cellKey(&cell), cr.Res)
-	st.emit(ResultEvent{Kind: CellFinished, Cell: cell, Res: cr.Res, Wall: cr.Wall})
+	st.emit(ResultEvent{Kind: CellFinished, Cell: cell, Res: cr.Res, Wall: cr.Wall, Note: note})
 	// Identical plan cells share the result without re-simulating.
 	for _, d := range st.dups[i] {
 		dr := &st.m.Cells[d]

@@ -51,6 +51,7 @@ package stms
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"stms/internal/core"
 	"stms/internal/dist"
@@ -157,6 +158,24 @@ func WithTapeDir(dir string) Option { return lab.WithTapeDir(dir) }
 // Matrix is bit-identical to an in-process run.
 func WithWorkers(urls []string) Option { return lab.WithWorkers(urls) }
 
+// Resilience bounds a coordinator's patience with a misbehaving worker
+// pool: per-attempt dial/header deadlines, the event-stream stall
+// window, retry rounds with full-jitter exponential backoff, and the
+// per-worker circuit breaker thresholds. Zero fields mean defaults.
+type Resilience = lab.Resilience
+
+// WithResilience replaces the coordinator's resilience policy.
+func WithResilience(r Resilience) Option { return lab.WithResilience(r) }
+
+// WithWorkerAuth attaches a shared-secret bearer token to every request
+// the coordinator makes to its workers, matching stms-serve -token.
+func WithWorkerAuth(token string) Option { return lab.WithWorkerAuth(token) }
+
+// WithWorkerTransport replaces the HTTP transport the coordinator's
+// worker clients use — the hook chaos tests inject deterministic
+// faults through (see dist.Injector).
+func WithWorkerTransport(rt http.RoundTripper) Option { return lab.WithWorkerTransport(rt) }
+
 // WithManifest makes runs resumable: completed cells are appended to
 // the versioned JSON-lines manifest at path, and a session reopened on
 // it preloads them into the memo, so a restarted coordinator skips
@@ -164,8 +183,9 @@ func WithWorkers(urls []string) Option { return lab.WithWorkers(urls) }
 func WithManifest(path string) Option { return lab.WithManifest(path) }
 
 // RemoteStats reports a coordinator session's dispatch accounting
-// (Lab.RemoteStats): remote vs local cells, transport retries, and
-// how worker tapes were satisfied.
+// (Lab.RemoteStats): remote vs local cells, transport retries, breaker
+// trips, stall aborts, backoff waits, and how worker tapes were
+// satisfied.
 type RemoteStats = lab.RemoteStats
 
 // TapeStore is the content-addressed two-tier (memory LRU → on-disk
