@@ -21,7 +21,7 @@
 // (results are bit-identical; throughput then measures the fleet).
 //
 // With -json, a machine-readable benchmark document is also written
-// (schema v5): the run options; a reconciled wall-time attribution —
+// (schema v7): the run options; a reconciled wall-time attribution —
 // the experiment suite and the freshly-timed headline matrix each split
 // into trace materialization, simulation, and explicit residue
 // (report/plan/memo overhead) so elapsed_ms is the sum of its parts;
@@ -171,6 +171,15 @@ func main() {
 // backoff_waits (inter-round backoff sleeps). All four are zero on
 // purely local runs and on healthy worker pools, so v5 documents stay
 // comparable.
+//
+// Schema v7 adds checkpoint accounting: ckpt_writes (checkpoints
+// workers wrote for this run's cells), ckpt_resumes (cells that
+// resumed mid-run from an exchanged checkpoint instead of starting
+// cold), ckpt_bytes (total sealed checkpoint bytes written), and
+// resume_ms (the worker-measured simulation wall spent inside resumed
+// runs — the split that shows how much of the matrix was salvaged
+// rather than recomputed). All zero on purely local runs and on pools
+// without -checkpoint-every, so v6 documents stay comparable.
 type benchDoc struct {
 	Schema     string  `json:"schema"`
 	Experiment string  `json:"experiment"`
@@ -221,6 +230,12 @@ type benchDoc struct {
 	BreakerTrips  uint64 `json:"breaker_trips"`
 	StallAborts   uint64 `json:"stall_aborts"`
 	BackoffWaits  uint64 `json:"backoff_waits"`
+
+	// Checkpoint accounting (v7; zero without checkpointing workers).
+	CkptWrites  uint64  `json:"ckpt_writes"`
+	CkptResumes uint64  `json:"ckpt_resumes"`
+	CkptBytes   uint64  `json:"ckpt_bytes"`
+	ResumeMS    float64 `json:"resume_ms"`
 
 	Matrix *stms.Matrix `json:"matrix"`
 }
@@ -280,7 +295,7 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	}
 	rs := lab.RemoteStats()
 	doc := benchDoc{
-		Schema:     "stms-bench/v6",
+		Schema:     "stms-bench/v7",
 		Experiment: id,
 		Scale:      o.Scale,
 		Seed:       o.Seed,
@@ -314,6 +329,11 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 		BreakerTrips:  rs.BreakerTrips,
 		StallAborts:   rs.StallAborts,
 		BackoffWaits:  rs.BackoffWaits,
+
+		CkptWrites:  rs.CkptWrites,
+		CkptResumes: rs.CkptResumes,
+		CkptBytes:   rs.CkptBytes,
+		ResumeMS:    ms(rs.ResumeWall),
 
 		Matrix: m,
 	}

@@ -11,7 +11,13 @@
 //
 // Peers let workers exchange tapes (GET/PUT /tapes/{key}) so each
 // unique trace identity is materialized once fleet-wide, wherever the
-// coordinator's affinity routing first lands it.
+// coordinator's affinity routing first lands it. With
+// -checkpoint-every, workers also checkpoint running jobs to the store
+// (exchanged over GET/PUT /ckpts/{key}), so a worker lost mid-cell
+// costs only the tail of the cell: the coordinator moves the dead
+// worker's latest checkpoint to the retry, which resumes mid-run.
+// SIGINT drains gracefully — in-progress jobs flush a final checkpoint
+// before the listener closes.
 //
 // Coordinate mode plans a workload × variant matrix and dispatches its
 // cells to workers, retrying transport failures and degrading to local
@@ -57,6 +63,7 @@ func main() {
 	tapeDir := flag.String("tape-dir", "", "tape store disk tier (STMSTAPE directory; empty = memory only)")
 	peers := flag.String("peers", "", "comma-separated sibling worker URLs to fetch tapes from")
 	maxJobs := flag.Int("max-jobs", 0, "concurrent job bound (0 = all CPUs)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint running jobs to the tape store every N records (0 = only on graceful shutdown)")
 
 	// Coordinator flags.
 	workers := flag.String("workers", "", "comma-separated worker URLs to dispatch cells to")
@@ -82,7 +89,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stms-serve: pass exactly one of -worker and -coordinate")
 		os.Exit(2)
 	case *worker:
-		if err := runWorker(*listen, *name, *tapeMem, *tapeDir, splitList(*peers), *maxJobs, *token); err != nil {
+		if err := runWorker(*listen, *name, *tapeMem, *tapeDir, splitList(*peers), *maxJobs, *token, *ckptEvery); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -125,8 +132,12 @@ func splitList(s string) []string {
 	return out
 }
 
-// runWorker serves the dist worker API until interrupted.
-func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []string, maxJobs int, token string) error {
+// runWorker serves the dist worker API until interrupted. Graceful
+// shutdown is checkpoint-first: the drain makes every in-progress job
+// flush a final checkpoint to the store and end its stream with a
+// terminal "checkpointed" event — so the coordinator retries the job
+// warm on another worker — before the listener closes.
+func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []string, maxJobs int, token string, ckptEvery uint64) error {
 	if name == "" {
 		name = listen
 	}
@@ -135,11 +146,12 @@ func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []strin
 		store = stms.NewTapeStore(tapeMem, tapeDir)
 	}
 	srv := stms.NewWorkerServer(stms.WorkerConfig{
-		Name:    name,
-		Store:   store,
-		Peers:   peers,
-		MaxJobs: maxJobs,
-		Token:   token,
+		Name:            name,
+		Store:           store,
+		Peers:           peers,
+		MaxJobs:         maxJobs,
+		Token:           token,
+		CheckpointEvery: ckptEvery,
 	})
 	hs := &http.Server{Addr: listen, Handler: srv}
 
@@ -147,13 +159,15 @@ func runWorker(listen, name string, tapeMem int64, tapeDir string, peers []strin
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "stms-serve: worker %q listening on %s (tapes: mem=%d dir=%q, peers=%d)\n",
-		name, listen, tapeMem, tapeDir, len(peers))
+	fmt.Fprintf(os.Stderr, "stms-serve: worker %q listening on %s (tapes: mem=%d dir=%q, peers=%d, checkpoint-every=%d)\n",
+		name, listen, tapeMem, tapeDir, len(peers), ckptEvery)
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "stms-serve: draining: in-progress jobs are flushing final checkpoints")
+		srv.Drain()
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return hs.Shutdown(sctx)
@@ -246,6 +260,10 @@ func runCoordinator(o coordinatorOptions) error {
 	if rs.BreakerTrips > 0 || rs.StallAborts > 0 || rs.BackoffWaits > 0 {
 		fmt.Fprintf(os.Stderr, "stms-serve: resilience: %d breaker trips, %d stall aborts, %d backoff waits\n",
 			rs.BreakerTrips, rs.StallAborts, rs.BackoffWaits)
+	}
+	if rs.CkptResumes > 0 || rs.CkptFetches > 0 {
+		fmt.Fprintf(os.Stderr, "stms-serve: checkpoints: %d cells resumed mid-run, %d fetched over /ckpts, %d written (%d bytes), %s of resumed simulation\n",
+			rs.CkptResumes, rs.CkptFetches, rs.CkptWrites, rs.CkptBytes, rs.ResumeWall.Round(time.Millisecond))
 	}
 
 	if o.jsonOut != "" {

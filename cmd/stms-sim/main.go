@@ -8,6 +8,13 @@
 //	stms-sim [-workload web-apache] [-pref stms|ideal|baseline|tse|ebcp|ulmt|markov]
 //	         [-sample 0.125] [-depth 0] [-scale 0.125] [-seed 42]
 //	         [-warm 80000] [-measure 120000] [-compare] [-v]
+//	         [-checkpoint-every N -checkpoint ck.stmsckpt [-halt-after K]] [-resume ck.stmsckpt]
+//
+// Runs are crash-resumable: -checkpoint-every N snapshots the whole
+// simulator to -checkpoint every N records (atomic replace), -halt-after
+// simulates a crash by exiting 0 after K checkpoints, and -resume picks
+// the run back up from the file — the resumed report is bit-identical
+// to an uninterrupted run's.
 //
 // -workload accepts a Table 1 workload name or a built-in scenario name
 // (stms-trace -list-scenarios); scenario runs append a per-phase
@@ -20,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +72,10 @@ func main() {
 	measure := flag.Uint64("measure", 120_000, "measured records per core")
 	compare := flag.Bool("compare", false, "also run baseline and ideal")
 	verbose := flag.Bool("v", false, "stream cell progress events to stderr")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a crash-resume checkpoint every N records (requires -checkpoint)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file path (STMSCKPT container, atomically replaced each cadence)")
+	haltAfter := flag.Int("halt-after", 0, "halt after writing N checkpoints and exit 0 (simulates a crash; resume with -resume)")
+	resume := flag.String("resume", "", "resume from the checkpoint file a -checkpoint-every run wrote; results are bit-identical to the uninterrupted run")
 	flag.Parse()
 
 	kind, err := kindOf(*pref)
@@ -98,6 +110,17 @@ func main() {
 	ps := stms.PrefSpec{Kind: kind, MaxDepth: *depth}
 	if kind == stms.STMS {
 		ps.SampleProb = *sample // meaningless for other variants; keep cells canonical
+	}
+
+	if *resume != "" || *ckptEvery > 0 || *haltAfter > 0 {
+		if err := runCheckpointed(lab.BaseConfig(), *workload, ps, *ckptEvery, *ckptPath, *haltAfter, *resume); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *compare {
+			fmt.Println("\n(-compare is unavailable with checkpointing; run each -pref variant separately)")
+		}
+		return
 	}
 
 	if *traceFile != "" {
@@ -137,6 +160,49 @@ func main() {
 			fmt.Printf("coverage vs ideal:     %.1f%%\n", 100*res.Coverage()/ideal.Coverage())
 		}
 	}
+}
+
+// runCheckpointed is the crash-resumable single-cell path: it threads
+// the sim checkpoint options through a direct entry-point run (the lab
+// matrix path and checkpointing compose at the worker layer instead).
+// A -halt-after halt is a simulated crash, not a failure: the process
+// exits 0 with a notice, and -resume continues the run to bit-identical
+// results.
+func runCheckpointed(cfg stms.Config, workload string, ps stms.PrefSpec, every uint64, path string, haltAfter int, resume string) error {
+	var opts []sim.RunOption
+	switch {
+	case every > 0 && path == "":
+		return fmt.Errorf("stms-sim: -checkpoint-every needs -checkpoint PATH")
+	case every == 0 && haltAfter > 0:
+		return fmt.Errorf("stms-sim: -halt-after needs -checkpoint-every")
+	case every > 0:
+		opts = append(opts, sim.WithCheckpointEvery(every, path))
+		if haltAfter > 0 {
+			opts = append(opts, sim.WithCheckpointHalt(haltAfter))
+		}
+	}
+
+	var res stms.Results
+	var err error
+	if resume != "" {
+		// The checkpoint knows its own workload, config and variant.
+		res, err = sim.ResumeFromCtx(context.Background(), resume, nil, opts...)
+	} else if spec, serr := trace.ByName(workload); serr == nil {
+		res, err = sim.RunTimedCtx(context.Background(), cfg, spec, ps, nil, opts...)
+	} else if scn, scerr := trace.ScenarioByName(workload); scerr == nil {
+		res, err = sim.RunTimedScenarioCtx(context.Background(), cfg, scn, ps, nil, opts...)
+	} else {
+		return serr
+	}
+	if errors.Is(err, sim.ErrCheckpointed) {
+		fmt.Fprintf(os.Stderr, "stms-sim: halted after %d checkpoint(s); resume with: stms-sim -resume %s\n", haltAfter, path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	report(res, cfg)
+	return nil
 }
 
 func report(res stms.Results, cfg stms.Config) {

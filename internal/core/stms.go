@@ -138,6 +138,13 @@ type Meta struct {
 	reads    []readRec
 	freeRead []int32
 
+	// nextReadEng/nextReadSeq are the issuing core and stream
+	// generation the engine announced for the next ReadNext
+	// (prefetch.ReadTagger); recorded on the pending read so
+	// checkpoints can re-wire its continuation.
+	nextReadEng int
+	nextReadSeq uint64
+
 	// Scratch for transient results handed to done callbacks.
 	scratchCur  prefetch.Cursor
 	scratchLine prefetch.Line
@@ -156,15 +163,21 @@ type lookupRec struct {
 	cur    prefetch.Cursor
 	ok     bool
 	bucket uint32
+	core   int // issuing core: identifies the engine continuation at restore
 	done   func(*prefetch.Cursor)
 }
 
 // readRec is one in-flight history line read: the position captured at
-// issue time plus the continuation.
+// issue time plus the continuation. core names the history being read
+// (the cursor's owner); eng is the issuing core and seq the stream
+// generation the engine announced via SetNextRead — checkpointing uses
+// the pair to re-mint the continuation on restore.
 type readRec struct {
 	core int
+	eng  int
 	pos  uint64
 	max  int
+	seq  uint64
 	done func(addrs, positions []uint64, marked bool, markAddr uint64)
 }
 
@@ -266,7 +279,7 @@ func (m *Meta) Lookup(core int, blk uint64, done func(*prefetch.Cursor)) {
 	}
 	m.st.LookupReads++
 	ri := m.getLookup()
-	m.lookups[ri] = lookupRec{cur: cur, ok: ok, bucket: bi, done: done}
+	m.lookups[ri] = lookupRec{cur: cur, ok: ok, bucket: bi, core: core, done: done}
 	m.env.MetaReadH(dram.IndexLookup, m, mkLookupDone, uint64(ri), 0)
 }
 
@@ -395,7 +408,7 @@ func (m *Meta) ReadNext(cur *prefetch.Cursor, max int, done func(addrs, position
 	}
 	m.st.HistoryReads++
 	ri := m.getRead()
-	m.reads[ri] = readRec{core: cur.Core, pos: cur.Pos, max: max, done: done}
+	m.reads[ri] = readRec{core: cur.Core, eng: m.nextReadEng, pos: cur.Pos, max: max, seq: m.nextReadSeq, done: done}
 	m.env.MetaReadH(dram.HistoryRead, m, mkReadDone, uint64(ri), 0)
 }
 

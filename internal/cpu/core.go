@@ -71,9 +71,12 @@ type Core struct {
 	// The core consumes its trace frame-at-a-time: frame holds the
 	// current batch of records (borrowed from src until the next
 	// refill), fpos the next unread index. Reading a record is four
-	// column loads — no per-record interface dispatch.
-	frame *trace.Frame
-	fpos  int
+	// column loads — no per-record interface dispatch. framesRead
+	// counts successful NextFrame calls so a checkpoint restore can
+	// fast-forward a fresh deterministic source to the same frame.
+	frame      *trace.Frame
+	fpos       int
+	framesRead uint64
 
 	rec     trace.Record
 	haveRec bool
@@ -232,6 +235,7 @@ func (c *Core) step() {
 				}
 				c.frame = f
 				c.fpos = 0
+				c.framesRead++
 			}
 			i := c.fpos
 			c.fpos = i + 1

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stms/internal/ckpt"
 	"stms/internal/trace"
 )
 
@@ -265,8 +266,74 @@ func (c *Client) RunJob(ctx context.Context, job *Job, onEvent func(Event)) (*Re
 			return ev.Result, nil
 		case "failed":
 			return nil, fmt.Errorf("dist: job %s/%s failed on %s: %s", job.Workload, job.Variant, c.base, ev.Error)
+		case "checkpointed":
+			// The worker drained: it flushed the job's final checkpoint
+			// to its store and shut down. Transport-class so the retry
+			// loop moves the job — after fetching the checkpoint, the
+			// retry resumes warm instead of starting over.
+			return nil, &TransportError{fmt.Errorf("dist: job %s/%s on %s: %w",
+				job.Workload, job.Variant, c.base, ErrWorkerCheckpointed)}
 		}
 	}
+}
+
+// FetchCkpt downloads the sealed checkpoint container at the given
+// address. The container is verified before it is returned; corruption
+// in transit reads as a transport error, and the caller validates the
+// checkpoint's identity against its job before resuming from it.
+func (c *Client) FetchCkpt(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/ckpts/"+key, nil)
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return nil, c.authError(resp)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		// Deterministic: the worker is alive and does not hold it.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("dist: %s: %s", c.base, strings.TrimSpace(string(msg)))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &TransportError{fmt.Errorf("dist: %s/ckpts/%.12s…: %s", c.base, key, resp.Status)}
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &TransportError{fmt.Errorf("dist: reading checkpoint %.12s… from %s: %w", key, c.base, err)}
+	}
+	if _, err := ckpt.Open(data); err != nil {
+		return nil, &TransportError{fmt.Errorf("dist: checkpoint %.12s… from %s: %w", key, c.base, err)}
+	}
+	return data, nil
+}
+
+// PushCkpt uploads a sealed checkpoint container to the worker's store
+// under its address, so a retried job finds it locally and resumes.
+func (c *Client) PushCkpt(ctx context.Context, key string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/ckpts/"+key, bytes.NewReader(data))
+	if err != nil {
+		return &TransportError{err}
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return &TransportError{err}
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusBadRequest:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("dist: %s rejected the checkpoint: %s", c.base, strings.TrimSpace(string(msg)))
+	case resp.StatusCode == http.StatusUnauthorized:
+		return c.authError(resp)
+	case resp.StatusCode != http.StatusNoContent:
+		return &TransportError{fmt.Errorf("dist: %s/ckpts/%.12s…: %s", c.base, key, resp.Status)}
+	}
+	return nil
 }
 
 // FetchTape downloads the tape at the given address. Failures are

@@ -1,11 +1,105 @@
 package dist
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 
 	"stms/internal/sim"
 	"stms/internal/trace"
 )
+
+// ExecOptions configures checkpointing for one job execution. The zero
+// value (or a nil pointer) runs the job plain, exactly as before
+// checkpoints existed.
+type ExecOptions struct {
+	// Resume is a sealed STMSCKPT container to restore the run from.
+	// It is validated against the job's full identity (mode, config,
+	// complete prefetcher spec, trace identity) before it is trusted;
+	// a mismatched or corrupt container is discarded and the job runs
+	// from scratch — a bad checkpoint can cost time, never correctness.
+	Resume []byte
+	// Every is the checkpoint cadence in trace records across all
+	// cores; 0 writes no periodic checkpoints.
+	Every uint64
+	// Sink receives each sealed checkpoint container. Required for
+	// checkpointing: without it Every and Stop are ignored.
+	Sink func(data []byte) error
+	// Stop, when closed, requests a final checkpoint followed by a
+	// halt with sim.ErrCheckpointed — the graceful-shutdown path.
+	Stop <-chan struct{}
+}
+
+// active reports whether this execution should request checkpoints.
+// Non-checkpointable variants (comparators, index-organization
+// ablations) run plain rather than failing: a worker with a checkpoint
+// cadence must still execute every job the protocol allows.
+func (o *ExecOptions) active(job *Job) bool {
+	if o == nil || o.Sink == nil || (o.Every == 0 && o.Stop == nil) {
+		return false
+	}
+	return sim.CheckpointablePref(job.Pref)
+}
+
+// runOptions assembles the sim run options for this execution.
+func (o *ExecOptions) runOptions(job *Job) []sim.RunOption {
+	if !o.active(job) {
+		return nil
+	}
+	opts := []sim.RunOption{sim.WithCheckpointFunc(o.Every, o.Sink)}
+	if o.Stop != nil {
+		opts = append(opts, sim.WithCheckpointSignal(o.Stop))
+	}
+	return opts
+}
+
+// resumeMatches validates a checkpoint descriptor against the job it
+// is about to resume. The container's checksum has already been
+// verified by the store tiers; this checks identity — mode, full
+// config, the complete prefetcher spec (not just its kind: a
+// checkpoint from a different sampling probability or engine geometry
+// would restore cleanly and then produce wrong results), and the trace
+// source the run will rebuild.
+func resumeMatches(d sim.CheckpointDesc, job *Job, scn *trace.Scenario, tape *trace.Tape) error {
+	if d.Mode != job.Mode {
+		return fmt.Errorf("dist: checkpoint is a %s-mode run, job is %s", d.Mode, job.Mode)
+	}
+	if d.Cfg != job.Config {
+		return fmt.Errorf("dist: checkpoint configuration does not match the job's")
+	}
+	dps, err1 := json.Marshal(d.PS)
+	jps, err2 := json.Marshal(job.Pref)
+	if err1 != nil || err2 != nil || !bytes.Equal(dps, jps) {
+		return fmt.Errorf("dist: checkpoint prefetcher spec does not match the job's")
+	}
+	switch {
+	case tape != nil:
+		if d.Source != "tape" {
+			return fmt.Errorf("dist: checkpoint source %q, job runs from a tape", d.Source)
+		}
+		if d.Spec == nil || fmt.Sprintf("%+v", *d.Spec) != fmt.Sprintf("%+v", tape.Spec()) {
+			return fmt.Errorf("dist: checkpoint trace identity does not match the job's tape")
+		}
+	case scn != nil:
+		if d.Source != "scenario" || d.Scenario == nil {
+			return fmt.Errorf("dist: checkpoint source %q, job runs a scenario", d.Source)
+		}
+		sc := job.Config.Scale
+		if d.Scenario.Scaled(sc).Key() != scn.Scaled(sc).Key() {
+			return fmt.Errorf("dist: checkpoint scenario does not match the job's")
+		}
+	default:
+		if d.Source != "spec" || d.Spec == nil {
+			return fmt.Errorf("dist: checkpoint source %q, job runs a spec", d.Source)
+		}
+		if fmt.Sprintf("%+v", *d.Spec) != fmt.Sprintf("%+v", *job.Spec) {
+			return fmt.Errorf("dist: checkpoint spec does not match the job's")
+		}
+	}
+	return nil
+}
 
 // ExecuteJob runs one cell job to completion, serving its record
 // stream from the store when one is given (fetch, usually a peer
@@ -13,65 +107,90 @@ import (
 // in-process lab's cell path exactly — same validation order, same
 // scaled identities, same sim entry points — which is what makes a
 // remotely executed matrix bit-identical to a local run.
+//
+// exec (nil for a plain run) threads checkpointing through: a
+// validated ExecOptions.Resume warm-starts the run (resumed reports
+// whether it actually did — an invalid checkpoint is discarded, never
+// trusted), Every/Sink stream periodic checkpoints out, and Stop
+// requests a final checkpoint + sim.ErrCheckpointed for graceful
+// shutdown. Because checkpoints are pure observation, results are
+// bit-identical with or without them, resumed or cold.
 func ExecuteJob(ctx context.Context, job *Job, store *Store,
-	fetch func(context.Context, string) (*trace.Tape, error), progress sim.Progress) (sim.Results, TapeSource, error) {
+	fetch func(context.Context, string) (*trace.Tape, error), progress sim.Progress,
+	exec *ExecOptions) (sim.Results, TapeSource, bool, error) {
 	if err := job.Validate(); err != nil {
-		return sim.Results{}, TapeLive, err
+		return sim.Results{}, TapeLive, false, err
 	}
 	scn, err := job.scenario()
 	if err != nil {
-		return sim.Results{}, TapeLive, err
+		return sim.Results{}, TapeLive, false, err
 	}
 	cfg := job.Config
 	functional := job.Mode == "functional"
 
-	if store == nil {
-		// Live generation, exactly as a lab with tape caching disabled.
-		var res sim.Results
-		switch {
-		case scn != nil && functional:
-			res, err = sim.RunFunctionalScenarioCtx(ctx, cfg, *scn, job.Pref, progress)
-		case scn != nil:
-			res, err = sim.RunTimedScenarioCtx(ctx, cfg, *scn, job.Pref, progress)
-		case functional:
-			res, err = sim.RunFunctionalCtx(ctx, cfg, *job.Spec, job.Pref, progress)
-		default:
-			res, err = sim.RunTimedCtx(ctx, cfg, *job.Spec, job.Pref, progress)
+	var src TapeSource = TapeLive
+	var tape *trace.Tape
+	if store != nil {
+		// Validate before touching the store — the sim entry points
+		// validate again, but only after the tape exists, and a job with a
+		// broken config must not cost a tape build.
+		if err := cfg.Validate(); err != nil {
+			return sim.Results{}, TapeLive, false, err
 		}
-		return res, TapeLive, err
+		seed, cores, perCore := cfg.Seed, cfg.Cores, cfg.WarmRecords+cfg.MeasureRecords
+		var key string
+		var build func() *trace.Tape
+		if scn != nil {
+			scaled := scn.Scaled(cfg.Scale)
+			key = TapeKey(trace.Spec{}, scaled.Key(), seed, cores, perCore)
+			build = func() *trace.Tape { return trace.NewScenarioTape(scaled, seed, cores, perCore) }
+		} else {
+			scaled := job.Spec.Scaled(cfg.Scale)
+			key = TapeKey(scaled, "", seed, cores, perCore)
+			build = func() *trace.Tape { return trace.NewTape(scaled, seed, cores, perCore) }
+		}
+		var fetchKey func(context.Context) (*trace.Tape, error)
+		if fetch != nil {
+			fetchKey = func(ctx context.Context) (*trace.Tape, error) { return fetch(ctx, key) }
+		}
+		tape, src, err = store.GetOrBuild(ctx, key, fetchKey, build)
+		if err != nil {
+			return sim.Results{}, src, false, err
+		}
 	}
 
-	// Validate before touching the store — the sim entry points
-	// validate again, but only after the tape exists, and a job with a
-	// broken config must not cost a tape build.
-	if err := cfg.Validate(); err != nil {
-		return sim.Results{}, TapeLive, err
+	run := func(opts []sim.RunOption) (sim.Results, error) {
+		switch {
+		case tape != nil && functional:
+			return sim.RunFunctionalTapeCtx(ctx, cfg, tape, job.Pref, progress, opts...)
+		case tape != nil:
+			return sim.RunTimedTapeCtx(ctx, cfg, tape, job.Pref, progress, opts...)
+		case scn != nil && functional:
+			return sim.RunFunctionalScenarioCtx(ctx, cfg, *scn, job.Pref, progress, opts...)
+		case scn != nil:
+			return sim.RunTimedScenarioCtx(ctx, cfg, *scn, job.Pref, progress, opts...)
+		case functional:
+			return sim.RunFunctionalCtx(ctx, cfg, *job.Spec, job.Pref, progress, opts...)
+		default:
+			return sim.RunTimedCtx(ctx, cfg, *job.Spec, job.Pref, progress, opts...)
+		}
 	}
-	seed, cores, perCore := cfg.Seed, cfg.Cores, cfg.WarmRecords+cfg.MeasureRecords
-	var key string
-	var build func() *trace.Tape
-	if scn != nil {
-		scaled := scn.Scaled(cfg.Scale)
-		key = TapeKey(trace.Spec{}, scaled.Key(), seed, cores, perCore)
-		build = func() *trace.Tape { return trace.NewScenarioTape(scaled, seed, cores, perCore) }
-	} else {
-		scaled := job.Spec.Scaled(cfg.Scale)
-		key = TapeKey(scaled, "", seed, cores, perCore)
-		build = func() *trace.Tape { return trace.NewTape(scaled, seed, cores, perCore) }
+
+	base := exec.runOptions(job)
+	if exec != nil && len(exec.Resume) > 0 && sim.CheckpointablePref(job.Pref) {
+		if d, err := sim.PeekCheckpoint(exec.Resume); err == nil && resumeMatches(d, job, scn, tape) == nil {
+			res, err := run(append(append([]sim.RunOption{}, base...), sim.WithResume(exec.Resume)))
+			switch {
+			case err == nil:
+				return res, src, true, nil
+			case errors.Is(err, sim.ErrCheckpointed) || ctx.Err() != nil:
+				return res, src, true, err
+			}
+			// The container verified but would not restore (or the
+			// descriptor lied about state the restore checks catch):
+			// discard it and fall through to a cold run.
+		}
 	}
-	var fetchKey func(context.Context) (*trace.Tape, error)
-	if fetch != nil {
-		fetchKey = func(ctx context.Context) (*trace.Tape, error) { return fetch(ctx, key) }
-	}
-	tape, src, err := store.GetOrBuild(ctx, key, fetchKey, build)
-	if err != nil {
-		return sim.Results{}, src, err
-	}
-	var res sim.Results
-	if functional {
-		res, err = sim.RunFunctionalTapeCtx(ctx, cfg, tape, job.Pref, progress)
-	} else {
-		res, err = sim.RunTimedTapeCtx(ctx, cfg, tape, job.Pref, progress)
-	}
-	return res, src, err
+	res, err := run(base)
+	return res, src, false, err
 }

@@ -32,6 +32,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"stms/internal/sim"
@@ -90,6 +91,37 @@ func (j *Job) scenario() (*trace.Scenario, error) {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// CkptKey returns the content address of the job's checkpoint: the hex
+// digest of the full job identity — trace identity (TapeKey) plus mode
+// and the complete prefetcher spec. Unlike tapes, a checkpoint is only
+// meaningful to the exact job that wrote it (the serialized state
+// embeds the variant's tables and in-flight operations), so the
+// prefetcher spec is part of the address. One key names one job's
+// "latest checkpoint": each cadence overwrites the previous container.
+func (j *Job) CkptKey() (string, error) {
+	tk, err := j.TapeKey()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("ckpt|tape=%s|mode=%s|pref=%s", tk, j.Mode, prefString(j.Pref))))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// prefString renders the complete prefetcher spec for CkptKey,
+// dereferencing the optional config pointers so two specs differing
+// only behind a pointer hash differently.
+func prefString(ps sim.PrefSpec) string {
+	scfg, ecfg := "", ""
+	if ps.STMSCfg != nil {
+		scfg = fmt.Sprintf("%+v", *ps.STMSCfg)
+	}
+	if ps.Engine != nil {
+		ecfg = fmt.Sprintf("%+v", *ps.Engine)
+	}
+	return fmt.Sprintf("k=%d|d=%d|h=%d|i=%d|p=%g|s=%s|e=%s",
+		ps.Kind, ps.MaxDepth, ps.HistoryEntries, ps.IndexEntries, ps.SampleProb, scfg, ecfg)
 }
 
 // TapeKey returns the content address of the job's trace identity: the
@@ -160,14 +192,23 @@ type Result struct {
 	TapeSource TapeSource  `json:"tape_source"`
 	Worker     string      `json:"worker,omitempty"`
 	WallMS     float64     `json:"wall_ms"`
+	// Checkpoint accounting (additive in result version 1; absent on
+	// workers without checkpointing). Resumed reports that the worker
+	// restored the run from a checkpoint instead of starting cold;
+	// CkptWrites/CkptBytes count the checkpoints the run itself wrote.
+	Resumed    bool   `json:"resumed,omitempty"`
+	CkptWrites uint64 `json:"ckpt_writes,omitempty"`
+	CkptBytes  uint64 `json:"ckpt_bytes,omitempty"`
 }
 
 // Event is one line of a job's progress stream. Kind is "queued" (a
 // heartbeat while the job waits for an execution slot), "started",
-// "progress" (Done/Total records processed), "done" (Result set), or
-// "failed" (Error set). Consumers ignore kinds they don't know, so new
-// heartbeat kinds are not a protocol break; any event resets the
-// client's stall detector.
+// "progress" (Done/Total records processed), "done" (Result set),
+// "failed" (Error set), or "checkpointed" (the worker is shutting down
+// gracefully and flushed the job's final checkpoint to its store; the
+// coordinator should fetch it and retry warm on another worker).
+// Consumers ignore kinds they don't know, so new heartbeat kinds are
+// not a protocol break; any event resets the client's stall detector.
 type Event struct {
 	Version int     `json:"stms_event"`
 	Kind    string  `json:"event"`
@@ -178,15 +219,27 @@ type Event struct {
 	Error   string  `json:"error,omitempty"`
 }
 
-// Health is the worker's GET /healthz document.
+// Health is the worker's GET /healthz document. Resumable and Ckpts
+// are additive fields (version stays 1 so old coordinators keep
+// working): a resumable worker checkpoints long jobs to its store and
+// serves them over GET/PUT /ckpts/{key}.
 type Health struct {
-	Version  int    `json:"stms_worker"`
-	Name     string `json:"name"`
-	Cores    int    `json:"cores"`
-	MaxJobs  int    `json:"max_jobs"`
-	InFlight int    `json:"in_flight"`
-	Tapes    int    `json:"tapes"` // tapes resident in the memory tier
+	Version   int    `json:"stms_worker"`
+	Name      string `json:"name"`
+	Cores     int    `json:"cores"`
+	MaxJobs   int    `json:"max_jobs"`
+	InFlight  int    `json:"in_flight"`
+	Tapes     int    `json:"tapes"`               // tapes resident in the memory tier
+	Resumable bool   `json:"resumable,omitempty"` // worker checkpoints jobs and serves /ckpts
+	Ckpts     int    `json:"ckpts,omitempty"`     // checkpoints resident in the store
 }
+
+// ErrWorkerCheckpointed marks a job stream that ended with a
+// "checkpointed" terminal event: the worker shut down gracefully after
+// flushing the job's final checkpoint. It is wrapped in a
+// TransportError — retrying on another worker helps, and with the
+// checkpoint exchanged first the retry resumes warm instead of cold.
+var ErrWorkerCheckpointed = errors.New("dist: worker checkpointed the job and shut down")
 
 // TransportError marks failures of the transport — connection refused,
 // unexpected HTTP status, a response stream cut mid-job — as opposed

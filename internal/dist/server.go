@@ -13,15 +13,22 @@ package dist
 //	GET  /jobs/{id}    → status of a job seen by this worker
 //	GET  /tapes/{key}  → STMSTAPE bytes of a resident tape
 //	PUT  /tapes/{key}  → admit a tape (verified against its address)
+//	GET  /ckpts/{key}  → sealed STMSCKPT bytes of a job's latest
+//	                     checkpoint (content-addressed by Job.CkptKey)
+//	PUT  /ckpts/{key}  → admit a checkpoint (verified container; 400
+//	                     on corruption)
 //
-// Unknown job ids and tape keys answer 404 with a nearest-match
-// suggestion, the same way trace.ByName treats workload typos.
+// Unknown job ids and tape/checkpoint keys answer 404 with a
+// nearest-match suggestion, the same way trace.ByName treats workload
+// typos.
 
 import (
 	"context"
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -51,6 +58,12 @@ type ServerConfig struct {
 	// 401. The worker presents the same token to its peers, so one
 	// shared secret protects a whole fleet.
 	Token string
+	// CheckpointEvery, when > 0 and a Store is configured, checkpoints
+	// every running checkpointable job to the store each time this many
+	// trace records pass, and the job resumes from the freshest valid
+	// checkpoint found locally or on a peer. Regardless of cadence, a
+	// Store-backed worker flushes a final checkpoint on Drain.
+	CheckpointEvery uint64
 }
 
 // Server is the worker daemon: an http.Handler executing cell jobs
@@ -59,6 +72,9 @@ type Server struct {
 	cfg   ServerConfig
 	peers []*Client
 	sem   chan struct{}
+
+	drain     chan struct{}
+	drainOnce sync.Once
 
 	mu       sync.Mutex
 	seq      int
@@ -71,7 +87,7 @@ type jobStatus struct {
 	ID       string  `json:"job_id"`
 	Workload string  `json:"workload"`
 	Variant  string  `json:"variant"`
-	State    string  `json:"state"` // running | done | failed | aborted
+	State    string  `json:"state"` // running | done | failed | aborted | checkpointed
 	Done     uint64  `json:"done"`
 	Total    uint64  `json:"total"`
 	Error    string  `json:"error,omitempty"`
@@ -87,9 +103,10 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg.MaxJobs = runtime.NumCPU()
 	}
 	s := &Server{
-		cfg:  cfg,
-		sem:  make(chan struct{}, cfg.MaxJobs),
-		jobs: make(map[string]*jobStatus),
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxJobs),
+		drain: make(chan struct{}),
+		jobs:  make(map[string]*jobStatus),
 	}
 	for _, p := range cfg.Peers {
 		var opts []ClientOption
@@ -103,6 +120,20 @@ func NewServer(cfg ServerConfig) *Server {
 
 // Store returns the server's tape store (nil when running live).
 func (s *Server) Store() *Store { return s.cfg.Store }
+
+// Drain begins graceful shutdown: every in-flight checkpointable job
+// writes a final checkpoint to the store and ends its stream with a
+// terminal "checkpointed" event, so the coordinator retries warm
+// instead of cold. Call before closing the listener; safe to call more
+// than once. Jobs that cannot checkpoint (no store, non-serializable
+// variant) are unaffected and run to completion or get cut by the
+// listener close.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// resumable reports whether this worker checkpoints jobs.
+func (s *Server) resumable() bool { return s.cfg.Store != nil }
 
 // authorized enforces the shared-secret bearer token on everything but
 // the health endpoint (load balancers and half-open breaker probes may
@@ -136,6 +167,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleJobStatus(w, strings.TrimPrefix(r.URL.Path, "/jobs/"))
 	case strings.HasPrefix(r.URL.Path, "/tapes/"):
 		s.handleTape(w, r, strings.TrimPrefix(r.URL.Path, "/tapes/"))
+	case strings.HasPrefix(r.URL.Path, "/ckpts/"):
+		s.handleCkpt(w, r, strings.TrimPrefix(r.URL.Path, "/ckpts/"))
 	default:
 		http.Error(w, fmt.Sprintf("dist: no route %s %s", r.Method, r.URL.Path), http.StatusNotFound)
 	}
@@ -153,6 +186,8 @@ func (s *Server) handleHealth(w http.ResponseWriter) {
 	s.mu.Unlock()
 	if s.cfg.Store != nil {
 		h.Tapes = s.cfg.Store.Len()
+		h.Resumable = true
+		h.Ckpts = s.cfg.Store.CkptCount()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h)
@@ -232,18 +267,51 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 		emit(Event{Kind: "progress", Done: done, Total: total})
 	}
 
+	// Checkpointing: a store-backed worker checkpoints the job to its
+	// store under the job's content address (Job.CkptKey) and resumes
+	// from the freshest valid checkpoint it can find — its own store
+	// (a previous attempt that died here, or one the coordinator
+	// pushed) or a peer's. Checkpoints survive job completion: "latest
+	// checkpoint per job identity" is the store's contract, and a
+	// coordinator whose stream was cut may still want it.
+	var exec *ExecOptions
+	var ckptWrites, ckptBytes uint64
+	if s.resumable() {
+		if key, kerr := job.CkptKey(); kerr == nil {
+			exec = &ExecOptions{
+				Every: s.cfg.CheckpointEvery,
+				Stop:  s.drain,
+				Sink: func(data []byte) error {
+					ckptWrites++
+					ckptBytes += uint64(len(data))
+					return s.cfg.Store.PutCkpt(key, data)
+				},
+			}
+			if sim.CheckpointablePref(job.Pref) {
+				exec.Resume = s.lookupCkpt(r.Context(), key)
+			}
+		}
+	}
+
 	start := time.Now()
-	res, src, err := s.execute(r.Context(), &job, progress)
+	res, src, resumed, err := s.execute(r.Context(), &job, progress, exec)
 	wallMS := float64(time.Since(start).Microseconds()) / 1000
 
 	s.mu.Lock()
-	if err != nil {
+	switch {
+	case errors.Is(err, sim.ErrCheckpointed):
+		st.State, st.WallMS = "checkpointed", wallMS
+	case err != nil:
 		st.State, st.Error = "failed", err.Error()
-	} else {
+	default:
 		st.State, st.WallMS = "done", wallMS
 	}
 	s.mu.Unlock()
 
+	if errors.Is(err, sim.ErrCheckpointed) {
+		emit(Event{Kind: "checkpointed"})
+		return
+	}
 	if err != nil {
 		emit(Event{Kind: "failed", Error: err.Error()})
 		return
@@ -254,18 +322,44 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 		TapeSource: src,
 		Worker:     s.cfg.Name,
 		WallMS:     wallMS,
+		Resumed:    resumed,
+		CkptWrites: ckptWrites,
+		CkptBytes:  ckptBytes,
 	}})
 }
 
 // execute contains panics to the failing job, like the lab's cell
 // runner does — a worker must survive a malformed cell.
-func (s *Server) execute(ctx context.Context, job *Job, progress sim.Progress) (res sim.Results, src TapeSource, err error) {
+func (s *Server) execute(ctx context.Context, job *Job, progress sim.Progress, exec *ExecOptions) (res sim.Results, src TapeSource, resumed bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("dist: job %s/%s panicked: %v", job.Workload, job.Variant, r)
 		}
 	}()
-	return ExecuteJob(ctx, job, s.cfg.Store, s.fetchFromPeers, progress)
+	return ExecuteJob(ctx, job, s.cfg.Store, s.fetchFromPeers, progress, exec)
+}
+
+// lookupCkpt finds the freshest valid checkpoint for a job key: this
+// worker's store first, then every peer, keeping whichever had
+// progressed furthest. Containers that fail to verify or describe are
+// ignored — a checkpoint is never trusted on arrival.
+func (s *Server) lookupCkpt(ctx context.Context, key string) []byte {
+	var best []byte
+	var bestRecs uint64
+	consider := func(data []byte) {
+		if d, err := sim.PeekCheckpoint(data); err == nil && (best == nil || d.Records > bestRecs) {
+			best, bestRecs = data, d.Records
+		}
+	}
+	if data, ok := s.cfg.Store.GetCkpt(key); ok {
+		consider(data)
+	}
+	for _, p := range s.peers {
+		if data, err := p.FetchCkpt(ctx, key); err == nil {
+			consider(data)
+		}
+	}
+	return best
 }
 
 // fetchFromPeers asks each sibling worker for a tape; the first one
@@ -374,5 +468,44 @@ func (s *Server) handleTape(w http.ResponseWriter, r *http.Request, key string) 
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.Error(w, "dist: tapes support GET and PUT", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleCkpt serves and accepts sealed STMSCKPT containers — the
+// checkpoint exchange the coordinator uses to move a dead worker's
+// progress to a live one. Both directions verify the container; a
+// corrupt checkpoint is a 404 (GET, after discarding it) or a 400
+// (PUT), never state.
+func (s *Server) handleCkpt(w http.ResponseWriter, r *http.Request, key string) {
+	if s.cfg.Store == nil {
+		http.Error(w, "dist: this worker runs without a store", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		data, ok := s.cfg.Store.GetCkpt(key)
+		if !ok {
+			msg := fmt.Sprintf("dist: no checkpoint at address %.12s…", key)
+			if near := editdist.Nearest(key, s.cfg.Store.CkptKeys()); near != "" {
+				msg += fmt.Sprintf(" (nearest resident address: %.12s…)", near)
+			}
+			http.Error(w, msg, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case http.MethodPut:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("dist: reading checkpoint: %v", err), http.StatusBadRequest)
+			return
+		}
+		if err := s.cfg.Store.PutCkpt(key, data); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "dist: checkpoints support GET and PUT", http.StatusMethodNotAllowed)
 	}
 }

@@ -25,11 +25,15 @@ import (
 	"sync"
 	"time"
 
+	"stms/internal/ckpt"
 	"stms/internal/trace"
 )
 
 // tapeFileSuffix names on-disk tapes: <store dir>/<identity hash>.stmstape.
 const tapeFileSuffix = ".stmstape"
+
+// ckptFileSuffix names on-disk checkpoints: <store dir>/<job hash>.stmsckpt.
+const ckptFileSuffix = ".stmsckpt"
 
 // Store is the two-tier tape store. The zero value is not usable;
 // construct with NewStore. All methods are safe for concurrent use.
@@ -38,8 +42,9 @@ type Store struct {
 	max     int64 // memory-tier byte budget
 	bytes   int64
 	entries map[string]*storeEntry
-	lru     *list.List // front = most recently used
-	dir     string     // "" = memory-only store
+	lru     *list.List        // front = most recently used
+	dir     string            // "" = memory-only store
+	ckpts   map[string][]byte // sealed STMSCKPT containers, latest per job key
 	stats   StoreStats
 }
 
@@ -68,6 +73,10 @@ type StoreStats struct {
 	ServeMem  uint64 // Get served from memory (tape serving, not jobs)
 	ServeDisk uint64 // Get served from disk
 
+	CkptPuts   uint64 // checkpoints accepted via PutCkpt
+	CkptServes uint64 // GetCkpt hits (memory or disk)
+	CkptSkips  uint64 // corrupt checkpoints discarded instead of served
+
 	BytesInUse int64         // memory-tier footprint
 	BuildTime  time.Duration // cumulative build wall time
 	FetchTime  time.Duration // cumulative disk-read + peer-fetch wall time
@@ -82,6 +91,7 @@ func NewStore(memBytes int64, dir string) *Store {
 		entries: make(map[string]*storeEntry),
 		lru:     list.New(),
 		dir:     dir,
+		ckpts:   make(map[string][]byte),
 	}
 }
 
@@ -377,4 +387,124 @@ func (s *Store) saveDisk(key string, t *trace.Tape) {
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
 	}
+}
+
+// --- checkpoint tier -------------------------------------------------------
+//
+// Checkpoints ride the same store as tapes: content-addressed by job
+// identity (Job.CkptKey), held as sealed STMSCKPT containers in a
+// memory side-table (latest per key — each cadence overwrites the
+// previous one) and mirrored to <dir>/<key>.stmsckpt when the disk
+// tier is enabled. Like tapes, a checkpoint is never trusted on
+// arrival: every receiving tier verifies the container's header and
+// checksum and discards corruption — a bad checkpoint costs a cold
+// restart, never a wrong result.
+
+// ckptPath maps a checkpoint address to its disk-tier file.
+func (s *Store) ckptPath(key string) string {
+	return filepath.Join(s.dir, key+ckptFileSuffix)
+}
+
+// GetCkpt returns the sealed checkpoint container addressed by key,
+// from the memory side-table or the disk tier. Corrupt disk files are
+// removed and report a miss.
+func (s *Store) GetCkpt(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if data, ok := s.ckpts[key]; ok {
+		s.stats.CkptServes++
+		s.mu.Unlock()
+		return data, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.ckptPath(key))
+	if err != nil {
+		return nil, false
+	}
+	if _, err := ckpt.Open(data); err != nil {
+		os.Remove(s.ckptPath(key))
+		s.mu.Lock()
+		s.stats.CkptSkips++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.ckpts[key] = data
+	s.stats.CkptServes++
+	s.mu.Unlock()
+	return data, true
+}
+
+// PutCkpt admits a sealed checkpoint container under key, replacing
+// any previous checkpoint at that address (a newer cadence of the same
+// job). The container must verify; corrupt data is rejected. The disk
+// write is atomic (temp + fsync + rename + dirent fsync) and
+// best-effort — a full disk degrades the tier to memory.
+func (s *Store) PutCkpt(key string, data []byte) error {
+	payload, err := ckpt.Open(data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.CkptSkips++
+		s.mu.Unlock()
+		return fmt.Errorf("dist: rejecting corrupt checkpoint %.12s…: %w", key, err)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.ckpts[key] = cp
+	s.stats.CkptPuts++
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			ckpt.WriteFile(s.ckptPath(key), payload)
+		}
+	}
+	return nil
+}
+
+// DropCkpt discards the checkpoint at key from both tiers — the
+// recovery path for a checkpoint that verified as a container but
+// failed to restore (wrong job, incompatible state).
+func (s *Store) DropCkpt(key string) {
+	s.mu.Lock()
+	delete(s.ckpts, key)
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		os.Remove(s.ckptPath(key))
+	}
+}
+
+// CkptCount returns how many checkpoints the store holds (memory plus
+// disk-only files).
+func (s *Store) CkptCount() int {
+	return len(s.CkptKeys())
+}
+
+// CkptKeys lists the checkpoint addresses known to the store, for
+// nearest-match suggestions on unknown keys; order is unspecified.
+func (s *Store) CkptKeys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.ckpts))
+	seen := make(map[string]bool, len(s.ckpts))
+	for k := range s.ckpts {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		if names, err := os.ReadDir(dir); err == nil {
+			for _, de := range names {
+				if k, ok := strings.CutSuffix(de.Name(), ckptFileSuffix); ok && !seen[k] {
+					keys = append(keys, k)
+				}
+			}
+		}
+	}
+	return keys
 }

@@ -1,0 +1,120 @@
+package dram
+
+import (
+	"fmt"
+
+	"stms/internal/ckpt"
+	"stms/internal/event"
+)
+
+func snapshotQueue(enc *ckpt.Encoder, q *reqQueue, idOf func(event.Handler) (uint32, bool)) error {
+	enc.Int(q.n)
+	for i := 0; i < q.n; i++ {
+		r := &q.buf[(q.head+i)&(len(q.buf)-1)]
+		if r.done != nil {
+			return fmt.Errorf("dram: queued closure-path request (class %v) is not checkpointable", r.class)
+		}
+		id := uint32(0)
+		hasH := r.h != nil
+		if hasH {
+			var ok bool
+			if id, ok = idOf(r.h); !ok {
+				return fmt.Errorf("dram: queued request handler %T is not registered", r.h)
+			}
+		}
+		enc.U8(uint8(r.class))
+		enc.Bool(r.isWrite)
+		enc.U8(r.kind)
+		enc.Bool(hasH)
+		enc.U32(id)
+		enc.U64(r.a)
+		enc.U64(r.b)
+		enc.U64(r.enqueued)
+	}
+	return nil
+}
+
+func restoreQueue(dec *ckpt.Decoder, q *reqQueue, handlerOf func(uint32) (event.Handler, bool)) error {
+	n := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var r request
+		r.class = Class(dec.U8())
+		r.isWrite = dec.Bool()
+		r.kind = dec.U8()
+		hasH := dec.Bool()
+		id := dec.U32()
+		r.a = dec.U64()
+		r.b = dec.U64()
+		r.enqueued = dec.U64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if hasH {
+			h, ok := handlerOf(id)
+			if !ok {
+				return fmt.Errorf("dram: queued request references unknown handler %d", id)
+			}
+			r.h = h
+		}
+		q.push(r)
+	}
+	return nil
+}
+
+// Snapshot serializes the controller: both priority queues in FIFO
+// order, channel occupancy, and the traffic/utilization counters.
+// Closure-path requests (Read) and parked delivery slots cannot be
+// serialized; checkpointable configurations use only ReadH/Write.
+func (c *Controller) Snapshot(enc *ckpt.Encoder, idOf func(event.Handler) (uint32, bool)) error {
+	for _, s := range c.slots {
+		if s != nil {
+			return fmt.Errorf("dram: in-flight closure-path delivery is not checkpointable")
+		}
+	}
+	enc.Section("dram.Controller")
+	if err := snapshotQueue(enc, &c.hi, idOf); err != nil {
+		return err
+	}
+	if err := snapshotQueue(enc, &c.lo, idOf); err != nil {
+		return err
+	}
+	enc.U64(c.busyUntil)
+	enc.Bool(c.drain)
+	for _, a := range c.traffic.Accesses {
+		enc.U64(a)
+	}
+	enc.U64(c.busyCycles)
+	enc.U64(c.queueDelay)
+	enc.U64(c.servedCount)
+	enc.U64(c.createdCycle)
+	return nil
+}
+
+// Restore rebuilds the controller from a Snapshot. The controller must
+// be freshly constructed on the restored engine; the pending drain
+// event (when drain is set) is restored by the event engine itself.
+func (c *Controller) Restore(dec *ckpt.Decoder, handlerOf func(uint32) (event.Handler, bool)) error {
+	if c.hi.n != 0 || c.lo.n != 0 {
+		return fmt.Errorf("dram: restore into non-empty controller")
+	}
+	dec.Section("dram.Controller")
+	if err := restoreQueue(dec, &c.hi, handlerOf); err != nil {
+		return err
+	}
+	if err := restoreQueue(dec, &c.lo, handlerOf); err != nil {
+		return err
+	}
+	c.busyUntil = dec.U64()
+	c.drain = dec.Bool()
+	for i := range c.traffic.Accesses {
+		c.traffic.Accesses[i] = dec.U64()
+	}
+	c.busyCycles = dec.U64()
+	c.queueDelay = dec.U64()
+	c.servedCount = dec.U64()
+	c.createdCycle = dec.U64()
+	return dec.Err()
+}

@@ -11,12 +11,15 @@ package lab
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"stms/internal/ckpt"
 	"stms/internal/dist"
 )
 
@@ -173,6 +176,240 @@ func TestChaosFallbackStillExact(t *testing.T) {
 	}
 	if len(notes) == 0 || !strings.Contains(notes[0], "degraded to local") {
 		t.Fatalf("fallback notes = %q, want explicit degradation", notes)
+	}
+}
+
+// ckptWorkers starts n store-backed, checkpointing workers with NO
+// peer wiring, so the coordinator's GET/PUT /ckpts exchange is the
+// only way a checkpoint can move between them.
+func ckptWorkers(t *testing.T, n int, every uint64) ([]string, []*dist.Server) {
+	t.Helper()
+	servers := make([]*dist.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		servers[i] = dist.NewServer(dist.ServerConfig{
+			Name:            fmt.Sprintf("ckpt-w%d", i),
+			Store:           dist.NewStore(1<<30, ""),
+			CheckpointEvery: every,
+		})
+		ts := httptest.NewServer(servers[i])
+		urls[i] = ts.URL
+		t.Cleanup(ts.Close)
+	}
+	return urls, servers
+}
+
+func TestChaosKillResumeFromExchangedCheckpoint(t *testing.T) {
+	// A worker dies mid-job (its event stream stalls until the detector
+	// kills the attempt). The job checkpointed to that worker's store
+	// before dying, the workers share no peers — so the only way the
+	// retry can run warm is the coordinator exchange: GET the dead
+	// worker's latest checkpoint, PUT it to the next-ranked worker, and
+	// that attempt resumes mid-run. The recovery must be visible in the
+	// counters and invisible in the results.
+	urls, _ := ckptWorkers(t, 2, 500)
+	workloads := []string{"sci-em3d"}
+
+	in := dist.NewInjector(42, dist.BaseTransport(dist.Timeouts{}),
+		dist.FaultRule{Kind: dist.FaultStall, Path: "/jobs", From: 0, Until: 1, After: 20},
+	)
+	// A wider stall window than fastResilience's: under -race a healthy
+	// cell can legitimately go quiet for a few hundred ms, and a
+	// spurious abort would break the exact counters below.
+	res := fastResilience()
+	res.Stall = time.Second
+	var notes []string
+	chaos := testLab(t,
+		WithWorkers(urls),
+		WithParallelism(1),
+		WithResilience(res),
+		WithWorkerTransport(in),
+		WithProgress(func(ev ResultEvent) {
+			if ev.Note != "" {
+				notes = append(notes, ev.Note)
+			}
+		}),
+	)
+	cm, err := chaos.Run(context.Background(), chaos.Plan(workloads, remotePrefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := testLab(t)
+	lm, err := local.Run(context.Background(), local.Plan(workloads, remotePrefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The headline claim: the export is byte-identical to a purely local
+	// run — resuming mid-cell changed where the records were simulated,
+	// never what they computed.
+	for i := range cm.Cells {
+		cm.Cells[i].Wall = 0
+		lm.Cells[i].Wall = 0
+	}
+	var cj, lj bytes.Buffer
+	if err := cm.WriteJSON(&cj); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.WriteJSON(&lj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cj.Bytes(), lj.Bytes()) {
+		t.Fatalf("kill-resume export differs from local:\nchaos %s\nlocal %s", cj.Bytes(), lj.Bytes())
+	}
+
+	rs := chaos.RemoteStats()
+	if int(rs.RemoteCells) != len(cm.Cells) || rs.LocalCells != 0 {
+		t.Fatalf("dispatch stats = %+v, want all %d cells remote", rs, len(cm.Cells))
+	}
+	if rs.StallAborts != 1 || rs.Retries != 1 {
+		t.Errorf("stalls = %d, retries = %d, want exactly 1 each", rs.StallAborts, rs.Retries)
+	}
+	if rs.CkptResumes != 1 {
+		t.Errorf("checkpoint resumes = %d, want exactly 1 (the killed cell's retry)", rs.CkptResumes)
+	}
+	if rs.CkptFetches == 0 {
+		t.Error("no checkpoint crossed GET /ckpts — the exchange never happened")
+	}
+	if rs.CkptWrites == 0 || rs.CkptBytes == 0 {
+		t.Errorf("checkpoint writes = %d bytes = %d, want checkpointing workers to report both", rs.CkptWrites, rs.CkptBytes)
+	}
+	if rs.ResumeWall <= 0 {
+		t.Errorf("resume wall = %v, want the resumed run's simulation time accounted", rs.ResumeWall)
+	}
+	if !strings.Contains(strings.Join(notes, "\n"), "resumed from the exchanged checkpoint") {
+		t.Fatalf("notes never mention the checkpoint resume: %q", notes)
+	}
+}
+
+func TestChaosCorruptCheckpointFallsBackCold(t *testing.T) {
+	// A checkpoint whose container seals cleanly but whose payload is
+	// garbage sits in the worker's store under exactly the cell's
+	// address. The worker must discard it and run from scratch — a
+	// corrupt checkpoint can cost a cold start, never wrong results.
+	urls, servers := ckptWorkers(t, 1, 500)
+	workloads := []string{"sci-em3d"}
+	prefs := remotePrefs[2:] // the STMS variant: the most checkpoint state to corrupt
+
+	// Default resilience: nothing here should stall, retry, or resume —
+	// a short stall window under -race could make the healthy run
+	// spuriously retry (and genuinely resume), clouding the assertions.
+	chaos := testLab(t, WithWorkers(urls))
+	plan := chaos.Plan(workloads, prefs)
+	if len(plan.Cells) != 1 {
+		t.Fatalf("plan has %d cells, want 1", len(plan.Cells))
+	}
+	job, err := jobFromCell(&plan.Cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptKey, err := job.CkptKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := servers[0].Store().PutCkpt(ckptKey, ckpt.Seal([]byte("sealed nonsense"))); err != nil {
+		t.Fatal(err)
+	}
+
+	cm, err := chaos.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := testLab(t)
+	lm, err := local.Run(context.Background(), local.Plan(workloads, prefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cm.Cells[0].Res, lm.Cells[0].Res) {
+		t.Fatal("result after corrupt-checkpoint fallback differs from local — the garbage restored")
+	}
+	rs := chaos.RemoteStats()
+	if rs.CkptResumes != 0 {
+		t.Fatalf("checkpoint resumes = %d, want 0 (the corrupt checkpoint must not resume)", rs.CkptResumes)
+	}
+	if int(rs.RemoteCells) != 1 || rs.Retries != 0 {
+		t.Fatalf("dispatch stats = %+v, want one clean remote cell", rs)
+	}
+}
+
+func TestManifestPartialCellResumesAcrossSessions(t *testing.T) {
+	// A coordinator that died mid-cell left two artifacts: a partial
+	// entry in its manifest (the cell's checkpoint address) and the
+	// checkpoint itself in a worker's store. A restarted session on the
+	// same manifest must sweep the ranking for that checkpoint before
+	// the first attempt and resume the partial cell instead of starting
+	// it over.
+	urls, servers := ckptWorkers(t, 2, 500)
+	path := filepath.Join(t.TempDir(), "run.manifest")
+	workloads := []string{"sci-em3d"}
+	prefs := remotePrefs[2:]
+
+	// Default resilience throughout: no faults are injected here, and
+	// fastResilience's 300ms stall window can spuriously abort a healthy
+	// run under -race, perturbing the exact resume counters.
+	seed := testLab(t, WithWorkers(urls), WithManifest(path))
+	plan := seed.Plan(workloads, prefs)
+	job, err := jobFromCell(&plan.Cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptKey, err := job.CkptKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manufacture the dead session's leavings: a genuine mid-run
+	// checkpoint parked on a worker, and the manifest recording it.
+	var snap []byte
+	if _, _, _, err := dist.ExecuteJob(context.Background(), job, dist.NewStore(1<<30, ""), nil, nil, &dist.ExecOptions{
+		Every: 500,
+		Sink:  func(data []byte) error { snap = append([]byte(nil), data...); return nil },
+		Stop:  make(chan struct{}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no checkpoint harvested")
+	}
+	for _, s := range servers {
+		if err := s.Store().PutCkpt(ckptKey, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.recordPartial(cellKey(&plan.Cells[0]), ckptKey)
+
+	// The restarted session: the proactive sweep fetches the checkpoint
+	// and the first attempt resumes.
+	resumed := testLab(t, WithWorkers(urls), WithManifest(path))
+	if got := resumed.partialCkpt(cellKey(&plan.Cells[0])); got != ckptKey {
+		t.Fatalf("restarted session loaded partial %q, want %q", got, ckptKey)
+	}
+	rm, err := resumed.Run(context.Background(), resumed.Plan(workloads, prefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := resumed.RemoteStats()
+	if rs.CkptResumes != 1 || rs.CkptFetches == 0 {
+		t.Fatalf("dispatch stats = %+v, want the partial cell fetched and resumed", rs)
+	}
+
+	local := testLab(t)
+	lm, err := local.Run(context.Background(), local.Plan(workloads, prefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rm.Cells[0].Res, lm.Cells[0].Res) {
+		t.Fatal("partial-cell resume differs from an uninterrupted local run")
+	}
+
+	// Completion supersedes the partial: a third session neither resumes
+	// nor re-runs the cell.
+	third := testLab(t, WithWorkers(urls), WithManifest(path))
+	if got := third.partialCkpt(cellKey(&plan.Cells[0])); got != "" {
+		t.Fatalf("completed cell still partial (%q) in a fresh session", got)
+	}
+	if got := third.MemoSize(); got != 1 {
+		t.Fatalf("third session preloaded %d cells, want 1", got)
 	}
 }
 

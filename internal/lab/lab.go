@@ -41,10 +41,11 @@ type Lab struct {
 	par     int
 	onEvent func(ResultEvent)
 
-	mu    sync.Mutex
-	memo  map[string]*sim.Results
-	tapes *dist.Store // nil = tape caching disabled (live generation)
-	simNS int64       // cumulative cell simulation time, excluding tape access
+	mu       sync.Mutex
+	memo     map[string]*sim.Results
+	partials map[string]string // cellKey → checkpoint address of a partial cell
+	tapes    *dist.Store       // nil = tape caching disabled (live generation)
+	simNS    int64             // cumulative cell simulation time, excluding tape access
 
 	tapeBytes    int64  // resolved WithTapeCache budget
 	tapeDir      string // resolved WithTapeDir directory
@@ -68,6 +69,7 @@ func New(opts ...Option) (*Lab, error) {
 		base:      sim.DefaultConfig(),
 		par:       runtime.NumCPU(),
 		memo:      make(map[string]*sim.Results),
+		partials:  make(map[string]string),
 		tapeBytes: defaultTapeCacheBytes,
 	}
 	for _, opt := range opts {
@@ -88,7 +90,7 @@ func New(opts ...Option) (*Lab, error) {
 		l.remote = newRemotePool(l.workerURLs, l.resilience, l.workerToken, l.workerRT)
 	}
 	if l.manifestPath != "" {
-		m, err := openManifest(l.manifestPath, l.memo)
+		m, err := openManifest(l.manifestPath, l.memo, l.partials)
 		if err != nil {
 			return nil, err
 		}
@@ -244,9 +246,12 @@ func WithWorkerTransport(rt http.RoundTripper) Option {
 // to the versioned JSON-lines manifest at path, and a new session
 // given the same path preloads those results into its memo — so
 // restarting a killed coordinator skips every finished cell and
-// completes the matrix instead of re-running it. Results round-trip
-// the manifest losslessly; a resumed matrix is bit-identical to an
-// uninterrupted one.
+// completes the matrix instead of re-running it. Coordinator sessions
+// also record the checkpoint address of any cell whose worker died
+// mid-run, so the restarted session fetches that checkpoint and
+// resumes the partial cell instead of starting it over. Results
+// round-trip the manifest losslessly; a resumed matrix is
+// bit-identical to an uninterrupted one.
 func WithManifest(path string) Option {
 	return func(l *Lab) error {
 		if path == "" {
@@ -314,8 +319,31 @@ func (l *Lab) store(key string, r *sim.Results) {
 	l.mu.Lock()
 	fresh := l.memo[key] == nil
 	l.memo[key] = r
+	delete(l.partials, key) // completed supersedes partial
 	l.mu.Unlock()
 	if fresh && l.manifest != nil {
 		l.manifest.append(key, r)
+	}
+}
+
+// partialCkpt returns the checkpoint address recorded for a cell by a
+// prior (interrupted) session, or "".
+func (l *Lab) partialCkpt(key string) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.partials[key]
+}
+
+// recordPartial remembers — in memory and in the manifest — that a
+// checkpoint for the cell exists at the given address, so a restarted
+// coordinator resumes the cell instead of starting it over. Duplicate
+// records for the same (cell, address) pair are suppressed.
+func (l *Lab) recordPartial(key, ckptKey string) {
+	l.mu.Lock()
+	dup := l.partials[key] == ckptKey
+	l.partials[key] = ckptKey
+	l.mu.Unlock()
+	if !dup && l.manifest != nil {
+		l.manifest.appendPartial(key, ckptKey)
 	}
 }

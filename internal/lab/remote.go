@@ -30,6 +30,7 @@ package lab
 // bit-identical to an in-process run, however unkind the network was.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -106,6 +107,12 @@ type RemoteStats struct {
 	BreakerTrips uint64 // circuit breakers tripped open (fresh trips and failed probes)
 	StallAborts  uint64 // event streams aborted by the stall detector
 	BackoffWaits uint64 // backoff sleeps between retry rounds
+
+	CkptResumes uint64        // cells that resumed from a checkpoint (remote or degraded-local)
+	CkptFetches uint64        // checkpoints fetched from workers over GET /ckpts
+	CkptWrites  uint64        // checkpoints written by workers for this session's cells
+	CkptBytes   uint64        // total sealed bytes of those checkpoints
+	ResumeWall  time.Duration // worker-measured simulation wall spent in resumed runs
 }
 
 // RemoteStats returns a snapshot of the session's remote dispatch
@@ -258,6 +265,20 @@ func (a *attemptLog) String() string {
 		fmt.Sprintf("; (+%d more attempts)", len(a.entries)-max)
 }
 
+// ckptMatchesJob is the coordinator's identity check on a fetched
+// checkpoint: mode, full config, and the complete prefetcher spec
+// (JSON-compared — Kind alone would let a checkpoint from a different
+// sampling probability restore cleanly into wrong results). The trace
+// identity is re-validated by whichever side actually resumes.
+func ckptMatchesJob(d sim.CheckpointDesc, job *dist.Job) bool {
+	if d.Mode != job.Mode || d.Cfg != job.Config {
+		return false
+	}
+	a, err1 := json.Marshal(d.PS)
+	b, err2 := json.Marshal(job.Pref)
+	return err1 == nil && err2 == nil && bytes.Equal(a, b)
+}
+
 // run executes one cell remotely. It makes up to Resilience.RetryRounds
 // passes over the affinity ranking, backing off between passes, gating
 // each attempt through the worker's circuit breaker, and falling back
@@ -265,6 +286,15 @@ func (a *attemptLog) String() string {
 // is the cell's non-simulation overhead (coordinator wall minus the
 // worker-measured simulation time, or tape wait when local); the
 // returned note records any degradation.
+//
+// Failures cost the tail of the cell, not the cell: after a transport
+// failure the coordinator fetches the dead attempt's latest checkpoint
+// from that worker's store (GET /ckpts), pushes it to the next worker
+// it tries (PUT /ckpts), and the retry resumes mid-run. The
+// degrade-to-local path resumes from the same exchanged checkpoint.
+// Checkpoints are validated at every hop and discarded on any
+// mismatch — a bad checkpoint can cost a cold restart, never a wrong
+// result.
 func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, time.Duration, string, error) {
 	start := time.Now()
 	job, err := jobFromCell(cell)
@@ -277,6 +307,51 @@ func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, 
 	}
 	ranking := p.rank(key)
 	var log attemptLog
+
+	// held is the freshest valid checkpoint the coordinator has
+	// exchanged for this cell; adopt validates and keeps the best.
+	ckptKey, err := job.CkptKey()
+	if err != nil {
+		return sim.Results{}, 0, "", err
+	}
+	ck := cellKey(cell)
+	var held []byte
+	var heldRecs uint64
+	adopt := func(data []byte) bool {
+		d, perr := sim.PeekCheckpoint(data)
+		if perr != nil || !ckptMatchesJob(d, job) {
+			return false
+		}
+		if held != nil && d.Records <= heldRecs {
+			return false
+		}
+		held, heldRecs = data, d.Records
+		l.recordPartial(ck, ckptKey)
+		return true
+	}
+	fetchCkpt := func(c *dist.Client) bool {
+		fctx, cancel := context.WithTimeout(ctx, p.res.ProbeTimeout)
+		data, ferr := c.FetchCkpt(fctx, ckptKey)
+		cancel()
+		if ferr != nil || !adopt(data) {
+			return false
+		}
+		p.count(func(s *RemoteStats) { s.CkptFetches++ })
+		return true
+	}
+
+	// A prior session's manifest recorded a checkpoint for this cell:
+	// sweep the ranking for it before the first attempt, so the
+	// restarted coordinator resumes the partial cell instead of
+	// starting it over.
+	if pk := l.partialCkpt(ck); pk == ckptKey {
+		for _, c := range ranking {
+			if ctx.Err() != nil || fetchCkpt(c) {
+				break
+			}
+		}
+	}
+
 	for round := 0; round < p.res.RetryRounds; round++ {
 		if round > 0 {
 			d := p.backoff(key, round)
@@ -308,6 +383,14 @@ func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, 
 				}
 				b.Success()
 			}
+			if held != nil {
+				// Best-effort: park the exchanged checkpoint in this
+				// worker's store so the job it is about to run resumes
+				// from it instead of starting cold.
+				pctx, cancel := context.WithTimeout(ctx, p.res.ProbeTimeout)
+				c.PushCkpt(pctx, ckptKey, held)
+				cancel()
+			}
 			r, err := c.RunJob(ctx, job, nil)
 			if err == nil {
 				b.Success()
@@ -319,6 +402,12 @@ func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, 
 					case dist.TapeBuilt:
 						s.TapeBuilds++
 					}
+					s.CkptWrites += r.CkptWrites
+					s.CkptBytes += r.CkptBytes
+					if r.Resumed {
+						s.CkptResumes++
+						s.ResumeWall += time.Duration(r.WallMS * float64(time.Millisecond))
+					}
 				})
 				// Satellite accounting fix: the worker measured its own
 				// simulation time (Result.WallMS); everything else the
@@ -329,9 +418,15 @@ func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, 
 					overhead = 0
 				}
 				note := ""
-				if len(log.entries) > 0 {
+				switch {
+				case len(log.entries) > 0 && r.Resumed:
+					note = fmt.Sprintf("recovered on %s (resumed from the exchanged checkpoint) after %d failed attempts: %s",
+						c.URL(), len(log.entries), log.String())
+				case len(log.entries) > 0:
 					note = fmt.Sprintf("recovered on %s after %d failed attempts: %s",
 						c.URL(), len(log.entries), log.String())
+				case r.Resumed:
+					note = fmt.Sprintf("resumed from checkpoint on %s", c.URL())
 				}
 				return r.Res, overhead, note, nil
 			}
@@ -351,11 +446,43 @@ func (p *remotePool) run(ctx context.Context, l *Lab, cell *Cell) (sim.Results, 
 				p.count(func(s *RemoteStats) { s.BreakerTrips++ })
 			}
 			log.add("%s: %v", c.URL(), err)
+			// The attempt died mid-job, but the worker's store may hold
+			// the checkpoints the run wrote before it did — fetch the
+			// latest so the next attempt (or the local fallback) costs
+			// only the tail of the cell.
+			if fetchCkpt(c) {
+				log.add("fetched its checkpoint (%d records in)", heldRecs)
+			}
 		}
 	}
 	// Every attempt failed (or the pool is empty): degrade to in-process
 	// execution rather than failing the matrix — loudly, via the note.
+	// One final sweep may still recover a checkpoint from a worker that
+	// cannot run jobs but still serves its store.
+	if held == nil {
+		for _, c := range ranking {
+			if ctx.Err() != nil || fetchCkpt(c) {
+				break
+			}
+		}
+	}
 	p.count(func(s *RemoteStats) { s.LocalCells++ })
+	if held != nil {
+		res, _, resumed, rerr := dist.ExecuteJob(ctx, job, l.tapes, nil, nil, &dist.ExecOptions{Resume: held})
+		if rerr == nil {
+			if resumed {
+				p.count(func(s *RemoteStats) { s.CkptResumes++ })
+			}
+			note := fmt.Sprintf("degraded to local after %d failed remote attempts", len(log.entries))
+			if resumed {
+				note += fmt.Sprintf(", resumed from the exchanged checkpoint (%d records in)", heldRecs)
+			}
+			if len(log.entries) > 0 {
+				note += ": " + log.String()
+			}
+			return res, 0, note, nil
+		}
+	}
 	note := ""
 	if len(log.entries) > 0 {
 		note = fmt.Sprintf("degraded to local after %d failed remote attempts: %s",

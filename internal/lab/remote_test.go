@@ -268,6 +268,60 @@ func TestManifestToleratesTornTail(t *testing.T) {
 	}
 }
 
+func TestManifestRepairSurvivesLostDirent(t *testing.T) {
+	// The crash window DESIGN.md §11 used to gloss over: a repair's
+	// rename can survive the file but not the dirent — the machine dies
+	// after the temp file's data is durable but before the directory
+	// update is. Recovery then sees the PRE-repair manifest (torn tail
+	// and all) plus a stale .manifest-repair-* temp holding the repaired
+	// prefix. The next open must redo the repair from the old file and
+	// treat the stale temp as inert; repair now fsyncs the directory so
+	// the window cannot recur on the redo.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.manifest")
+	l1 := testLab(t, WithManifest(path))
+	if _, err := l1.Run(context.Background(), l1.Plan([]string{"sci-em3d"}, remotePrefs)); err != nil {
+		t.Fatal(err)
+	}
+
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stale temp: the repaired prefix a dead session wrote and
+	// fsync'd, whose rename's dirent never became durable.
+	stale := filepath.Join(dir, ".manifest-repair-1234567")
+	if err := os.WriteFile(stale, intact, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// The manifest itself still shows the pre-repair state: a torn tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"lab-cell-torn","ckpt":"deadbe`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := testLab(t, WithManifest(path))
+	if got := l2.MemoSize(); got != len(remotePrefs) {
+		t.Fatalf("recovered manifest preloaded %d cells, want %d", got, len(remotePrefs))
+	}
+	// The redo repaired the file back to its valid prefix, and appends
+	// land cleanly after it.
+	if _, err := l2.Run(context.Background(), l2.Plan([]string{"oltp-db2"}, remotePrefs)); err != nil {
+		t.Fatal(err)
+	}
+	l3 := testLab(t, WithManifest(path))
+	if got := l3.MemoSize(); got != 2*len(remotePrefs) {
+		t.Fatalf("after redo and rerun, %d cells preloaded, want %d", got, 2*len(remotePrefs))
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Fatalf("stale repair temp: %v, want it left alone (inert, never adopted)", err)
+	}
+}
+
 func TestManifestRejectsWrongVersion(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.manifest")
 	if err := os.WriteFile(path, []byte(`{"stms_manifest":99}`+"\n"), 0o644); err != nil {

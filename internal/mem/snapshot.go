@@ -1,0 +1,37 @@
+package mem
+
+import (
+	"fmt"
+
+	"stms/internal/ckpt"
+)
+
+// Snapshot serializes the map's raw table — keys, values, population —
+// so Restore reproduces the exact probe layout (slot assignment affects
+// nothing observable, but verbatim restoration makes bit-identity a
+// non-question).
+func (m *BlockMap) Snapshot(enc *ckpt.Encoder) {
+	enc.Section("mem.BlockMap")
+	enc.U64s(m.keys)
+	enc.I32s(m.vals)
+	enc.Int(m.n)
+}
+
+// Restore rebuilds the map from a Snapshot.
+func (m *BlockMap) Restore(dec *ckpt.Decoder) error {
+	dec.Section("mem.BlockMap")
+	keys := dec.U64s()
+	vals := dec.I32s()
+	n := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(keys) == 0 || len(keys)&(len(keys)-1) != 0 || len(keys) != len(vals) {
+		return fmt.Errorf("mem: corrupt BlockMap snapshot (%d keys, %d vals)", len(keys), len(vals))
+	}
+	m.keys = keys
+	m.vals = vals
+	m.n = n
+	m.mask = uint64(len(keys) - 1)
+	return nil
+}

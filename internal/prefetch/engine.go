@@ -370,6 +370,12 @@ func (e *Engine) refill(core int) {
 	}
 	st.readBusy = true
 	op := e.getReadOp(core, st.curSeq)
+	if t, ok := e.meta.(ReadTagger); ok {
+		// Announce the issuing core and stream generation so a backend
+		// that parks this read as a pending record can checkpoint and
+		// later re-mint its completion (ReadDoneFor).
+		t.SetNextRead(core, st.curSeq)
+	}
 	e.meta.ReadNext(&st.cur, want, op.done)
 }
 

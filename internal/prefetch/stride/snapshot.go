@@ -1,0 +1,64 @@
+package stride
+
+import (
+	"fmt"
+
+	"stms/internal/ckpt"
+)
+
+// Snapshot serializes the detector's table, clock and counters.
+func (p *Prefetcher) Snapshot(enc *ckpt.Encoder) {
+	enc.Section("stride.Prefetcher")
+	enc.Int(len(p.entries))
+	for i := range p.entries {
+		e := &p.entries[i]
+		enc.U32(e.pc)
+		enc.U64(e.lastBlk)
+		enc.I64(e.stride)
+		enc.Int(e.conf)
+		enc.U64(e.lastUse)
+		enc.Bool(e.valid)
+		enc.U64(e.nextEmit)
+	}
+	enc.U32s(p.pcs)
+	enc.U64(p.tick)
+	enc.U64(p.stats.Observations)
+	enc.U64(p.stats.Trained)
+	enc.U64(p.stats.Emitted)
+}
+
+// Restore rebuilds the detector from a Snapshot taken on an identically
+// configured detector.
+func (p *Prefetcher) Restore(dec *ckpt.Decoder) error {
+	dec.Section("stride.Prefetcher")
+	n := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(p.entries) {
+		return fmt.Errorf("stride: snapshot has %d entries, want %d", n, len(p.entries))
+	}
+	for i := range p.entries {
+		e := &p.entries[i]
+		e.pc = dec.U32()
+		e.lastBlk = dec.U64()
+		e.stride = dec.I64()
+		e.conf = dec.Int()
+		e.lastUse = dec.U64()
+		e.valid = dec.Bool()
+		e.nextEmit = dec.U64()
+	}
+	pcs := dec.U32s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(pcs) != len(p.pcs) {
+		return fmt.Errorf("stride: corrupt snapshot pcs")
+	}
+	p.pcs = pcs
+	p.tick = dec.U64()
+	p.stats.Observations = dec.U64()
+	p.stats.Trained = dec.U64()
+	p.stats.Emitted = dec.U64()
+	return dec.Err()
+}

@@ -57,6 +57,20 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// State returns the generator's 256-bit internal state, for
+// checkpointing. Restoring it with SetState resumes the exact sequence.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state (checkpoint
+// restore). An all-zero state is degenerate and rejected the same way
+// New guards it.
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64-bit value.

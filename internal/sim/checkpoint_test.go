@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"stms/internal/core"
+	"stms/internal/trace"
+)
+
+// ckptConfig is a deliberately small configuration so the full
+// workload × scenario × cadence sweep stays fast. Warm and measure
+// windows are sized so checkpoints land on both sides of the warm
+// boundary.
+func ckptConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.0625
+	cfg.WarmRecords = 4_000
+	cfg.MeasureRecords = 6_000
+	return cfg
+}
+
+// ckptCadences exercises three checkpoint spacings: 1003 lands inside
+// decoded frames (FrameCap is 1024) and inside every scenario phase,
+// 4096 aligns with the poll stride, and 15000 crosses the warm
+// boundary with only a couple of checkpoints per run.
+var ckptCadences = []uint64{1003, 4096, 15000}
+
+// runFn abstracts one run shape so the round-trip property can be
+// checked uniformly across drivers and sources.
+type runFn func(opts ...RunOption) (Results, error)
+
+// checkRoundTrip proves the two checkpoint invariants for one run:
+// (1) a checkpointing run is bit-identical to a non-checkpointing run
+// (snapshots are pure observation), and (2) resuming from any captured
+// checkpoint — a simulated kill at that exact boundary — reproduces
+// the uninterrupted run bit-for-bit. Checkpoints resume through
+// ResumeFromBytes, so the descriptor round-trip is covered too.
+func checkRoundTrip(t *testing.T, run runFn, every uint64) {
+	t.Helper()
+	base, err := run()
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	var ckpts [][]byte
+	observed, err := run(WithCheckpointFunc(every, func(data []byte) error {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		ckpts = append(ckpts, cp)
+		return nil
+	}))
+	if err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	if !reflect.DeepEqual(base, observed) {
+		t.Fatalf("checkpointing perturbed the run:\nbase %+v\nckpt %+v", base, observed)
+	}
+	if len(ckpts) == 0 {
+		t.Fatalf("no checkpoints captured at cadence %d", every)
+	}
+	for _, k := range sampleIndices(len(ckpts)) {
+		resumed, err := ResumeFromBytes(context.Background(), ckpts[k], nil)
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d/%d: %v", k, len(ckpts), err)
+		}
+		if !reflect.DeepEqual(base, resumed) {
+			t.Fatalf("resume from checkpoint %d/%d diverged:\nbase    %+v\nresumed %+v", k, len(ckpts), base, resumed)
+		}
+	}
+}
+
+// sampleIndices picks the first, middle, and last checkpoint so every
+// run validates an early kill, a mid-run kill, and a late kill without
+// re-running the simulation dozens of times.
+func sampleIndices(n int) []int {
+	switch n {
+	case 1:
+		return []int{0}
+	case 2:
+		return []int{0, 1}
+	}
+	return []int{0, n / 2, n - 1}
+}
+
+// ckptVariants cycles the checkpointable prefetcher variants across
+// the sweep so each is exercised against several workloads without
+// multiplying the matrix.
+var ckptVariants = []PrefSpec{{Kind: STMS}, {Kind: Ideal}, {Kind: None}}
+
+func TestCheckpointResumeWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep")
+	}
+	cfg := ckptConfig()
+	for i, spec := range trace.Specs() {
+		spec := spec
+		ps := ckptVariants[i%len(ckptVariants)]
+		every := ckptCadences[i%len(ckptCadences)]
+		t.Run(spec.Name+"/timed", func(t *testing.T) {
+			t.Parallel()
+			checkRoundTrip(t, func(opts ...RunOption) (Results, error) {
+				return RunTimedCtx(context.Background(), cfg, spec, ps, nil, opts...)
+			}, every)
+		})
+		t.Run(spec.Name+"/functional", func(t *testing.T) {
+			t.Parallel()
+			checkRoundTrip(t, func(opts ...RunOption) (Results, error) {
+				return RunFunctionalCtx(context.Background(), cfg, spec, ps, nil, opts...)
+			}, ckptCadences[(i+1)%len(ckptCadences)])
+		})
+	}
+}
+
+func TestCheckpointResumeScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario sweep")
+	}
+	cfg := ckptConfig()
+	for i, scn := range trace.Scenarios() {
+		scn := scn
+		ps := ckptVariants[i%len(ckptVariants)]
+		every := ckptCadences[i%len(ckptCadences)]
+		if i%2 == 0 {
+			t.Run(scn.Name+"/timed", func(t *testing.T) {
+				t.Parallel()
+				checkRoundTrip(t, func(opts ...RunOption) (Results, error) {
+					return RunTimedScenarioCtx(context.Background(), cfg, scn, ps, nil, opts...)
+				}, every)
+			})
+		} else {
+			t.Run(scn.Name+"/functional", func(t *testing.T) {
+				t.Parallel()
+				checkRoundTrip(t, func(opts ...RunOption) (Results, error) {
+					return RunFunctionalScenarioCtx(context.Background(), cfg, scn, ps, nil, opts...)
+				}, every)
+			})
+		}
+	}
+}
+
+// TestCheckpointAllCadences pins one workload through every cadence on
+// both drivers, including a cadence that lands inside a decoded frame
+// and one inside a scenario phase.
+func TestCheckpointAllCadences(t *testing.T) {
+	cfg := ckptConfig()
+	sp := spec(t, "oltp-db2")
+	for _, every := range ckptCadences {
+		every := every
+		t.Run("timed", func(t *testing.T) {
+			checkRoundTrip(t, func(opts ...RunOption) (Results, error) {
+				return RunTimedCtx(context.Background(), cfg, sp, PrefSpec{Kind: STMS}, nil, opts...)
+			}, every)
+		})
+		t.Run("functional", func(t *testing.T) {
+			checkRoundTrip(t, func(opts ...RunOption) (Results, error) {
+				return RunFunctionalCtx(context.Background(), cfg, sp, PrefSpec{Kind: STMS}, nil, opts...)
+			}, every)
+		})
+	}
+}
+
+// TestCheckpointHaltAndFileResume simulates the scripted kill: run with
+// a file destination and a halt after the second checkpoint, then
+// resume from the file and compare against the uninterrupted run.
+func TestCheckpointHaltAndFileResume(t *testing.T) {
+	cfg := ckptConfig()
+	sp := spec(t, "web-apache")
+	ps := PrefSpec{Kind: STMS}
+	base, err := RunTimedCtx(context.Background(), cfg, sp, ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.stmsckpt")
+	_, err = RunTimedCtx(context.Background(), cfg, sp, ps, nil,
+		WithCheckpointEvery(5000, path), WithCheckpointHalt(2))
+	if !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("want ErrCheckpointed, got %v", err)
+	}
+	resumed, err := ResumeFrom(path)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(base, resumed) {
+		t.Fatalf("killed-and-resumed run diverged:\nbase    %+v\nresumed %+v", base, resumed)
+	}
+}
+
+// TestCheckpointSignal covers the graceful-shutdown path: a closed
+// signal channel flushes a final checkpoint and halts; the checkpoint
+// resumes to the uninterrupted result.
+func TestCheckpointSignal(t *testing.T) {
+	cfg := ckptConfig()
+	sp := spec(t, "dss-qry17")
+	ps := PrefSpec{Kind: Ideal}
+	base, err := RunTimedCtx(context.Background(), cfg, sp, ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sig.stmsckpt")
+	ch := make(chan struct{})
+	close(ch)
+	_, err = RunTimedCtx(context.Background(), cfg, sp, ps, nil,
+		WithCheckpointEvery(0, path), WithCheckpointSignal(ch))
+	if !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("want ErrCheckpointed, got %v", err)
+	}
+	resumed, err := ResumeFrom(path)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(base, resumed) {
+		t.Fatalf("signal-checkpointed run diverged")
+	}
+}
+
+// TestCheckpointTapeResume proves tape-backed runs checkpoint and
+// resume through ResumeTape with the caller-supplied tape.
+func TestCheckpointTapeResume(t *testing.T) {
+	cfg := ckptConfig()
+	sp := spec(t, "oltp-oracle")
+	ps := PrefSpec{Kind: STMS}
+	total := cfg.WarmRecords + cfg.MeasureRecords
+	tape := trace.NewTape(sp.Scaled(cfg.Scale), cfg.Seed, cfg.Cores, total)
+	base, err := RunTimedTapeCtx(context.Background(), cfg, tape, ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts [][]byte
+	observed, err := RunTimedTapeCtx(context.Background(), cfg, tape, ps, nil,
+		WithCheckpointFunc(7000, func(data []byte) error {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			ckpts = append(ckpts, cp)
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, observed) {
+		t.Fatalf("checkpointing perturbed the tape run")
+	}
+	if len(ckpts) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	for _, k := range sampleIndices(len(ckpts)) {
+		resumed, err := ResumeTape(context.Background(), ckpts[k], tape, nil)
+		if err != nil {
+			t.Fatalf("resume %d: %v", k, err)
+		}
+		if !reflect.DeepEqual(base, resumed) {
+			t.Fatalf("tape resume %d diverged", k)
+		}
+	}
+	// A tape-backed checkpoint refuses the tapeless resume path.
+	if _, err := ResumeFromBytes(context.Background(), ckpts[0], nil); err == nil {
+		t.Fatal("ResumeFromBytes accepted a tape-backed checkpoint")
+	}
+}
+
+// TestCheckpointRefusals: unsupported configurations error out up
+// front instead of producing unrestorable checkpoints.
+func TestCheckpointRefusals(t *testing.T) {
+	cfg := ckptConfig()
+	sp := spec(t, "web-apache")
+	sink := WithCheckpointFunc(1000, func([]byte) error { return nil })
+
+	if _, err := RunTimedCtx(context.Background(), cfg, sp, PrefSpec{Kind: TSE}, nil, sink); err == nil {
+		t.Fatal("TSE run accepted a checkpoint request")
+	}
+	scfg := core.DefaultConfig(cfg.Cores).Scaled(cfg.Scale)
+	scfg.Org = core.OrgDirectMapped
+	if _, err := RunTimedCtx(context.Background(), cfg, sp, PrefSpec{Kind: STMS, STMSCfg: &scfg}, nil, sink); err == nil {
+		t.Fatal("alternative index organization accepted a checkpoint request")
+	}
+	gens := make([]trace.Generator, cfg.Cores)
+	lib := trace.NewLibrary(sp.Scaled(cfg.Scale), cfg.Seed)
+	for i := range gens {
+		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: 1000}
+	}
+	if _, err := RunTimedTraceCtx(context.Background(), cfg, "ext", gens, 0, PrefSpec{Kind: None}, nil, sink); err == nil {
+		t.Fatal("external-generator run accepted a checkpoint request")
+	}
+}
+
+// TestCheckpointCorruptFile: a torn or bit-flipped checkpoint is
+// rejected at open, never partially restored.
+func TestCheckpointCorruptFile(t *testing.T) {
+	cfg := ckptConfig()
+	sp := spec(t, "web-zeus")
+	path := filepath.Join(t.TempDir(), "c.stmsckpt")
+	_, err := RunFunctionalCtx(context.Background(), cfg, sp, PrefSpec{Kind: None}, nil,
+		WithCheckpointEvery(5000, path), WithCheckpointHalt(1))
+	if !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("want ErrCheckpointed, got %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := make([]byte, len(data))
+	copy(flip, data)
+	flip[len(flip)/2] ^= 0x40
+	if _, err := ResumeFromBytes(context.Background(), flip, nil); err == nil {
+		t.Fatal("bit-flipped checkpoint restored")
+	}
+	if _, err := ResumeFromBytes(context.Background(), data[:len(data)-3], nil); err == nil {
+		t.Fatal("truncated checkpoint restored")
+	}
+	if _, err := ResumeFromBytes(context.Background(), data, nil); err != nil {
+		t.Fatalf("pristine checkpoint failed to restore: %v", err)
+	}
+}
+
+// TestCheckpointDescMismatch: resuming a checkpoint into a run with a
+// different configuration or variant fails fast.
+func TestCheckpointDescMismatch(t *testing.T) {
+	cfg := ckptConfig()
+	sp := spec(t, "web-apache")
+	var data []byte
+	_, err := RunFunctionalCtx(context.Background(), cfg, sp, PrefSpec{Kind: None}, nil,
+		WithCheckpointFunc(5000, func(d []byte) error {
+			data = append([]byte(nil), d...)
+			return nil
+		}), WithCheckpointHalt(1))
+	if !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("want ErrCheckpointed, got %v", err)
+	}
+	if _, err := RunFunctionalCtx(context.Background(), cfg, sp, PrefSpec{Kind: Ideal}, nil, WithResume(data)); err == nil {
+		t.Fatal("variant mismatch accepted")
+	}
+	other := cfg
+	other.Seed++
+	if _, err := RunFunctionalCtx(context.Background(), other, sp, PrefSpec{Kind: None}, nil, WithResume(data)); err == nil {
+		t.Fatal("config mismatch accepted")
+	}
+	if _, err := RunTimedCtx(context.Background(), cfg, sp, PrefSpec{Kind: None}, nil, WithResume(data)); err == nil {
+		t.Fatal("driver mismatch accepted")
+	}
+	d, err := PeekCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode != "functional" || d.Source != "spec" || d.Spec == nil || d.Spec.Name != "web-apache" {
+		t.Fatalf("descriptor mismatch: %+v", d)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"stms/internal/cache"
+	"stms/internal/ckpt"
 	"stms/internal/dram"
 	"stms/internal/event"
 	"stms/internal/prefetch"
@@ -86,7 +87,7 @@ func RunFunctional(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 // This is the live-generation path; like the timed driver, its Results
 // are bit-identical to replaying a trace.Tape of the same identity
 // through RunFunctionalTapeCtx.
-func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress) (Results, error) {
+func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -100,14 +101,15 @@ func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefS
 		// identical across drivers and trace substrates.
 		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
 	}
-	return runFunctional(ctx, cfg, scaled, gens, nil, ps, progress)
+	src := ckptSrc{kind: "spec", spec: spec}
+	return runFunctional(ctx, cfg, scaled, gens, nil, ps, progress, src, opts)
 }
 
 // RunFunctionalScenarioCtx executes the zero-latency driver over a
 // phase-structured scenario (scaled by cfg.Scale, materialized against
 // the warm + measure budget). Results carry per-phase stat windows;
 // timing fields stay zero.
-func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps PrefSpec, progress Progress) (Results, error) {
+func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -120,13 +122,14 @@ func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenari
 	for i, g := range gens {
 		gens[i] = &trace.Limit{Gen: g, N: total}
 	}
-	return runFunctional(ctx, cfg, scaled.EffectiveSpec(cfg.Cores, total), gens, marks, ps, progress)
+	src := ckptSrc{kind: "scenario", scn: scn}
+	return runFunctional(ctx, cfg, scaled.EffectiveSpec(cfg.Cores, total), gens, marks, ps, progress, src, opts)
 }
 
 // RunFunctionalTapeCtx executes the functional driver over a
 // materialized columnar tape (same contract as RunTimedTapeCtx: the
 // tape's identity must match the configuration's trace identity).
-func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefSpec, progress Progress) (Results, error) {
+func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -138,16 +141,18 @@ func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps 
 	for i := range gens {
 		gens[i] = tape.CursorN(i, perCore)
 	}
-	return runFunctional(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress)
+	src := ckptSrc{kind: "tape"}
+	return runFunctional(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress, src, opts)
 }
 
 // runFunctional drives the zero-latency system over per-core record
 // generators, round-robin, one record per core per tick; marks, when
 // non-nil, request per-phase stat windows in the Results.
-func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress) (Results, error) {
+func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress, src ckptSrc, opts []RunOption) (Results, error) {
 	if ctx == nil {
 		ctx = context.Background() // nil = never cancelled
 	}
+	opt := gatherOpts(opts)
 	s := &functional{
 		cfg:         cfg,
 		spec:        scaled,
@@ -174,6 +179,7 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 	srcs := make([]trace.FrameSource, cfg.Cores)
 	frames := make([]*trace.Frame, cfg.Cores)
 	pos := make([]int, cfg.Cores)
+	framesRead := make([]uint64, cfg.Cores)
 	for i := range srcs {
 		srcs[i] = trace.AutoFrames(gens[i])
 	}
@@ -183,16 +189,72 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 		}
 	}()
 
+	ls := &funcLoopState{
+		seen: seen, framesRead: framesRead, pos: pos,
+		frames: frames, srcs: srcs, phases: phases,
+	}
+	var start uint64
+	if opt.active() {
+		if err := ckptSupported(src, s.pref, ps); err != nil {
+			return Results{}, err
+		}
+	}
+	if opt.resume != nil {
+		d, dec, err := openResume(opt.resume)
+		if err != nil {
+			return Results{}, err
+		}
+		if err := checkDesc(d, "functional", src, cfg, ps); err != nil {
+			return Results{}, err
+		}
+		if err := s.restoreFunc(dec, ls); err != nil {
+			return Results{}, err
+		}
+		start = ls.i
+	}
+	nextCkpt := ^uint64(0)
+	if opt.every > 0 {
+		nextCkpt = nextBoundary(start, opt.every)
+	}
+	ckptN := 0
+
 	warmTotal := cfg.WarmRecords * uint64(cfg.Cores)
 	total := warmTotal + cfg.MeasureRecords*uint64(cfg.Cores)
 loop:
-	for i := uint64(0); i < total; i++ {
+	for i := start; i < total; i++ {
 		if i%pollEvery == 0 && i > 0 {
 			if progress != nil {
 				progress(i, total)
 			}
 			if ctx.Err() != nil {
 				return Results{}, ctx.Err()
+			}
+			if opt.stopCh != nil {
+				select {
+				case <-opt.stopCh:
+					ls.i = i
+					d := descFor("functional", src, cfg, ps, scaled, i)
+					if err := writeCheckpoint(&opt, d, func(enc *ckpt.Encoder) error { return s.snapshotFunc(enc, ls) }); err != nil {
+						return Results{}, err
+					}
+					return Results{}, ErrCheckpointed
+				default:
+				}
+			}
+		}
+		if i == nextCkpt {
+			// Record boundary: the previous record is fully processed,
+			// the warm-window snapshot for this index has not run yet —
+			// the resumed loop re-enters exactly here.
+			ls.i = i
+			d := descFor("functional", src, cfg, ps, scaled, i)
+			if err := writeCheckpoint(&opt, d, func(enc *ckpt.Encoder) error { return s.snapshotFunc(enc, ls) }); err != nil {
+				return Results{}, err
+			}
+			ckptN++
+			nextCkpt = nextBoundary(i, opt.every)
+			if opt.haltAfter > 0 && ckptN >= opt.haltAfter {
+				return Results{}, ErrCheckpointed
 			}
 		}
 		if i == warmTotal {
@@ -207,6 +269,7 @@ loop:
 				break loop
 			}
 			frames[core] = f
+			framesRead[core]++
 			k = 0
 		}
 		pos[core] = k + 1

@@ -23,6 +23,16 @@ import (
 type timed struct {
 	cfg  Config
 	spec trace.Spec
+	ps   PrefSpec
+
+	// Checkpointing: how the trace sources were built (for the resume
+	// descriptor), the run's checkpoint options, and trigger state.
+	src      ckptSrc
+	opt      runOpts
+	nextCkpt uint64
+	ckptN    int
+	halted   bool
+	ckptErr  error
 
 	// Cancellation and progress reporting (nil ctx = never cancelled).
 	ctx       context.Context
@@ -229,7 +239,7 @@ func RunTimed(cfg Config, spec trace.Spec, ps PrefSpec) Results {
 // bit-identical to replaying a trace.Tape of the same identity through
 // RunTimedTapeCtx — which is cheaper when the trace is consumed more
 // than once (the lab's run matrix does exactly that).
-func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress) (Results, error) {
+func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -240,7 +250,8 @@ func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, 
 	for i := range gens {
 		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
 	}
-	return runTimed(ctx, cfg, scaled, gens, nil, ps, progress, total*uint64(cfg.Cores))
+	src := ckptSrc{kind: "spec", spec: spec}
+	return runTimed(ctx, cfg, scaled, gens, nil, ps, progress, total*uint64(cfg.Cores), src, opts)
 }
 
 // RunTimedScenarioCtx executes the timed simulation of a
@@ -250,7 +261,7 @@ func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, 
 // numbers. Like plain workloads, scenario generation is a pure function
 // of (scenario, seed, core): results are bit-identical to replaying a
 // scenario tape of the same identity through RunTimedTapeCtx.
-func RunTimedScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps PrefSpec, progress Progress) (Results, error) {
+func RunTimedScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -264,7 +275,8 @@ func RunTimedScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps
 		gens[i] = &trace.Limit{Gen: g, N: total}
 	}
 	spec := scaled.EffectiveSpec(cfg.Cores, total)
-	return runTimed(ctx, cfg, spec, gens, marks, ps, progress, total*uint64(cfg.Cores))
+	src := ckptSrc{kind: "scenario", scn: scn}
+	return runTimed(ctx, cfg, spec, gens, marks, ps, progress, total*uint64(cfg.Cores), src, opts)
 }
 
 // RunTimedTapeCtx executes the timed simulation over a materialized
@@ -272,7 +284,7 @@ func RunTimedScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps
 // built for this configuration's trace identity — same scaled spec,
 // seed, core count, and a per-core budget covering warm + measure —
 // and then Results are bit-identical to RunTimedCtx at the same seed.
-func RunTimedTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefSpec, progress Progress) (Results, error) {
+func RunTimedTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -284,7 +296,8 @@ func RunTimedTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefS
 	for i := range gens {
 		gens[i] = tape.CursorN(i, total)
 	}
-	return runTimed(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress, total*uint64(cfg.Cores))
+	src := ckptSrc{kind: "tape"}
+	return runTimed(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress, total*uint64(cfg.Cores), src, opts)
 }
 
 // tapeFits verifies a tape covers the run a config describes. Scenario
@@ -325,7 +338,7 @@ func RunTimedTrace(cfg Config, name string, gens []trace.Generator, dirtyFrac fl
 // RunTimedTraceCtx is RunTimedTrace with cooperative cancellation and an
 // optional progress hook (total is unknown for external generators, so
 // progress callbacks report total = 0).
-func RunTimedTraceCtx(ctx context.Context, cfg Config, name string, gens []trace.Generator, dirtyFrac float64, ps PrefSpec, progress Progress) (Results, error) {
+func RunTimedTraceCtx(ctx context.Context, cfg Config, name string, gens []trace.Generator, dirtyFrac float64, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -333,19 +346,23 @@ func RunTimedTraceCtx(ctx context.Context, cfg Config, name string, gens []trace
 		return Results{}, fmt.Errorf("sim: %d generators for %d cores", len(gens), cfg.Cores)
 	}
 	spec := trace.Spec{Name: name, DirtyFrac: dirtyFrac}
-	return runTimed(ctx, cfg, spec, gens, nil, ps, progress, 0)
+	src := ckptSrc{kind: "external"}
+	return runTimed(ctx, cfg, spec, gens, nil, ps, progress, 0, src, opts)
 }
 
 // runTimed wires and drains the event-driven system over the given
 // per-core generators; marks, when non-nil, request per-phase stat
 // windows in the Results.
-func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress, totalRecs uint64) (Results, error) {
+func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress, totalRecs uint64, src ckptSrc, opts []RunOption) (Results, error) {
 	if ctx == nil {
 		ctx = context.Background() // documented: nil = never cancelled
 	}
 	s := &timed{
 		cfg:         cfg,
 		spec:        spec,
+		ps:          ps,
+		src:         src,
+		opt:         gatherOpts(opts),
 		ctx:         ctx,
 		progress:    progress,
 		totalRecs:   totalRecs,
@@ -378,22 +395,85 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 		s.l1 = append(s.l1, cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1(), Assoc: cfg.L1Assoc}))
 		c := cpu.NewFramed(i, cfg.Core, s.eng, s.srcs[i], s.load)
 		s.cores = append(s.cores, c)
-		c.Start()
+	}
+	if s.opt.active() {
+		// Fail fast: unsupported configurations refuse checkpoint
+		// requests up front rather than at the first boundary.
+		if err := ckptSupported(src, s.pref, ps); err != nil {
+			return Results{}, err
+		}
+	}
+	if s.opt.resume != nil {
+		// Resumed run: all pending events (including the cores' own
+		// dispatch steps) come back with the engine snapshot, so the
+		// cores must not be started again.
+		d, dec, err := openResume(s.opt.resume)
+		if err != nil {
+			return Results{}, err
+		}
+		if err := checkDesc(d, "timed", src, cfg, ps); err != nil {
+			return Results{}, err
+		}
+		if err := s.restore(dec); err != nil {
+			return Results{}, err
+		}
+	} else {
+		for _, c := range s.cores {
+			c.Start()
+		}
+	}
+	if s.opt.every > 0 {
+		s.nextCkpt = nextBoundary(s.allRecs, s.opt.every)
 	}
 	// Drain everything: cores stop when their bounded generators run dry;
 	// outstanding memory and meta-data events then settle. The stop
 	// predicate is polled every pollEvery events (the engine keeps the
 	// indirect call off the firing loop) — it also catches cancellation
 	// during the drain tail, after the generators have gone dry and
-	// noteRecord stops firing.
+	// noteRecord stops firing. Between events is also the one safe
+	// checkpoint site: the engine clock is settled (now == base) and no
+	// component is mid-update.
 	s.eng.DrainEvery(pollEvery, func() bool {
 		if !s.aborted && ctx.Err() != nil {
 			s.aborted = true
 		}
-		return s.aborted
+		if s.aborted {
+			return true
+		}
+		if s.opt.stopCh != nil {
+			select {
+			case <-s.opt.stopCh:
+				if err := s.writeCkpt(); err != nil {
+					s.ckptErr = err
+				} else {
+					s.ckptN++
+					s.halted = true
+				}
+				return true
+			default:
+			}
+		}
+		if s.opt.every > 0 && s.allRecs >= s.nextCkpt {
+			if err := s.writeCkpt(); err != nil {
+				s.ckptErr = err
+				return true
+			}
+			s.ckptN++
+			s.nextCkpt = nextBoundary(s.allRecs, s.opt.every)
+			if s.opt.haltAfter > 0 && s.ckptN >= s.opt.haltAfter {
+				s.halted = true
+				return true
+			}
+		}
+		return false
 	})
-	if s.aborted {
+	switch {
+	case s.aborted:
 		return Results{}, ctx.Err()
+	case s.ckptErr != nil:
+		return Results{}, s.ckptErr
+	case s.halted:
+		return Results{}, ErrCheckpointed
 	}
 	return s.results(ps), nil
 }

@@ -182,6 +182,18 @@ func (c *CDF) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// Snapshot exposes the CDF's internal samples for checkpointing. The
+// returned slices alias the CDF; callers must not mutate them.
+func (c *CDF) Snapshot() (vals, weights []float64, sorted bool) {
+	return c.vals, c.weights, c.sorted
+}
+
+// SetSnapshot replaces the CDF's samples (checkpoint restore). The CDF
+// takes ownership of the slices.
+func (c *CDF) SetSnapshot(vals, weights []float64, sorted bool) {
+	c.vals, c.weights, c.sorted = vals, weights, sorted
+}
+
 func (c *CDF) sort() {
 	if c.sorted {
 		return
