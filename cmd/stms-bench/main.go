@@ -60,6 +60,7 @@ func main() {
 	out := flag.String("out", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark document to this file")
 	workers := flag.String("workers", "", "comma-separated stms-serve worker URLs for the headline matrix")
+	windows := flag.Int("windows", 4, "window count K for the sampled-simulation characterization in -json")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -130,7 +131,7 @@ func main() {
 				urls = append(urls, u)
 			}
 		}
-		if err := writeBenchJSON(*jsonOut, r, o, *run, elapsed, urls); err != nil {
+		if err := writeBenchJSON(*jsonOut, r, o, *run, elapsed, urls, *windows); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -180,6 +181,16 @@ func main() {
 // runs — the split that shows how much of the matrix was salvaged
 // rather than recomputed). All zero on purely local runs and on pools
 // without -checkpoint-every, so v6 documents stay comparable.
+//
+// Schema v8 adds sampled-simulation characterization (DESIGN.md §13):
+// one headline cell (web-apache × stms) re-estimated as a K-window
+// sampled run timed back-to-back against its exact serial twin —
+// windows (K), sample_err_pct (the worst relative error across IPC,
+// MLP, DRAM utilization and coverage, in percent), and
+// speedup_vs_serial (serial wall / sampled wall; below 1 on a
+// single-CPU host, approaching min(K, cores) with idle cores). The
+// error is deterministic for a given configuration; the speedup is a
+// measurement of this host.
 type benchDoc struct {
 	Schema     string  `json:"schema"`
 	Experiment string  `json:"experiment"`
@@ -237,6 +248,11 @@ type benchDoc struct {
 	CkptBytes   uint64  `json:"ckpt_bytes"`
 	ResumeMS    float64 `json:"resume_ms"`
 
+	// Sampled-simulation characterization (v8).
+	Windows         int     `json:"windows"`
+	SampleErrPct    float64 `json:"sample_err_pct"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+
 	Matrix *stms.Matrix `json:"matrix"`
 }
 
@@ -244,7 +260,7 @@ type benchDoc struct {
 // matrix on a fresh session (the shared session would serve memoized
 // results, hiding the simulator's real throughput) and writes the
 // benchmark document with throughput and allocation totals.
-func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elapsed time.Duration, workers []string) error {
+func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elapsed time.Duration, workers []string, windows int) error {
 	opts := []stms.Option{
 		stms.WithScale(o.Scale), stms.WithSeed(o.Seed),
 		stms.WithWindows(o.Warm, o.Measure),
@@ -295,7 +311,7 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	}
 	rs := lab.RemoteStats()
 	doc := benchDoc{
-		Schema:     "stms-bench/v7",
+		Schema:     "stms-bench/v8",
 		Experiment: id,
 		Scale:      o.Scale,
 		Seed:       o.Seed,
@@ -346,6 +362,9 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 			doc.FrameRecords += c.Res.Frames.Records
 		}
 	}
+	if err := sampledCharacterization(&doc, o, windows); err != nil {
+		return err
+	}
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -355,4 +374,68 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// sampledCharacterization times the web-apache × stms headline cell as
+// a K-window sampled estimate back-to-back against its exact serial
+// twin, through the direct entry points (no memo or tape store, so
+// both walls measure pure simulation). The worst-metric error is a
+// deterministic function of the configuration; the wall ratio is a
+// property of this host's core count.
+func sampledCharacterization(doc *benchDoc, o expt.Options, windows int) error {
+	if windows <= 1 {
+		windows = 4
+	}
+	cfg := stms.DefaultConfig()
+	cfg.Scale, cfg.Seed = o.Scale, o.Seed
+	cfg.WarmRecords, cfg.MeasureRecords = o.Warm, o.Measure
+	spec, err := stms.Workload("web-apache")
+	if err != nil {
+		return err
+	}
+	ps := stms.PrefSpec{Kind: stms.STMS, SampleProb: 0.125}
+	ctx := context.Background()
+
+	t0 := time.Now()
+	exact, err := stms.RunTimedCtx(ctx, cfg, spec, ps)
+	if err != nil {
+		return err
+	}
+	serial := time.Since(t0)
+	t1 := time.Now()
+	sr, err := stms.RunSampledCtx(ctx, cfg, spec, ps, stms.Sampling{Windows: windows})
+	if err != nil {
+		return err
+	}
+	sampled := time.Since(t1)
+
+	worst := 0.0
+	for _, pair := range [][2]float64{
+		{sr.Results.IPC, exact.IPC},
+		{sr.Results.MLP, exact.MLP},
+		{sr.Results.DRAMUtil, exact.DRAMUtil},
+		{sr.Results.Coverage(), exact.Coverage()},
+	} {
+		got, want := pair[0], pair[1]
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		m := want
+		if m < 0 {
+			m = -m
+		}
+		if m < 1e-9 {
+			m = 1e-9
+		}
+		if e := d / m; e > worst {
+			worst = e
+		}
+	}
+	doc.Windows = len(sr.Windows)
+	doc.SampleErrPct = worst * 100
+	if sampled > 0 {
+		doc.SpeedupVsSerial = float64(serial) / float64(sampled)
+	}
+	return nil
 }

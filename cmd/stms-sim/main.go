@@ -8,6 +8,7 @@
 //	stms-sim [-workload web-apache] [-pref stms|ideal|baseline|tse|ebcp|ulmt|markov]
 //	         [-sample 0.125] [-depth 0] [-scale 0.125] [-seed 42]
 //	         [-warm 80000] [-measure 120000] [-compare] [-v]
+//	         [-windows K] [-confidence 0.95]
 //	         [-checkpoint-every N -checkpoint ck.stmsckpt [-halt-after K]] [-resume ck.stmsckpt]
 //
 // Runs are crash-resumable: -checkpoint-every N snapshots the whole
@@ -23,6 +24,12 @@
 // for matched pairs) and the speedup and coverage ratios are reported
 // (Figure 9 style). With -v, cell progress events stream to stderr as
 // the matrix executes.
+//
+// -windows K (K > 1) replaces the serial timed run with the K-window
+// sampled estimate (DESIGN.md §13): the measurement span splits into K
+// concurrently simulated windows, and the report gains per-metric
+// confidence intervals (level set by -confidence) and a per-window
+// table. K = 1 is the exact run.
 package main
 
 import (
@@ -71,6 +78,8 @@ func main() {
 	warm := flag.Uint64("warm", 80_000, "warm-up records per core")
 	measure := flag.Uint64("measure", 120_000, "measured records per core")
 	compare := flag.Bool("compare", false, "also run baseline and ideal")
+	windows := flag.Int("windows", 1, "split the measurement into K concurrent sampled windows (1 = exact serial run)")
+	confidence := flag.Float64("confidence", 0.95, "two-sided confidence level for sampled-run error bars")
 	verbose := flag.Bool("v", false, "stream cell progress events to stderr")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a crash-resume checkpoint every N records (requires -checkpoint)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file path (STMSCKPT container, atomically replaced each cadence)")
@@ -88,6 +97,9 @@ func main() {
 		stms.WithScale(*scale),
 		stms.WithSeed(*seed),
 		stms.WithWindows(*warm, *measure),
+	}
+	if *windows > 1 {
+		opts = append(opts, stms.WithSampling(stms.Sampling{Windows: *windows, Confidence: *confidence}))
 	}
 	if *verbose {
 		opts = append(opts, stms.WithProgress(func(ev stms.ResultEvent) {
@@ -110,6 +122,11 @@ func main() {
 	ps := stms.PrefSpec{Kind: kind, MaxDepth: *depth}
 	if kind == stms.STMS {
 		ps.SampleProb = *sample // meaningless for other variants; keep cells canonical
+	}
+
+	if *windows > 1 && (*resume != "" || *ckptEvery > 0 || *traceFile != "") {
+		fmt.Fprintln(os.Stderr, "stms-sim: -windows composes with workload/scenario runs only (not -trace, -checkpoint-every or -resume)")
+		os.Exit(1)
 	}
 
 	if *resume != "" || *ckptEvery > 0 || *haltAfter > 0 {
@@ -150,6 +167,9 @@ func main() {
 
 	res := m.At(0, 0).Res
 	report(*res, lab.BaseConfig())
+	if sr := m.At(0, 0).Sampled; sr != nil {
+		reportSampled(sr)
+	}
 
 	if len(prefs) == 3 {
 		base := m.At(0, 1).Res
@@ -239,6 +259,40 @@ func report(res stms.Results, cfg stms.Config) {
 	ov := res.OverheadTraffic()
 	fmt.Printf("\noverhead/useful byte: record %.3f  update %.3f  lookup %.3f  erroneous %.3f  total %.3f\n",
 		ov.Record, ov.Update, ov.Lookup, ov.Erroneous, ov.Total())
+}
+
+// reportSampled appends the sampled-run error bars and per-window
+// breakdown to the report.
+func reportSampled(sr *stms.SampledResults) {
+	if sr.Exact {
+		return
+	}
+	level := stats.Pct(sr.CI.IPC.Level)
+	ct := stats.NewTable(fmt.Sprintf("sampled estimate (%d windows, %s confidence)", len(sr.Windows), level),
+		"metric", "estimate", "lo", "hi", "±half-width")
+	for _, row := range []struct {
+		name string
+		ci   stms.CI
+	}{
+		{"IPC", sr.CI.IPC}, {"MLP", sr.CI.MLP},
+		{"DRAM util", sr.CI.DRAMUtil}, {"coverage", sr.CI.Coverage},
+	} {
+		ct.AddRow(row.name, fmt.Sprintf("%.4f", row.ci.Mean),
+			fmt.Sprintf("%.4f", row.ci.Lo), fmt.Sprintf("%.4f", row.ci.Hi),
+			fmt.Sprintf("%.4f", row.ci.HalfWidth()))
+	}
+	fmt.Println()
+	fmt.Print(ct)
+
+	wt := stats.NewTable("per-window stats (records per core)",
+		"window", "start", "measured", "warm(timed)", "warm(func)", "warm(meta)", "IPC", "coverage")
+	for i := range sr.Windows {
+		w := &sr.Windows[i]
+		wt.AddRow(w.Index, w.Start, w.Len, w.Warmup, w.FuncWarmup, w.MetaWarmup,
+			fmt.Sprintf("%.3f", w.Results.IPC), stats.Pct(w.Results.Coverage()))
+	}
+	fmt.Println()
+	fmt.Print(wt)
 }
 
 // replayTrace runs the timed simulation over a recorded trace file,

@@ -129,6 +129,50 @@ func Example_tapeReplay() {
 	// tape holds cores: 4
 }
 
+// Example_sampled splits one timed run into K concurrent measurement
+// windows (DESIGN.md §13): the estimate comes back with per-metric
+// 95% confidence intervals, the exact serial value lands inside them,
+// and K=1 degenerates to the bit-identical exact run.
+func Example_sampled() {
+	cfg := stms.DefaultConfig()
+	cfg.Scale, cfg.Seed = 0.0625, 42
+	cfg.WarmRecords, cfg.MeasureRecords = 2_000, 8_000
+	spec, err := stms.Workload("web-apache")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps := stms.PrefSpec{Kind: stms.STMS, SampleProb: 0.125}
+
+	exact, err := stms.RunTimedCtx(context.Background(), cfg, spec, ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, err := stms.RunSampledCtx(context.Background(), cfg, spec, ps, stms.Sampling{Windows: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("windows measured:", len(sr.Windows))
+	fmt.Println("flagged exact:", sr.Exact)
+	fmt.Println("confidence level:", sr.CI.IPC.Level)
+	fmt.Println("exact IPC inside the interval:", sr.CI.IPC.Contains(exact.IPC))
+	fmt.Println("exact coverage inside the interval:", sr.CI.Coverage.Contains(exact.Coverage()))
+
+	k1, err := stms.RunSampledCtx(context.Background(), cfg, spec, ps, stms.Sampling{Windows: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("K=1 flagged exact:", k1.Exact)
+	fmt.Println("K=1 bit-identical to serial:", reflect.DeepEqual(k1.Results, exact))
+	// Output:
+	// windows measured: 4
+	// flagged exact: false
+	// confidence level: 0.95
+	// exact IPC inside the interval: true
+	// exact coverage inside the interval: true
+	// K=1 flagged exact: true
+	// K=1 bit-identical to serial: true
+}
+
 func mustJSON(v interface{}) string {
 	b, err := json.Marshal(v)
 	if err != nil {

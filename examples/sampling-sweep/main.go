@@ -11,6 +11,11 @@
 // tape and every column replays it (the tape-cache summary at the end
 // shows one build serving all seven cells).
 //
+// The sweep itself then demonstrates the other kind of sampling: the
+// paper's knee point (12.5%) is re-estimated as a K-window sampled
+// simulation (stms.WithSampling, DESIGN.md §13) and reported with 95%
+// error bars next to the exact value the sweep just computed.
+//
 //	go run ./examples/sampling-sweep [workload]
 package main
 
@@ -72,4 +77,27 @@ func main() {
 	fmt.Printf("\ntrace tapes: %d build(s) served %d cells (%.1f MB cached; generate %s, simulate %s)\n",
 		ts.Builds, ts.Hits+ts.Misses, float64(ts.BytesInUse)/1e6,
 		ts.Generate.Round(1e6), ts.Simulate.Round(1e6))
+
+	// Part two: sampled simulation of the knee point. A second session
+	// opts every timed cell into a 4-window sampled estimate; its cell
+	// memoizes separately from the exact one above and carries error
+	// bars for each headline metric.
+	const knee = 0.125
+	smpLab, err := stms.New(stms.WithScale(0.125), stms.WithSampling(stms.Sampling{Windows: 4}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm, err := smpLab.Run(context.Background(),
+		smpLab.Plan([]string{name}, []stms.PrefSpec{{Kind: stms.STMS, SampleProb: knee}}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr := sm.At(0, 0).Sampled
+	exact := m.At(0, 3).Res // the 12.5% column of the sweep above
+	fmt.Printf("\nK-window sampled estimate of the %.1f%% knee (4 windows, 95%% CI):\n", knee*100)
+	fmt.Printf("  coverage %5.1f%% ± %.1f pts   (exact %5.1f%%, in CI: %v)\n",
+		sr.CI.Coverage.Mean*100, sr.CI.Coverage.HalfWidth()*100,
+		exact.Coverage()*100, sr.CI.Coverage.Contains(exact.Coverage()))
+	fmt.Printf("  IPC      %6.3f ± %.3f      (exact %6.3f, in CI: %v)\n",
+		sr.CI.IPC.Mean, sr.CI.IPC.HalfWidth(), exact.IPC, sr.CI.IPC.Contains(exact.IPC))
 }

@@ -459,6 +459,33 @@ func (m *Meta) Record(core int, blk uint64, prefetchHit bool) {
 	m.env.MetaReadH(dram.IndexUpdateRd, m, mkUpdateRead, uint64(bi), 0)
 }
 
+// RecordWarm implements prefetch.WarmRecorder: the warming-pass variant
+// of Record. It applies the identical history append and sampled index
+// update — including the write-combining counter and the biased coin
+// flip, so the warmed state is distributionally indistinguishable from a
+// full Record pass — but charges no memory traffic and never touches the
+// bucket buffer, whose residency only shapes how update traffic is
+// billed, not what the index ends up containing.
+func (m *Meta) RecordWarm(core int, blk uint64) {
+	m.st.Records++
+	pos := m.hist[core].Append(blk)
+	m.wc[core]++
+	if m.wc[core] >= prefetch.LineEntries {
+		m.wc[core] = 0
+	}
+	if !m.rnd.Bool(m.cfg.SampleProb) {
+		m.st.SkippedUpdates++
+		return
+	}
+	m.st.SampledUpdates++
+	ptr := pack(core, pos)
+	if m.alt != nil {
+		m.alt.Update(blk, ptr)
+		return
+	}
+	m.idx.Update(blk, ptr)
+}
+
 // MarkEnd writes a stream-end annotation at pos in core's history (§4.5);
 // one low-priority memory write when the position is still live.
 func (m *Meta) MarkEnd(core int, pos uint64) {

@@ -96,6 +96,7 @@ type Core struct {
 	lastDoneAt  uint64
 	exhausted   bool
 	stopped     bool
+	paused      bool
 	target      uint64 // committed-instruction target (absolute), 0 = none
 	targetFired bool
 	onTarget    func()
@@ -164,6 +165,22 @@ func (c *Core) SetTarget(n uint64, fn func()) {
 // Stop halts dispatch permanently (outstanding loads still complete).
 func (c *Core) Stop() { c.stopped = true }
 
+// Pause suspends dispatch until Resume. Outstanding loads still complete
+// and are recorded, but nothing dispatches or retires while paused. Used
+// by the sampling scheduler to line all cores up on the warm-up boundary
+// so a measurement window loses no records to inter-core skew.
+func (c *Core) Pause() { c.paused = true }
+
+// Resume lifts a Pause and reschedules the dispatch loop. The local
+// dispatch clock catches up to engine time on the next step, so paused
+// cycles are not billed as work.
+func (c *Core) Resume() {
+	if c.paused {
+		c.paused = false
+		c.eng.ScheduleH(0, c, 0, 0, 0)
+	}
+}
+
 // Exhausted reports whether the trace generator ran dry.
 func (c *Core) Exhausted() bool { return c.exhausted }
 
@@ -207,7 +224,7 @@ func (c *Core) retireHead() {
 // it. Re-entry is always safe: every gate is re-evaluated from state.
 func (c *Core) step() {
 	for {
-		if c.stopped {
+		if c.stopped || c.paused {
 			return
 		}
 		now := c.eng.Now()

@@ -234,3 +234,39 @@ func TestZeroInstrRecordClamped(t *testing.T) {
 		t.Fatalf("committed = %d, want clamped 1", c.Committed())
 	}
 }
+
+// TestPauseResume covers the sampling barrier's core-side contract:
+// Pause parks dispatch exactly where it is (in-flight loads still
+// complete, nothing retires), and Resume picks the trace back up and
+// finishes it — committing exactly what an unpaused run commits.
+func TestPauseResume(t *testing.T) {
+	var recs []trace.Record
+	for i := 0; i < 20; i++ {
+		r := rec(5, 10, false)
+		r.Block = uint64(i * 100)
+		recs = append(recs, r)
+	}
+	mem := &fixedMem{latency: 3}
+	eng := event.NewEngine()
+	c := New(0, Config{ROB: 96, Quantum: 256}, eng, &trace.SliceGenerator{Records: recs}, mem.load)
+	c.Pause()
+	c.Start()
+	eng.Drain(nil)
+	if c.Committed() != 0 || mem.loads != 0 {
+		t.Fatalf("paused core made progress: committed %d, loads %d", c.Committed(), mem.loads)
+	}
+	c.Resume()
+	eng.Drain(nil)
+	if c.Committed() != 200 {
+		t.Fatalf("resumed core committed %d instructions, want 200", c.Committed())
+	}
+	if mem.loads != 20 {
+		t.Fatalf("resumed core issued %d loads, want 20", mem.loads)
+	}
+	// Resume on a never-paused core is a no-op.
+	c.Resume()
+	eng.Drain(nil)
+	if c.Committed() != 200 {
+		t.Fatalf("idempotent resume changed commit count to %d", c.Committed())
+	}
+}

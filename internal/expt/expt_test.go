@@ -244,7 +244,7 @@ func TestByIDAndAll(t *testing.T) {
 	if err := r.ByID("nope", &buf); err == nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 14 {
+	if len(IDs()) != 15 {
 		t.Fatalf("IDs() = %v", IDs())
 	}
 }

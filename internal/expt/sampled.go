@@ -1,0 +1,98 @@
+package expt
+
+import (
+	"time"
+
+	"stms/internal/lab"
+	"stms/internal/sim"
+	"stms/internal/stats"
+)
+
+// sampledWorkloads is the error-characterization subset: one workload
+// per class keeps the table readable while still exercising the three
+// qualitatively different record streams (bursty web, pointer-chasing
+// OLTP, iterative scientific).
+func sampledWorkloads() []string {
+	return []string{"web-apache", "oltp-db2", "sci-ocean"}
+}
+
+// Sampled characterizes the K-window sampled simulation (DESIGN.md
+// §13) against the exact serial run on the same configuration: for
+// each workload, the exact metrics, the sampled estimate with its 95%
+// confidence half-width, whether the interval brackets the exact
+// value, the worst per-metric relative error, and the wall-clock
+// speedup of the fork/join estimate over the serial run. windows <= 1
+// selects the default window count (4).
+func (r *Runner) Sampled(windows int) *stats.Table {
+	if windows <= 1 {
+		windows = 4
+	}
+	prefs := []sim.PrefSpec{{Kind: sim.STMS, SampleProb: 0.125}}
+	exact := r.timed(sampledWorkloads(), prefs)
+	sampled := r.run(r.l.Plan(sampledWorkloads(), prefs,
+		lab.ForEachCell(func(c *lab.Cell) {
+			c.Sampling = sim.Sampling{Windows: windows}
+		})))
+
+	t := stats.NewTable("Sampled simulation: K-window estimate vs. exact serial run",
+		"workload", "K", "exact ipc", "sampled ipc", "±95% hw", "in CI",
+		"ipc err", "cov err", "worst err", "speedup")
+	for ri, w := range exact.Workloads {
+		er := exact.At(ri, 0)
+		sc := sampled.At(ri, 0)
+		if er.Res == nil || sc.Res == nil || sc.Sampled == nil {
+			t.AddRow(shortName(w), windows, "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		ci := sc.Sampled.CI
+		errs := []float64{
+			relErr(sc.Res.IPC, er.Res.IPC),
+			relErr(sc.Res.MLP, er.Res.MLP),
+			relErr(sc.Res.DRAMUtil, er.Res.DRAMUtil),
+			relErr(sc.Res.Coverage(), er.Res.Coverage()),
+		}
+		worst := 0.0
+		for _, e := range errs {
+			if e > worst {
+				worst = e
+			}
+		}
+		contains := ci.IPC.Contains(er.Res.IPC) && ci.MLP.Contains(er.Res.MLP) &&
+			ci.DRAMUtil.Contains(er.Res.DRAMUtil) && ci.Coverage.Contains(er.Res.Coverage())
+		inCI := "yes"
+		if !contains {
+			inCI = "no"
+		}
+		t.AddRow(shortName(w), windows,
+			stats.FormatFloat(er.Res.IPC), stats.FormatFloat(sc.Res.IPC),
+			stats.FormatFloat(ci.IPC.HalfWidth()), inCI,
+			stats.Pct(errs[0]), stats.Pct(errs[3]), stats.Pct(worst),
+			speedupStr(er.Wall, sc.Wall))
+	}
+	return t
+}
+
+// relErr is the symmetric relative error |a-b| / max(|b|, eps).
+func relErr(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	m := want
+	if m < 0 {
+		m = -m
+	}
+	if m < 1e-9 {
+		m = 1e-9
+	}
+	return d / m
+}
+
+// speedupStr renders serial/sampled wall-time ratio; memo-served cells
+// carry no wall time, so the ratio is only meaningful on fresh runs.
+func speedupStr(serial, sampled time.Duration) string {
+	if serial <= 0 || sampled <= 0 {
+		return "-"
+	}
+	return stats.FormatFloat(float64(serial)/float64(sampled)) + "x"
+}

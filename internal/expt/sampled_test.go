@@ -1,0 +1,32 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSampledExperiment renders the sampled-vs-exact table: every
+// characterization workload appears, the window count threads through,
+// and the error columns carry real percentages (no "-" placeholders,
+// which would mean a cell failed or lost its SampledResults).
+func TestSampledExperiment(t *testing.T) {
+	o := tinyOptions()
+	o.Warm, o.Measure = 8_000, 16_000
+	r := NewRunner(o)
+	out := r.Sampled(2).String()
+	for _, w := range []string{"Apache", "OLTP-DB2", "ocean"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("sampled table missing %s:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "-  ") && strings.Contains(out, "ipc err") {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "Apache") && strings.Contains(line, " - ") {
+				t.Fatalf("sampled row degenerated to placeholders:\n%s", out)
+			}
+		}
+	}
+	if !strings.Contains(out, "%") {
+		t.Fatalf("no error percentages rendered:\n%s", out)
+	}
+}

@@ -202,6 +202,7 @@ func (r *Runner) All(w io.Writer) {
 	fmt.Fprintln(w, fc)
 	fmt.Fprintln(w, r.Fig9())
 	fmt.Fprintln(w, r.PhaseSensitivity())
+	fmt.Fprintln(w, r.Sampled(0))
 }
 
 // ByID runs a single experiment by its DESIGN.md identifier.
@@ -235,13 +236,15 @@ func (r *Runner) ByID(id string, w io.Writer) error {
 		fmt.Fprintln(w, r.Fig9())
 	case "phase":
 		fmt.Fprintln(w, r.PhaseSensitivity())
+	case "sampled":
+		fmt.Fprintln(w, r.Sampled(0))
 	case "abl":
 		r.Ablations(w)
 	case "all":
 		r.All(w)
 		r.Ablations(w)
 	default:
-		return fmt.Errorf("expt: unknown experiment %q (try table1, table2, fig1l, fig1r, fig4, fig5l, fig5r, fig6l, fig6r, fig7, fig8, fig9, phase, all)", id)
+		return fmt.Errorf("expt: unknown experiment %q (try table1, table2, fig1l, fig1r, fig4, fig5l, fig5r, fig6l, fig6r, fig7, fig8, fig9, phase, sampled, all)", id)
 	}
 	return nil
 }
@@ -250,5 +253,5 @@ func (r *Runner) ByID(id string, w io.Writer) error {
 // phase-sensitivity table and the ablation suite.
 func IDs() []string {
 	return []string{"table1", "fig1l", "fig1r", "fig4", "table2",
-		"fig5l", "fig5r", "fig6l", "fig6r", "fig7", "fig8", "fig9", "phase", "abl"}
+		"fig5l", "fig5r", "fig6l", "fig6r", "fig7", "fig8", "fig9", "phase", "sampled", "abl"}
 }

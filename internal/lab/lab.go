@@ -37,15 +37,17 @@ import (
 // worker daemons (falling back to local execution when none are
 // reachable), and WithManifest makes interrupted runs resumable.
 type Lab struct {
-	base    sim.Config
-	par     int
-	onEvent func(ResultEvent)
+	base     sim.Config
+	sampling sim.Sampling
+	par      int
+	onEvent  func(ResultEvent)
 
 	mu       sync.Mutex
 	memo     map[string]*sim.Results
-	partials map[string]string // cellKey → checkpoint address of a partial cell
-	tapes    *dist.Store       // nil = tape caching disabled (live generation)
-	simNS    int64             // cumulative cell simulation time, excluding tape access
+	memoSmp  map[string]*sim.SampledResults // sampled-cell estimates (session-local)
+	partials map[string]string              // cellKey → checkpoint address of a partial cell
+	tapes    *dist.Store                    // nil = tape caching disabled (live generation)
+	simNS    int64                          // cumulative cell simulation time, excluding tape access
 
 	tapeBytes    int64  // resolved WithTapeCache budget
 	tapeDir      string // resolved WithTapeDir directory
@@ -69,6 +71,7 @@ func New(opts ...Option) (*Lab, error) {
 		base:      sim.DefaultConfig(),
 		par:       runtime.NumCPU(),
 		memo:      make(map[string]*sim.Results),
+		memoSmp:   make(map[string]*sim.SampledResults),
 		partials:  make(map[string]string),
 		tapeBytes: defaultTapeCacheBytes,
 	}
@@ -129,6 +132,26 @@ func WithWindows(warm, measure uint64) Option {
 		}
 		l.base.WarmRecords = warm
 		l.base.MeasureRecords = measure
+		return nil
+	}
+}
+
+// WithSampling runs every timed cell as a K-window sampled simulation
+// (sim.RunSampledCtx) instead of an exact serial run: each cell's
+// CellResult carries the stitched estimate as its Results plus the full
+// SampledResults (per-window details, confidence intervals). Windows <= 1
+// leaves cells exact; functional cells ignore sampling (it is a timed
+// concept). Sampled cells are memoized under a distinct key — their
+// estimates never collide with exact results — and always simulate
+// locally (worker pools run exact cells only). A manifest persists only
+// the stitched estimate, so a cell replayed from a prior session's
+// manifest has Res but no interval details.
+func WithSampling(smp sim.Sampling) Option {
+	return func(l *Lab) error {
+		if smp.Confidence != 0 && (smp.Confidence <= 0 || smp.Confidence >= 1) {
+			return fmt.Errorf("lab: confidence level %g outside (0,1)", smp.Confidence)
+		}
+		l.sampling = smp
 		return nil
 	}
 }
@@ -296,9 +319,17 @@ func cellKey(c *Cell) string {
 	if c.Scenario != nil {
 		scn = c.Scenario.Key()
 	}
-	return fmt.Sprintf("%d|spec=%+v|scn=%s|cfg=%+v|k=%d|d=%d|h=%d|i=%d|p=%g|s=%s|e=%s",
+	key := fmt.Sprintf("%d|spec=%+v|scn=%s|cfg=%+v|k=%d|d=%d|h=%d|i=%d|p=%g|s=%s|e=%s",
 		c.Mode, c.Spec, scn, c.Config, ps.Kind, ps.MaxDepth,
 		ps.HistoryEntries, ps.IndexEntries, ps.SampleProb, scfg, ecfg)
+	// Sampled cells key (and memoize) distinctly: an estimate must never
+	// be served where an exact result was asked for, or vice versa.
+	// Exact cells keep the historical key so prior-session manifests
+	// stay valid.
+	if c.Sampling.Windows > 1 {
+		key += fmt.Sprintf("|smp=%+v", c.Sampling)
+	}
+	return key
 }
 
 // MemoSize reports how many distinct cells the session has memoized.
@@ -324,6 +355,23 @@ func (l *Lab) store(key string, r *sim.Results) {
 	if fresh && l.manifest != nil {
 		l.manifest.append(key, r)
 	}
+}
+
+func (l *Lab) lookupSmp(key string) (*sim.SampledResults, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sr, ok := l.memoSmp[key]
+	return sr, ok
+}
+
+// storeSmp memoizes a sampled estimate: the full SampledResults for the
+// session, the stitched Results through the plain memo (and manifest,
+// when one is attached) under the same sampled key.
+func (l *Lab) storeSmp(key string, sr *sim.SampledResults) {
+	l.mu.Lock()
+	l.memoSmp[key] = sr
+	l.mu.Unlock()
+	l.store(key, &sr.Results)
 }
 
 // partialCkpt returns the checkpoint address recorded for a cell by a

@@ -16,6 +16,12 @@ type CellResult struct {
 	Res  *sim.Results // nil if the cell failed or was cancelled
 	Err  error
 	Wall time.Duration // wall-clock simulation time (0 on memo hits)
+
+	// Sampled carries the full sampled estimate (per-window details,
+	// confidence intervals) for cells run under WithSampling; Res then
+	// aliases its stitched Results. Nil for exact cells and for sampled
+	// cells replayed from a prior session's manifest.
+	Sampled *sim.SampledResults
 }
 
 // Matrix is the indexed result of running a plan: rows are workloads,
@@ -205,6 +211,12 @@ type cellJSON struct {
 	// somehow bypassed the batched record path.
 	FramesDecoded uint64 `json:"frames_decoded"`
 	FrameRecords  uint64 `json:"frame_records"`
+
+	// Sampled-run fields: the window count and per-metric confidence
+	// intervals when the cell ran under WithSampling (absent for exact
+	// cells and manifest replays of sampled cells).
+	Windows int            `json:"windows,omitempty"`
+	CI      *sim.SampledCI `json:"ci,omitempty"`
 }
 
 // matrixJSON is the export schema for a whole matrix.
@@ -243,6 +255,11 @@ func (m *Matrix) MarshalJSON() ([]byte, error) {
 			cj.OverheadTotal = r.OverheadTraffic().Total()
 			cj.FramesDecoded = r.Frames.Frames
 			cj.FrameRecords = r.Frames.Records
+		}
+		if sr := c.Sampled; sr != nil && !sr.Exact {
+			cj.Windows = len(sr.Windows)
+			ci := sr.CI
+			cj.CI = &ci
 		}
 		out.Cells = append(out.Cells, cj)
 	}

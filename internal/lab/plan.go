@@ -38,6 +38,11 @@ type Cell struct {
 	Mode     Mode
 	Config   sim.Config // per-cell system config (seed, scale, windows, ...)
 
+	// Sampling, when Windows > 1 on a timed cell, runs the cell as a
+	// K-window sampled simulation (see WithSampling); the zero value
+	// means an exact serial run.
+	Sampling sim.Sampling
+
 	// Scenario, when non-nil, replaces Spec as the cell's workload: the
 	// cell simulates the phase-structured scenario (full-scale;
 	// Config.Scale applies at run) and its Results carry per-phase
@@ -197,9 +202,15 @@ func (l *Lab) plan(rows []planRow, prefs []sim.PrefSpec, opts ...PlanOption) *Ru
 				Pref:     ps,
 				Mode:     pl.mode,
 				Config:   cfg,
+				Sampling: l.sampling,
 			}
 			if pl.mutate != nil {
 				pl.mutate(&c)
+			}
+			// Normalize: K <= 1 is an exact run and must memoize as one,
+			// and sampling is a timed-driver concept.
+			if c.Mode == Functional || c.Sampling.Windows <= 1 {
+				c.Sampling = sim.Sampling{}
 			}
 			p.Cells = append(p.Cells, c)
 		}

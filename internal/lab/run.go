@@ -83,6 +83,12 @@ func (l *Lab) Run(ctx context.Context, p *RunPlan) (*Matrix, error) {
 		cell := p.Cells[i]
 		m.Cells[i] = CellResult{Cell: cell}
 		key := cellKey(&cell)
+		if sr, ok := l.lookupSmp(key); ok {
+			m.Cells[i].Res = &sr.Results
+			m.Cells[i].Sampled = sr
+			st.emit(ResultEvent{Kind: CellFinished, Cell: cell, Res: &sr.Results})
+			continue
+		}
 		if res, ok := l.lookup(key); ok {
 			m.Cells[i].Res = res
 			st.emit(ResultEvent{Kind: CellFinished, Cell: cell, Res: res})
@@ -136,13 +142,23 @@ feed:
 // degrades to simulate when every attempt fails. The duration is the
 // cell's non-simulation overhead (tape access locally; network,
 // queueing and retries remotely) and the note records any remote
-// degradation for the progress stream.
-func (l *Lab) dispatch(ctx context.Context, cell *Cell) (sim.Results, time.Duration, string, error) {
+// degradation for the progress stream. Sampled cells always simulate
+// locally: their parallelism is the window fan-out itself, and the
+// worker protocol ships exact results only.
+func (l *Lab) dispatch(ctx context.Context, cell *Cell) (sim.Results, *sim.SampledResults, time.Duration, string, error) {
+	if cell.Sampling.Windows > 1 {
+		sr, tapeWait, err := l.simulateSampled(ctx, cell)
+		if err != nil {
+			return sim.Results{}, nil, tapeWait, "", err
+		}
+		return sr.Results, sr, tapeWait, "", nil
+	}
 	if l.remote == nil {
 		res, tapeWait, err := l.simulate(ctx, cell)
-		return res, tapeWait, "", err
+		return res, nil, tapeWait, "", err
 	}
-	return l.remote.run(ctx, l, cell)
+	res, d, note, err := l.remote.run(ctx, l, cell)
+	return res, nil, d, note, err
 }
 
 // simulate executes one cell's simulation, serving its record stream
@@ -203,6 +219,58 @@ func (l *Lab) simulate(ctx context.Context, cell *Cell) (res sim.Results, tapeWa
 	return res, tapeWait, err
 }
 
+// simulateSampled executes one sampled cell (Sampling.Windows > 1):
+// the K-window fork/join estimate of the same timed run, served from
+// the session tape store when enabled so sampled and exact cells of
+// one trace identity share a materialized tape.
+func (l *Lab) simulateSampled(ctx context.Context, cell *Cell) (*sim.SampledResults, time.Duration, error) {
+	var sr sim.SampledResults
+	var err error
+	if l.tapes == nil {
+		if cell.Scenario != nil {
+			sr, err = sim.RunSampledScenarioCtx(ctx, cell.Config, *cell.Scenario, cell.Pref, cell.Sampling, nil)
+		} else {
+			sr, err = sim.RunSampledCtx(ctx, cell.Config, cell.Spec, cell.Pref, cell.Sampling, nil)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return &sr, 0, nil
+	}
+	if err := cell.Config.Validate(); err != nil {
+		return nil, 0, err
+	}
+	seed := cell.Config.Seed
+	cores := cell.Config.Cores
+	perCore := cell.Config.WarmRecords + cell.Config.MeasureRecords
+	var key string
+	var build func() *trace.Tape
+	if cell.Scenario != nil {
+		scn := cell.Scenario.Scaled(cell.Config.Scale)
+		key = dist.TapeKey(trace.Spec{}, scn.Key(), seed, cores, perCore)
+		build = func() *trace.Tape {
+			return trace.NewScenarioTape(scn, seed, cores, perCore)
+		}
+	} else {
+		spec := cell.Spec.Scaled(cell.Config.Scale)
+		key = dist.TapeKey(spec, "", seed, cores, perCore)
+		build = func() *trace.Tape {
+			return trace.NewTape(spec, seed, cores, perCore)
+		}
+	}
+	t0 := time.Now()
+	tape, _, err := l.tapes.GetOrBuild(ctx, key, nil, build)
+	tapeWait := time.Since(t0)
+	if err != nil {
+		return nil, tapeWait, err
+	}
+	sr, err = sim.RunSampledTapeCtx(ctx, cell.Config, tape, cell.Pref, cell.Sampling, nil)
+	if err != nil {
+		return nil, tapeWait, err
+	}
+	return &sr, tapeWait, nil
+}
+
 // runState carries the per-Run bookkeeping shared by the workers.
 type runState struct {
 	lab   *Lab
@@ -238,6 +306,7 @@ func (st *runState) runCell(ctx context.Context, i int) {
 	start := time.Now()
 
 	var res sim.Results
+	var sr *sim.SampledResults
 	var err error
 	var overhead time.Duration
 	var note string
@@ -249,7 +318,7 @@ func (st *runState) runCell(ctx context.Context, i int) {
 				err = fmt.Errorf("lab: cell %s/%s panicked: %v", cell.Workload, cell.Label, r)
 			}
 		}()
-		res, overhead, note, err = st.lab.dispatch(ctx, &cell)
+		res, sr, overhead, note, err = st.lab.dispatch(ctx, &cell)
 	}()
 
 	cr.Wall = time.Since(start)
@@ -271,13 +340,20 @@ func (st *runState) runCell(ctx context.Context, i int) {
 		}
 		return
 	}
-	cr.Res = &res
-	st.lab.store(cellKey(&cell), cr.Res)
+	if sr != nil {
+		cr.Sampled = sr
+		cr.Res = &sr.Results
+		st.lab.storeSmp(cellKey(&cell), sr)
+	} else {
+		cr.Res = &res
+		st.lab.store(cellKey(&cell), cr.Res)
+	}
 	st.emit(ResultEvent{Kind: CellFinished, Cell: cell, Res: cr.Res, Wall: cr.Wall, Note: note})
 	// Identical plan cells share the result without re-simulating.
 	for _, d := range st.dups[i] {
 		dr := &st.m.Cells[d]
 		dr.Res = cr.Res
+		dr.Sampled = cr.Sampled
 		st.emit(ResultEvent{Kind: CellFinished, Cell: dr.Cell, Res: cr.Res})
 	}
 }

@@ -306,6 +306,16 @@ func (e *Engine) Record(core int, blk uint64, prefetchHit bool) {
 	e.meta.Record(core, blk, prefetchHit)
 }
 
+// RecordWarm implements WarmRecorder by forwarding to the backend when it
+// supports traffic-free warming, falling back to a plain miss Record.
+func (e *Engine) RecordWarm(core int, blk uint64) {
+	if w, ok := e.meta.(WarmRecorder); ok {
+		w.RecordWarm(core, blk)
+		return
+	}
+	e.meta.Record(core, blk, false)
+}
+
 func (e *Engine) adopt(core int, cur *Cursor) {
 	st := &e.core[core]
 	if st.active {

@@ -104,6 +104,18 @@ type Metadata interface {
 	MarkEnd(core int, pos uint64)
 }
 
+// WarmRecorder is implemented by meta-data backends (and the Temporal
+// wrappers around them) that offer a traffic-free warming append: the
+// same history append and sampled index update as Record — consuming the
+// same random draws, so a warmed backend is distributionally identical to
+// one that recorded the full prefix — but with no memory traffic charged
+// and no bucket-buffer residency modelled. The sampling scheduler's
+// meta-data warming pass uses it; backends without it are warmed through
+// plain Record.
+type WarmRecorder interface {
+	RecordWarm(core int, blk uint64)
+}
+
 // ProbeState classifies a prefetch-buffer probe.
 type ProbeState int
 

@@ -36,12 +36,14 @@ var ErrCheckpointed = errors.New("sim: run halted after writing a checkpoint")
 type RunOption func(*runOpts)
 
 type runOpts struct {
-	every     uint64
-	path      string
-	sink      func(data []byte) error
-	haltAfter int
-	stopCh    <-chan struct{}
-	resume    []byte
+	every       uint64
+	path        string
+	sink        func(data []byte) error
+	haltAfter   int
+	stopCh      <-chan struct{}
+	resume      []byte
+	warm        *ckpt.Snapshot
+	windowClock bool
 }
 
 func (o *runOpts) active() bool {
@@ -90,6 +92,25 @@ func WithCheckpointSignal(ch <-chan struct{}) RunOption {
 // match the ones recorded in the checkpoint.
 func WithResume(data []byte) RunOption {
 	return func(o *runOpts) { o.resume = data }
+}
+
+// withWarmState injects functionally warmed state (a "sim.warm"
+// snapshot of caches, stride tables and temporal prefetcher) into a
+// freshly constructed timed system before its cores start. Internal to
+// the sampling scheduler; ignored on resumed runs, whose checkpoint
+// restores the full state.
+func withWarmState(snap *ckpt.Snapshot) RunOption {
+	return func(o *runOpts) { o.warm = snap }
+}
+
+// withWindowClock ends the measured interval at the last instruction
+// commit (max core FinishTime) instead of the memory-channel drain. A
+// full run pays the end-of-run drain tail once, so it belongs in the
+// exact numbers; a K-window sampled run would pay it K times, which
+// inflates cycles-per-instruction in every window. Internal to the
+// sampling scheduler.
+func withWindowClock() RunOption {
+	return func(o *runOpts) { o.windowClock = true }
 }
 
 func gatherOpts(opts []RunOption) runOpts {

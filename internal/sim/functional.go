@@ -26,6 +26,12 @@ type functional struct {
 	strid *stride.Prefetcher
 	pref  built
 
+	// warmRec is the traffic-free warming append when the temporal
+	// backend offers one (see prefetch.WarmRecorder), nil otherwise;
+	// resolved once at construction so metaStep pays no per-record
+	// type assertion.
+	warmRec func(core int, blk uint64)
+
 	// strideIssue is the premade stride-candidate continuation (one
 	// allocation per run instead of one per load).
 	strideIssue func(cand uint64)
@@ -145,14 +151,9 @@ func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps 
 	return runFunctional(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress, src, opts)
 }
 
-// runFunctional drives the zero-latency system over per-core record
-// generators, round-robin, one record per core per tick; marks, when
-// non-nil, request per-phase stat windows in the Results.
-func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress, src ckptSrc, opts []RunOption) (Results, error) {
-	if ctx == nil {
-		ctx = context.Background() // nil = never cancelled
-	}
-	opt := gatherOpts(opts)
+// newFunctional constructs the zero-latency system (also used by the
+// sampling scheduler's warming pass).
+func newFunctional(cfg Config, scaled trace.Spec, ps PrefSpec) *functional {
 	s := &functional{
 		cfg:         cfg,
 		spec:        scaled,
@@ -162,10 +163,24 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 	s.strid = stride.New(cfg.Stride)
 	s.strideIssue = s.stridePrefetch
 	s.pref = buildPrefetcher(funcEnv{s}, cfg, ps)
-
+	if w, ok := s.pref.temporal.(prefetch.WarmRecorder); ok {
+		s.warmRec = w.RecordWarm
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		s.l1 = append(s.l1, cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1(), Assoc: cfg.L1Assoc}))
 	}
+	return s
+}
+
+// runFunctional drives the zero-latency system over per-core record
+// generators, round-robin, one record per core per tick; marks, when
+// non-nil, request per-phase stat windows in the Results.
+func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress, src ckptSrc, opts []RunOption) (Results, error) {
+	if ctx == nil {
+		ctx = context.Background() // nil = never cancelled
+	}
+	opt := gatherOpts(opts)
+	s := newFunctional(cfg, scaled, ps)
 
 	phases := newPhaseTracker(marks, cfg.Cores)
 	snapNow := func() phaseSnap { return phaseSnap{cnt: s.cnt} }
@@ -345,6 +360,25 @@ func (s *functional) step(core int, pc uint32, blk uint64) {
 	s.pref.temporal.TriggerMiss(core, blk)
 	s.pref.temporal.Record(core, blk, false)
 	s.fill(core, blk)
+}
+
+// metaStep replays one reference through the L2 and the temporal
+// backend's history/index only — no L1s, no stride, no prefetch-buffer
+// streaming. The sampling scheduler warms the deep prefix of a window
+// with it: off-chip meta-data (history buffer, index table) accumulates
+// over the whole run and never saturates, so it needs the full prefix,
+// while the caches, stride table and prefetch buffer reach steady state
+// within a short recent horizon that runs at full fidelity (step).
+func (s *functional) metaStep(core int, blk uint64) {
+	if s.l2.Access(blk, false) {
+		return
+	}
+	if s.warmRec != nil {
+		s.warmRec(core, blk)
+	} else {
+		s.pref.temporal.Record(core, blk, false)
+	}
+	s.l2.Fill(blk, blockDirty(blk, s.dirtyThresh))
 }
 
 // stridePrefetch fills a stride candidate directly (zero-latency memory).

@@ -66,6 +66,16 @@ type timed struct {
 	measuring   bool
 	measureT0   uint64
 
+	// Sampling-window barrier (windowClock runs only): warmPending
+	// counts warm-record accesses dispatched before the boundary whose
+	// hierarchy walk is still deferred to its issue time; barrierFull is
+	// set once every core is parked on the boundary. The window opens
+	// when both conditions clear, so every warm access is counted on the
+	// warm side of the snapshot and the window measures exactly its
+	// planned records.
+	warmPending int
+	barrierFull bool
+
 	// Per-phase windowing (scenario runs); nil otherwise.
 	phases *phaseTracker
 
@@ -85,6 +95,7 @@ const (
 	tkDemandDone              // demand DRAM read data available (a=blk, b=core)
 	tkStrideDone              // stride DRAM read data available (a=blk)
 	tkPBArrived               // prefetch-buffer partial hit arrival (a=blk, b=packed)
+	tkBarrier                 // sampling barrier: try opening the measurement window
 )
 
 // pack squeezes a load's identity into one payload word: PC in the high
@@ -109,6 +120,13 @@ func (s *timed) Handle(now uint64, kind uint8, a, b uint64) {
 		if t, sync := s.access(core, pc, a, token); sync {
 			s.cores[core].Complete(token, t)
 		}
+		if s.warmPending > 0 {
+			if s.warmPending--; s.warmPending == 0 {
+				s.maybeOpenWindow()
+			}
+		}
+	case tkBarrier:
+		s.maybeOpenWindow()
 	case tkRetry:
 		core, _, token := unpackLoad(b)
 		s.demandFetch(core, a, token)
@@ -418,6 +436,11 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 			return Results{}, err
 		}
 	} else {
+		if s.opt.warm != nil {
+			if err := s.applyWarm(s.opt.warm); err != nil {
+				return Results{}, err
+			}
+		}
 		for _, c := range s.cores {
 			c.Start()
 		}
@@ -439,6 +462,13 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 		}
 		if s.aborted {
 			return true
+		}
+		// While the sampling barrier holds cores paused on the warm-up
+		// boundary the paused flag is not part of the core snapshot
+		// format; defer checkpoints until the window opens (the barrier
+		// interval is a handful of records).
+		if s.opt.windowClock && !s.measuring && s.crossedWarm > 0 {
+			return false
 		}
 		if s.opt.stopCh != nil {
 			select {
@@ -482,6 +512,9 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 func (s *timed) load(core int, pc uint32, blk uint64, issueAt uint64, token uint32) cpu.LoadResult {
 	s.noteRecord(core)
 	if issueAt > s.eng.Now() {
+		if s.opt.windowClock && !s.measuring {
+			s.warmPending++
+		}
 		s.eng.AtH(issueAt, s, tkAccess, blk, packLoad(core, pc, token))
 		return cpu.LoadResult{}
 	}
@@ -601,9 +634,37 @@ func (s *timed) noteRecord(core int) {
 	}
 	if s.recordsSeen[core] == s.cfg.WarmRecords && !s.measuring {
 		s.crossedWarm++
-		if s.crossedWarm == s.cfg.Cores {
-			s.startMeasure()
+		switch {
+		case !s.opt.windowClock:
+			if s.crossedWarm == s.cfg.Cores {
+				s.startMeasure()
+			}
+		default:
+			// Sampling window: park the core on the warm-up boundary.
+			// Without the barrier, cores that run ahead consume (fast)
+			// measurement records before the window opens; the serial run
+			// pays that clip once, K windows would pay it K times, which
+			// skews every window slow. The last core to arrive parks too:
+			// its boundary record (and any other deferred warm access)
+			// must finish its hierarchy walk before the window opens.
+			s.cores[core].Pause()
+			if s.crossedWarm == s.cfg.Cores {
+				s.barrierFull = true
+				s.eng.ScheduleH(0, s, tkBarrier, 0, 0)
+			}
 		}
+	}
+}
+
+// maybeOpenWindow opens a sampling window once every core is parked on
+// the warm-up boundary and no warm-record access walk is still pending.
+func (s *timed) maybeOpenWindow() {
+	if !s.barrierFull || s.measuring || s.warmPending > 0 {
+		return
+	}
+	s.startMeasure()
+	for _, c := range s.cores {
+		c.Resume()
 	}
 }
 
@@ -631,7 +692,20 @@ func (s *timed) results(ps PrefSpec) Results {
 	// completion is bookkeeping, not an event). The run ends when the
 	// channel does.
 	now := s.eng.Now()
-	if bu := s.mc.BusyUntil(); bu > now {
+	if s.opt.windowClock && s.measuring {
+		// Sampling window: the clock stops at the last instruction
+		// commit. The queue drain past that point (outstanding demand
+		// misses, low-priority meta-data backlog) is an end-of-run
+		// artifact the serial run pays once but K windows would pay K
+		// times.
+		fin := s.measureT0
+		for _, c := range s.cores {
+			if f := c.FinishTime(); f > fin {
+				fin = f
+			}
+		}
+		now = fin
+	} else if bu := s.mc.BusyUntil(); bu > now {
 		now = bu
 	}
 	w := s.cnt.sub(s.cntSnap)
@@ -647,7 +721,9 @@ func (s *timed) results(ps PrefSpec) Results {
 	}
 	var mlpW, mlpB float64
 	for i := range s.mlp {
-		s.mlp[i].advance(now)
+		if now > s.mlp[i].lastT {
+			s.mlp[i].advance(now)
+		}
 		mlpW += float64(s.mlp[i].weighted)
 		mlpB += float64(s.mlp[i].busy)
 	}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStudentTReferences checks the t quantile against standard table
+// values (two-sided). References: NIST/SEMATECH e-Handbook, Table of
+// critical values of Student's t distribution.
+func TestStudentTReferences(t *testing.T) {
+	cases := []struct {
+		level float64
+		df    int
+		want  float64
+	}{
+		// 95% two-sided (t_{0.975,df})
+		{0.95, 1, 12.7062},
+		{0.95, 2, 4.3027},
+		{0.95, 3, 3.1824},
+		{0.95, 4, 2.7764},
+		{0.95, 5, 2.5706},
+		{0.95, 7, 2.3646},
+		{0.95, 10, 2.2281},
+		{0.95, 15, 2.1314},
+		{0.95, 30, 2.0423},
+		{0.95, 120, 1.9799},
+		// 90% two-sided (t_{0.95,df})
+		{0.90, 1, 6.3138},
+		{0.90, 2, 2.9200},
+		{0.90, 5, 2.0150},
+		{0.90, 10, 1.8125},
+		{0.90, 30, 1.6973},
+		// 99% two-sided (t_{0.995,df})
+		{0.99, 1, 63.657},
+		{0.99, 5, 4.0321},
+		{0.99, 10, 3.1693},
+		{0.99, 30, 2.7500},
+	}
+	for _, c := range cases {
+		got := StudentT(c.level, c.df)
+		if math.Abs(got-c.want) > 5e-4*c.want {
+			t.Errorf("StudentT(%g, %d) = %.5f, want %.5f", c.level, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTLargeDFApproachesNormal(t *testing.T) {
+	// t → z as df → ∞; z_{0.975} = 1.95996.
+	got := StudentT(0.95, 100000)
+	if math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("StudentT(0.95, 1e5) = %.5f, want ≈1.95996", got)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	// Hand-checked: values {1,2,3,4,5}, mean 3, s = sqrt(2.5),
+	// SE = sqrt(0.5), t_{0.975,4} = 2.7764 → half-width 1.9633.
+	ci := MeanCI([]float64{1, 2, 3, 4, 5}, 0.95)
+	if math.Abs(ci.Mean-3) > 1e-12 {
+		t.Errorf("mean = %v, want 3", ci.Mean)
+	}
+	wantH := 2.7764 * math.Sqrt(0.5)
+	if math.Abs(ci.HalfWidth()-wantH) > 1e-3 {
+		t.Errorf("half-width = %v, want %v", ci.HalfWidth(), wantH)
+	}
+	if !ci.Contains(3) || ci.Contains(3+wantH+0.01) {
+		t.Errorf("Contains misbehaves: %+v", ci)
+	}
+	if ci.N != 5 || ci.Level != 0.95 {
+		t.Errorf("metadata: %+v", ci)
+	}
+}
+
+func TestMeanCIDegenerate(t *testing.T) {
+	if ci := MeanCI(nil, 0.95); ci.Mean != 0 || ci.HalfWidth() != 0 || ci.N != 0 {
+		t.Errorf("empty: %+v", ci)
+	}
+	ci := MeanCI([]float64{7}, 0.95)
+	if ci.Mean != 7 || ci.Lo != 7 || ci.Hi != 7 || ci.N != 1 {
+		t.Errorf("single: %+v", ci)
+	}
+	// Identical values: zero-width interval around the value.
+	ci = MeanCI([]float64{2, 2, 2, 2}, 0.95)
+	if ci.Mean != 2 || ci.HalfWidth() != 0 {
+		t.Errorf("constant: %+v", ci)
+	}
+}
+
+func TestStratifiedMeanEqualWeightsMatchesMeanCI(t *testing.T) {
+	vals := []float64{1.2, 0.9, 1.05, 1.3, 0.85, 1.1}
+	w := []float64{3, 3, 3, 3, 3, 3}
+	a := MeanCI(vals, 0.95)
+	b := StratifiedMean(vals, w, 0.95)
+	if math.Abs(a.Mean-b.Mean) > 1e-12 || math.Abs(a.HalfWidth()-b.HalfWidth()) > 1e-12 {
+		t.Errorf("equal weights diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestStratifiedMeanRatioOfSums(t *testing.T) {
+	// Per-stratum IPC with instruction counts as weights must
+	// reproduce the pooled ratio ΣI/ΣC exactly.
+	instrs := []float64{100, 250, 50}
+	cycles := []float64{80, 300, 20}
+	vals := make([]float64, 3)
+	for i := range vals {
+		vals[i] = instrs[i] / cycles[i]
+	}
+	ci := StratifiedMean(vals, cycles, 0.95)
+	want := (100.0 + 250 + 50) / (80.0 + 300 + 20)
+	if math.Abs(ci.Mean-want) > 1e-12 {
+		t.Errorf("weighted mean %v, want ratio-of-sums %v", ci.Mean, want)
+	}
+}
+
+func TestStratifiedMeanZeroWeights(t *testing.T) {
+	ci := StratifiedMean([]float64{1, 3}, []float64{0, 0}, 0.95)
+	if ci.Mean != 2 {
+		t.Errorf("all-zero weights should fall back to plain mean: %+v", ci)
+	}
+}
+
+func TestCIRelErr(t *testing.T) {
+	ci := CI{Mean: 2, Lo: 1.8, Hi: 2.2}
+	if math.Abs(ci.RelErr()-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v, want 0.1", ci.RelErr())
+	}
+	if (CI{}).RelErr() != 0 {
+		t.Error("zero-mean RelErr should be 0")
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if m := MedianOf([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median %v", m)
+	}
+	if m := MedianOf([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median %v", m)
+	}
+	if m := MedianOf(nil); m != 0 {
+		t.Errorf("empty median %v", m)
+	}
+}
+
+// TestMeanCICoverage is a quick self-consistency check: for normal
+// samples the 95% interval should contain the true mean ~95% of the
+// time. Uses a deterministic LCG, 400 trials of n=8.
+func TestMeanCICoverage(t *testing.T) {
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		// xorshift64* → uniform in (0,1)
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return float64(state*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+	}
+	gauss := func() float64 {
+		// Box-Muller
+		u1, u2 := next(), next()
+		if u1 < 1e-300 {
+			u1 = 1e-300
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+	const trials = 400
+	hits := 0
+	for tr := 0; tr < trials; tr++ {
+		vals := make([]float64, 8)
+		for i := range vals {
+			vals[i] = 5 + 2*gauss()
+		}
+		if MeanCI(vals, 0.95).Contains(5) {
+			hits++
+		}
+	}
+	// Binomial(400, 0.95): 3.5σ ≈ 15. Accept [365, 400].
+	if hits < 365 {
+		t.Errorf("95%% CI contained the true mean in only %d/%d trials", hits, trials)
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"stms/internal/lab"
 	"stms/internal/prefetch"
 	"stms/internal/sim"
+	"stms/internal/stats"
 	"stms/internal/trace"
 )
 
@@ -473,6 +474,77 @@ func RunTimedScenarioCtx(ctx context.Context, cfg Config, scn Scenario, ps PrefS
 // functional driver (timing fields stay zero).
 func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn Scenario, ps PrefSpec) (Results, error) {
 	return sim.RunFunctionalScenarioCtx(ctx, cfg, scn, ps, nil)
+}
+
+// Sampling configures a K-window sampled simulation (DESIGN.md §13):
+// the measurement window is split into Windows equal slices, each
+// warmed by a fast meta-data replay of its prefix plus a short
+// full-fidelity functional pass (FuncWarmup records) and a timed
+// warm-up (Warmup records), then measured concurrently. Windows <= 1
+// degenerates to the exact serial run.
+type Sampling = sim.Sampling
+
+// SampledResults joins a sampled run: the stitched estimate in Results
+// form, the per-window details, and per-metric confidence intervals.
+type SampledResults = sim.SampledResults
+
+// WindowStat is one measured window of a sampled run.
+type WindowStat = sim.WindowStat
+
+// SampledCI carries the Student-t confidence intervals of the headline
+// metrics (IPC, MLP, DRAM utilization, coverage) across windows.
+type SampledCI = sim.SampledCI
+
+// CI is one confidence interval (mean, bounds, level, strata count).
+type CI = stats.CI
+
+// WithSampling makes every timed cell of the session's plans run as a
+// K-window sampled estimate (Cell.Sampling; per-cell overrides via
+// ForEachCell). Sampled cells memoize and export separately from their
+// exact counterparts and carry SampledResults with error bars.
+func WithSampling(smp Sampling) Option { return lab.WithSampling(smp) }
+
+// RunSampled executes the K-window sampled estimate of the timed
+// simulation, panicking on configuration errors (prefer RunSampledCtx).
+func RunSampled(cfg Config, spec WorkloadSpec, ps PrefSpec, smp Sampling) SampledResults {
+	return sim.RunSampled(cfg, spec, ps, smp)
+}
+
+// RunSampledCtx executes the K-window sampled estimate of
+// RunTimedCtx: the windows warm and measure concurrently, and the
+// result carries per-window stats and confidence intervals. K <= 1
+// returns the exact serial run (Exact = true, point intervals).
+func RunSampledCtx(ctx context.Context, cfg Config, spec WorkloadSpec, ps PrefSpec, smp Sampling) (SampledResults, error) {
+	return sim.RunSampledCtx(ctx, cfg, spec, ps, smp, nil)
+}
+
+// RunSampledScenarioCtx is RunSampledCtx for a phase-structured
+// scenario (the stitched Results carry no per-phase windows — sampling
+// estimates whole-run metrics).
+func RunSampledScenarioCtx(ctx context.Context, cfg Config, scn Scenario, ps PrefSpec, smp Sampling) (SampledResults, error) {
+	return sim.RunSampledScenarioCtx(ctx, cfg, scn, ps, smp, nil)
+}
+
+// RunSampledTapeCtx is RunSampledCtx over a materialized tape;
+// estimates are bit-identical to the spec run of the same identity.
+func RunSampledTapeCtx(ctx context.Context, cfg Config, tape *Tape, ps PrefSpec, smp Sampling) (SampledResults, error) {
+	return sim.RunSampledTapeCtx(ctx, cfg, tape, ps, smp, nil)
+}
+
+// ResumeSampledCtx resumes a sampled run from a checkpoint taken by one
+// of its windows (sim.WithCheckpointFunc): finished windows replay
+// from the checkpoint manifest, the interrupted window resumes
+// mid-stream, and the stitched estimate is bit-identical to an
+// uninterrupted run.
+func ResumeSampledCtx(ctx context.Context, data []byte) (SampledResults, error) {
+	return sim.ResumeSampledCtx(ctx, data, nil)
+}
+
+// PeekSampled inspects a sampled checkpoint without resuming it:
+// the sampling plan, the underlying run's identity, and the index of
+// the checkpointed window.
+func PeekSampled(data []byte) (Sampling, sim.CheckpointDesc, int, error) {
+	return sim.PeekSampled(data)
 }
 
 // DefaultOptions returns the standard experiment scale for the harness.
