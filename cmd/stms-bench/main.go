@@ -40,7 +40,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -48,6 +50,8 @@ import (
 
 	"stms"
 	"stms/internal/expt"
+	"stms/internal/stream"
+	"stms/internal/trace"
 )
 
 func main() {
@@ -191,6 +195,17 @@ func main() {
 // single-CPU host, approaching min(K, cores) with idle cores). The
 // error is deterministic for a given configuration; the speedup is a
 // measurement of this host.
+//
+// Schema v9 adds streaming-ingestion characterization (DESIGN.md §14):
+// the headline workload is streamed to the timed driver over a loopback
+// STMSWIRE connection with one deliberately injected mid-stream
+// disconnect, and the results are required to match the direct run
+// bit-for-bit. streamed_cells counts cells delivered this way (and
+// verified identical), stream_reconnects the transport
+// re-establishments survived, and stream_frames the frame messages the
+// outlet wrote (replays included, so it exceeds the frame count by the
+// resume overlap). All zero would mean the streaming path was skipped;
+// v8 documents stay comparable.
 type benchDoc struct {
 	Schema     string  `json:"schema"`
 	Experiment string  `json:"experiment"`
@@ -253,6 +268,11 @@ type benchDoc struct {
 	SampleErrPct    float64 `json:"sample_err_pct"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 
+	// Streaming-ingestion characterization (v9).
+	StreamedCells    uint64 `json:"streamed_cells"`
+	StreamReconnects uint64 `json:"stream_reconnects"`
+	StreamFrames     uint64 `json:"stream_frames"`
+
 	Matrix *stms.Matrix `json:"matrix"`
 }
 
@@ -311,7 +331,7 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 	}
 	rs := lab.RemoteStats()
 	doc := benchDoc{
-		Schema:     "stms-bench/v8",
+		Schema:     "stms-bench/v9",
 		Experiment: id,
 		Scale:      o.Scale,
 		Seed:       o.Seed,
@@ -363,6 +383,9 @@ func writeBenchJSON(path string, r *expt.Runner, o expt.Options, id string, elap
 		}
 	}
 	if err := sampledCharacterization(&doc, o, windows); err != nil {
+		return err
+	}
+	if err := streamCharacterization(&doc, o); err != nil {
 		return err
 	}
 
@@ -437,5 +460,66 @@ func sampledCharacterization(doc *benchDoc, o expt.Options, windows int) error {
 	if sampled > 0 {
 		doc.SpeedupVsSerial = float64(serial) / float64(sampled)
 	}
+	return nil
+}
+
+// streamCharacterization re-runs the web-apache × stms headline cell
+// with the trace streamed to the timed driver over a loopback STMSWIRE
+// connection (DESIGN.md §14), one mid-stream disconnect injected so the
+// resume path is always exercised. The streamed result must match the
+// direct run bit-for-bit — a divergence fails the whole bench run.
+func streamCharacterization(doc *benchDoc, o expt.Options) error {
+	cfg := stms.DefaultConfig()
+	cfg.Scale, cfg.Seed = o.Scale, o.Seed
+	cfg.WarmRecords, cfg.MeasureRecords = o.Warm, o.Measure
+	spec, err := stms.Workload("web-apache")
+	if err != nil {
+		return err
+	}
+	ps := stms.PrefSpec{Kind: stms.STMS, SampleProb: 0.125}
+	ctx := context.Background()
+
+	direct, err := stms.RunTimedCtx(ctx, cfg, spec, ps)
+	if err != nil {
+		return err
+	}
+
+	perCore := o.Warm + o.Measure
+	src, err := stream.SpecSource(spec.Scaled(o.Scale), o.Seed, cfg.Cores, perCore)
+	if err != nil {
+		return err
+	}
+	out := stream.NewOutlet(src, stream.Timeouts{})
+	framesPerCore := (perCore + trace.FrameCap - 1) / trace.FrameCap
+	out.InjectCuts(framesPerCore * uint64(cfg.Cores) / 2)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- out.Serve(serveCtx, lis) }()
+
+	in, err := stream.DialInlet(lis.Addr().String(), stream.InletConfig{})
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	h := in.Hello()
+	run := stms.SourceRun{Spec: h.Spec, Marks: h.Marks, Sources: in.Sources(), PerCore: h.PerCore}
+	streamed, err := stms.RunTimedSourcesCtx(ctx, cfg, run, ps)
+	if err != nil {
+		return err
+	}
+	if err := <-served; err != nil {
+		return fmt.Errorf("stream outlet: %w", err)
+	}
+	if !reflect.DeepEqual(streamed, direct) {
+		return fmt.Errorf("streamed run diverged from direct run")
+	}
+	doc.StreamedCells = 1
+	doc.StreamReconnects = in.Reconnects()
+	doc.StreamFrames = out.FramesSent()
 	return nil
 }

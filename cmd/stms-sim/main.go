@@ -30,6 +30,15 @@
 // concurrently simulated windows, and the report gains per-metric
 // confidence intervals (level set by -confidence) and a per-window
 // table. K = 1 is the exact run.
+//
+// -connect ADDR consumes a live STMSWIRE stream instead of generating
+// the trace locally: the simulator dials a producer (stms-serve -stream,
+// or stms-trace -wire), takes its trace identity from the handshake, and
+// simulates the framed records as they arrive — bit-identical to running
+// the same workload or tape directly, including across producer drops
+// and reconnects. -connect - reads a one-way stream from stdin;
+// -listen ADDR accepts a producer that dials in instead. -functional
+// swaps in the zero-latency driver for streamed runs.
 package main
 
 import (
@@ -38,12 +47,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 
 	"stms"
 	"stms/internal/dram"
 	"stms/internal/sim"
 	"stms/internal/stats"
+	"stms/internal/stream"
 	"stms/internal/trace"
 )
 
@@ -85,6 +96,9 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "checkpoint file path (STMSCKPT container, atomically replaced each cadence)")
 	haltAfter := flag.Int("halt-after", 0, "halt after writing N checkpoints and exit 0 (simulates a crash; resume with -resume)")
 	resume := flag.String("resume", "", "resume from the checkpoint file a -checkpoint-every run wrote; results are bit-identical to the uninterrupted run")
+	connect := flag.String("connect", "", "consume a live STMSWIRE stream: dial ADDR, or - for stdin")
+	listenStream := flag.String("listen", "", "consume a live STMSWIRE stream: accept one producer on ADDR")
+	functional := flag.Bool("functional", false, "use the zero-latency functional driver (streamed runs only)")
 	flag.Parse()
 
 	kind, err := kindOf(*pref)
@@ -124,8 +138,33 @@ func main() {
 		ps.SampleProb = *sample // meaningless for other variants; keep cells canonical
 	}
 
-	if *windows > 1 && (*resume != "" || *ckptEvery > 0 || *traceFile != "") {
-		fmt.Fprintln(os.Stderr, "stms-sim: -windows composes with workload/scenario runs only (not -trace, -checkpoint-every or -resume)")
+	if *windows > 1 && (*resume != "" || *ckptEvery > 0 || *traceFile != "" || *connect != "" || *listenStream != "") {
+		fmt.Fprintln(os.Stderr, "stms-sim: -windows composes with workload/scenario runs only (not -trace, -connect, -listen, -checkpoint-every or -resume)")
+		os.Exit(1)
+	}
+
+	if *connect != "" || *listenStream != "" {
+		switch {
+		case *connect != "" && *listenStream != "":
+			fmt.Fprintln(os.Stderr, "stms-sim: pass at most one of -connect and -listen")
+			os.Exit(1)
+		case *resume != "" || *ckptEvery > 0 || *traceFile != "":
+			fmt.Fprintln(os.Stderr, "stms-sim: streamed runs are not checkpointable and take their trace from the wire (drop -trace/-checkpoint-every/-resume)")
+			os.Exit(1)
+		}
+		res, err := runStreamed(lab.BaseConfig(), *connect, *listenStream, *warm, *functional, ps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report(res, lab.BaseConfig())
+		if *compare {
+			fmt.Println("\n(-compare is unavailable for streamed runs; reconnect one producer per -pref variant instead)")
+		}
+		return
+	}
+	if *functional {
+		fmt.Fprintln(os.Stderr, "stms-sim: -functional applies to streamed runs (-connect/-listen) only")
 		os.Exit(1)
 	}
 
@@ -180,6 +219,67 @@ func main() {
 			fmt.Printf("coverage vs ideal:     %.1f%%\n", 100*res.Coverage()/ideal.Coverage())
 		}
 	}
+}
+
+// runStreamed consumes a live STMSWIRE stream and simulates it: the
+// producer's handshake supplies the trace identity (spec, seed, cores,
+// per-core budget), so the streamed run is configured exactly like the
+// direct run it mirrors. The warm window comes from -warm; the measured
+// window is whatever the stream delivers beyond it.
+func runStreamed(cfg stms.Config, connect, listen string, warm uint64, functional bool, ps stms.PrefSpec) (stms.Results, error) {
+	var (
+		in  *stream.Inlet
+		err error
+	)
+	switch {
+	case connect == "-":
+		in, err = stream.ReaderInlet(os.Stdin, stream.InletConfig{})
+	case connect != "":
+		in, err = stream.DialInlet(connect, stream.InletConfig{})
+	default:
+		lis, lerr := net.Listen("tcp", listen)
+		if lerr != nil {
+			return stms.Results{}, lerr
+		}
+		fmt.Fprintf(os.Stderr, "stms-sim: waiting for a stream producer on %s\n", lis.Addr())
+		in, err = stream.ListenInlet(lis, stream.InletConfig{})
+	}
+	if err != nil {
+		return stms.Results{}, err
+	}
+	defer in.Close()
+
+	h := in.Hello()
+	cfg.Cores = h.Cores
+	cfg.Seed = h.Seed
+	if h.PerCore > 0 {
+		if warm >= h.PerCore {
+			return stms.Results{}, fmt.Errorf("stms-sim: stream delivers %d records/core; -warm %d leaves nothing to measure", h.PerCore, warm)
+		}
+		cfg.WarmRecords = warm
+		cfg.MeasureRecords = h.PerCore - warm
+	}
+	from := h.Spec.Name
+	if h.Scenario != "" {
+		from = "scenario " + h.Scenario
+	}
+	fmt.Fprintf(os.Stderr, "stms-sim: streaming %s: %d cores, %d records/core (warm %d + measure %d), seed %d\n",
+		from, cfg.Cores, cfg.WarmRecords+cfg.MeasureRecords, cfg.WarmRecords, cfg.MeasureRecords, cfg.Seed)
+
+	run := sim.SourceRun{Spec: h.Spec, Marks: h.Marks, Sources: in.Sources(), PerCore: h.PerCore}
+	var res stms.Results
+	if functional {
+		res, err = sim.RunFunctionalSourcesCtx(context.Background(), cfg, run, ps, nil)
+	} else {
+		res, err = sim.RunTimedSourcesCtx(context.Background(), cfg, run, ps, nil)
+	}
+	if err != nil {
+		return stms.Results{}, err
+	}
+	if n := in.Reconnects(); n > 0 {
+		fmt.Fprintf(os.Stderr, "stms-sim: stream survived %d reconnect(s) (%d frames)\n", n, in.Frames())
+	}
+	return res, nil
 }
 
 // runCheckpointed is the crash-resumable single-cell path: it threads

@@ -22,17 +22,31 @@
 // stms-sim replay windows statistics per phase; -scenario-out writes
 // the resolved scenario back out in the versioned JSON format (a
 // starting point for custom scenarios).
+//
+// -champsim imports a ChampSim input_instr trace (optionally gzipped)
+// as the record source instead of a synthetic workload: each memory
+// source operand becomes one record, strictly validated, and -o
+// captures the result for stms-sim replay.
+//
+// -wire streams the selected source live over the STMSWIRE protocol
+// instead of inspecting it: -wire ADDR dials a waiting consumer
+// (stms-sim -listen ADDR), -wire - writes a one-way stream to stdout
+// (pipe into stms-sim -connect -).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"stms"
 	"stms/internal/stats"
+	"stms/internal/stream"
 	"stms/internal/trace"
 )
 
@@ -48,6 +62,8 @@ func main() {
 	dump := flag.Int("dump", 0, "print the first N records")
 	out := flag.String("o", "", "write the generated records to a flat trace file")
 	tapeOut := flag.String("tape", "", "write the workload as a columnar tape file")
+	champsim := flag.String("champsim", "", "import a ChampSim input_instr trace (optionally gzipped) instead of a synthetic workload")
+	wire := flag.String("wire", "", "stream the source over STMSWIRE: dial ADDR, or - for a one-way stream on stdout")
 	flag.Parse()
 
 	if *listScns {
@@ -60,6 +76,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stms-trace: -cores must be >= 1")
 		os.Exit(1)
 	}
+	if *champsim != "" {
+		switch {
+		case *scenario != "":
+			fmt.Fprintln(os.Stderr, "stms-trace: -champsim and -scenario are mutually exclusive")
+			os.Exit(1)
+		case *tapeOut != "":
+			fmt.Fprintln(os.Stderr, "stms-trace: -tape regenerates from a workload spec; capture imported traces with -o instead")
+			os.Exit(1)
+		}
+		*cores = 1 // a ChampSim trace is one instruction stream
+	}
 	perCore := (*records + uint64(*cores) - 1) / uint64(*cores)
 
 	var (
@@ -68,8 +95,25 @@ func main() {
 		marks []trace.PhaseMark
 		lib   *trace.Library
 		gens  []trace.Generator
+		rdr   *trace.ChampSimReader
 	)
-	if *scenario != "" {
+	if *champsim != "" {
+		f, err := os.Open(*champsim)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rdr, err = trace.NewChampSimReader(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// GapInstrs only calibrates the burstiness stats below; half of
+		// it is the compute-record threshold on the instruction gap.
+		spec = trace.Spec{Name: "champsim:" + filepath.Base(*champsim), DirtyFrac: 0.25, GapInstrs: 64, GapWork: 64}
+		gens = []trace.Generator{rdr}
+	} else if *scenario != "" {
 		s, err := resolveScenario(*scenario)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -108,6 +152,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote scenario %q (%d phases) to %s\n", scn.Name, len(scn.Phases), *scnOut)
+	}
+
+	if *wire != "" {
+		if *out != "" || *tapeOut != "" || *dump > 0 {
+			fmt.Fprintln(os.Stderr, "stms-trace: -wire streams the source instead of inspecting it; drop -o/-tape/-dump")
+			os.Exit(1)
+		}
+		var src stream.Source
+		var err error
+		switch {
+		case *champsim != "":
+			// One-shot external feed: bound it to the -records budget so
+			// the handshake can promise an exact per-core count.
+			for i := range gens {
+				gens[i] = &trace.Limit{Gen: gens[i], N: perCore}
+			}
+			src = stream.GeneratorSource(spec.Name, spec.DirtyFrac, gens)
+			src.Hello.Seed = *seed
+			src.Hello.PerCore = perCore
+		case *scenario != "":
+			src, err = stream.ScenarioSource(scn.Scaled(*scale), *seed, *cores, perCore)
+		default:
+			src, err = stream.SpecSource(spec, *seed, *cores, perCore)
+		}
+		if err == nil {
+			err = streamWire(src, *wire)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var captured []trace.Record
@@ -150,6 +226,15 @@ func main() {
 			curBurst = 0
 		} else {
 			curBurst++
+		}
+	}
+
+	if rdr != nil {
+		// A short read is fine (the budget ran out); a decode error is a
+		// malformed import and must not pass as a clean truncation.
+		if err := rdr.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 
@@ -210,6 +295,10 @@ func main() {
 		fmt.Printf("library         %d streams, footprint %d blocks (%.1f MB), %d churned\n",
 			lenStreams(lib), lib.Footprint(), float64(lib.Footprint())*64/1e6, lib.Regenerated())
 	}
+	if rdr != nil {
+		fmt.Printf("imported        %d instructions -> %d memory-source records\n",
+			rdr.Instructions(), rdr.Records())
+	}
 	if *scenario != "" {
 		fmt.Printf("phases          %d", len(scn.Phases))
 		if len(marks) > 0 {
@@ -234,6 +323,25 @@ func lenStreams(l *trace.Library) int {
 		return -1 // per-core, built lazily
 	}
 	return l.Spec().Streams
+}
+
+// streamWire serves the source over STMSWIRE: to stdout as a one-way
+// stream ("-"), or by dialing a waiting consumer (stms-sim -listen).
+func streamWire(src stream.Source, addr string) error {
+	out := stream.NewOutlet(src, stream.Timeouts{})
+	if addr == "-" {
+		if err := out.WriteAll(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := out.Connect(ctx, addr); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "stms-trace: streamed %d frames (%d resumes)\n", out.FramesSent(), out.Resumes())
+	return nil
 }
 
 // resolveScenario interprets the -scenario argument: a built-in name,

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 
 	"stms/internal/cache"
 	"stms/internal/ckpt"
@@ -108,7 +109,7 @@ func RunFunctionalCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefS
 		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
 	}
 	src := ckptSrc{kind: "spec", spec: spec}
-	return runFunctional(ctx, cfg, scaled, gens, nil, ps, progress, src, opts)
+	return runFunctional(ctx, cfg, scaled, gens, nil, nil, ps, progress, src, opts)
 }
 
 // RunFunctionalScenarioCtx executes the zero-latency driver over a
@@ -129,7 +130,7 @@ func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenari
 		gens[i] = &trace.Limit{Gen: g, N: total}
 	}
 	src := ckptSrc{kind: "scenario", scn: scn}
-	return runFunctional(ctx, cfg, scaled.EffectiveSpec(cfg.Cores, total), gens, marks, ps, progress, src, opts)
+	return runFunctional(ctx, cfg, scaled.EffectiveSpec(cfg.Cores, total), gens, nil, marks, ps, progress, src, opts)
 }
 
 // RunFunctionalTapeCtx executes the functional driver over a
@@ -148,7 +149,24 @@ func RunFunctionalTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps 
 		gens[i] = tape.CursorN(i, perCore)
 	}
 	src := ckptSrc{kind: "tape"}
-	return runFunctional(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress, src, opts)
+	return runFunctional(ctx, cfg, tape.Spec(), gens, nil, tape.Marks(), ps, progress, src, opts)
+}
+
+// RunFunctionalSourcesCtx executes the functional driver over externally
+// produced frame sources — a stream.Inlet's Sources, typically. The
+// bundle's Spec and Marks stand in for the locally derived identity;
+// checkpointing is unavailable (the sources cannot be re-seeked). When
+// the bundle declares a per-core record count, the run budget must match
+// it exactly so Results stay bit-identical to direct replay.
+func RunFunctionalSourcesCtx(ctx context.Context, cfg Config, run SourceRun, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	if err := run.validate(cfg); err != nil {
+		return Results{}, err
+	}
+	src := ckptSrc{kind: "external"}
+	return runFunctional(ctx, cfg, run.Spec, nil, run.Sources, run.Marks, ps, progress, src, opts)
 }
 
 // newFunctional constructs the zero-latency system (also used by the
@@ -175,7 +193,7 @@ func newFunctional(cfg Config, scaled trace.Spec, ps PrefSpec) *functional {
 // runFunctional drives the zero-latency system over per-core record
 // generators, round-robin, one record per core per tick; marks, when
 // non-nil, request per-phase stat windows in the Results.
-func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress, src ckptSrc, opts []RunOption) (Results, error) {
+func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []trace.Generator, extSrcs []trace.FrameSource, marks []trace.PhaseMark, ps PrefSpec, progress Progress, src ckptSrc, opts []RunOption) (Results, error) {
 	if ctx == nil {
 		ctx = context.Background() // nil = never cancelled
 	}
@@ -196,7 +214,11 @@ func runFunctional(ctx context.Context, cfg Config, scaled trace.Spec, gens []tr
 	pos := make([]int, cfg.Cores)
 	framesRead := make([]uint64, cfg.Cores)
 	for i := range srcs {
-		srcs[i] = trace.AutoFrames(gens[i])
+		if extSrcs != nil {
+			srcs[i] = extSrcs[i]
+		} else {
+			srcs[i] = trace.AutoFrames(gens[i])
+		}
 	}
 	defer func() {
 		for _, src := range srcs {
@@ -297,6 +319,14 @@ loop:
 	}
 	if eng := s.pref.engine; eng != nil {
 		eng.Flush()
+	}
+	// A source that ran dry because its producer failed (truncated tape,
+	// dropped stream, dead generator) must fail the run, not pass off the
+	// records it did deliver as a complete result.
+	for _, src := range srcs {
+		if err := src.Err(); err != nil {
+			return Results{}, fmt.Errorf("sim: trace source failed mid-run: %w", err)
+		}
 	}
 
 	w := s.cnt.sub(s.cntSnap)

@@ -1,5 +1,11 @@
 package sim
 
+import (
+	"fmt"
+
+	"stms/internal/trace"
+)
+
 // Progress receives periodic completion callbacks from a running
 // simulation: done is the number of trace records processed so far
 // (across all cores, warm-up included), total the number expected.
@@ -12,3 +18,31 @@ type Progress func(done, total uint64)
 // progress callbacks: frequent enough that cancellation lands within a
 // few microseconds of simulated work, rare enough to stay off profiles.
 const pollEvery = 4096
+
+// SourceRun bundles externally produced per-core frame sources — a
+// stream.Inlet's Sources, typically — with the trace identity their
+// producer announced, so a remote stream simulates bit-identically to
+// the same trace consumed locally. PerCore is the per-core record count
+// the sources will deliver (0 when unknown); when set, the run budget
+// must match it exactly — a budget shorter than the stream would leave
+// trailing frames half-consumed and shift the frame accounting away
+// from direct replay's.
+type SourceRun struct {
+	Spec    trace.Spec
+	Marks   []trace.PhaseMark
+	Sources []trace.FrameSource
+	PerCore uint64
+}
+
+// validate checks the source bundle against the run configuration.
+func (r SourceRun) validate(cfg Config) error {
+	total := cfg.WarmRecords + cfg.MeasureRecords
+	switch {
+	case len(r.Sources) != cfg.Cores:
+		return fmt.Errorf("sim: %d frame sources for %d cores", len(r.Sources), cfg.Cores)
+	case r.PerCore > 0 && total != r.PerCore:
+		return fmt.Errorf("sim: stream delivers %d records/core, run budget is %d (warm %d + measure %d); they must match exactly",
+			r.PerCore, total, cfg.WarmRecords, cfg.MeasureRecords)
+	}
+	return nil
+}

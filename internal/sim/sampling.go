@@ -828,7 +828,7 @@ func runOneWindow(ctx context.Context, cfg Config, scaled trace.Spec, ps PrefSpe
 	if err != nil {
 		return Results{}, err
 	}
-	return runTimed(ctx, cfgW, scaled, gens, nil, ps, progress, (g.warm+g.length)*uint64(cfg.Cores), wsrc, wopts)
+	return runTimed(ctx, cfgW, scaled, gens, nil, nil, ps, progress, (g.warm+g.length)*uint64(cfg.Cores), wsrc, wopts)
 }
 
 // addEngineCounts is the element-wise sum (the Sub counterpart, used

@@ -269,7 +269,7 @@ func RunTimedCtx(ctx context.Context, cfg Config, spec trace.Spec, ps PrefSpec, 
 		gens[i] = &trace.Limit{Gen: trace.NewGenerator(lib, i, cfg.Seed), N: total}
 	}
 	src := ckptSrc{kind: "spec", spec: spec}
-	return runTimed(ctx, cfg, scaled, gens, nil, ps, progress, total*uint64(cfg.Cores), src, opts)
+	return runTimed(ctx, cfg, scaled, gens, nil, nil, ps, progress, total*uint64(cfg.Cores), src, opts)
 }
 
 // RunTimedScenarioCtx executes the timed simulation of a
@@ -294,7 +294,7 @@ func RunTimedScenarioCtx(ctx context.Context, cfg Config, scn trace.Scenario, ps
 	}
 	spec := scaled.EffectiveSpec(cfg.Cores, total)
 	src := ckptSrc{kind: "scenario", scn: scn}
-	return runTimed(ctx, cfg, spec, gens, marks, ps, progress, total*uint64(cfg.Cores), src, opts)
+	return runTimed(ctx, cfg, spec, gens, nil, marks, ps, progress, total*uint64(cfg.Cores), src, opts)
 }
 
 // RunTimedTapeCtx executes the timed simulation over a materialized
@@ -315,7 +315,7 @@ func RunTimedTapeCtx(ctx context.Context, cfg Config, tape *trace.Tape, ps PrefS
 		gens[i] = tape.CursorN(i, total)
 	}
 	src := ckptSrc{kind: "tape"}
-	return runTimed(ctx, cfg, tape.Spec(), gens, tape.Marks(), ps, progress, total*uint64(cfg.Cores), src, opts)
+	return runTimed(ctx, cfg, tape.Spec(), gens, nil, tape.Marks(), ps, progress, total*uint64(cfg.Cores), src, opts)
 }
 
 // tapeFits verifies a tape covers the run a config describes. Scenario
@@ -365,13 +365,33 @@ func RunTimedTraceCtx(ctx context.Context, cfg Config, name string, gens []trace
 	}
 	spec := trace.Spec{Name: name, DirtyFrac: dirtyFrac}
 	src := ckptSrc{kind: "external"}
-	return runTimed(ctx, cfg, spec, gens, nil, ps, progress, 0, src, opts)
+	return runTimed(ctx, cfg, spec, gens, nil, nil, ps, progress, 0, src, opts)
+}
+
+// RunTimedSourcesCtx executes the timed simulation over externally
+// produced frame sources — a stream.Inlet's per-core sources, most
+// commonly — carrying the trace identity their producer announced.
+// With a matching configuration (same seed, cores, and a warm+measure
+// budget equal to the stream's per-core record count), Results are
+// bit-identical to consuming the same trace locally. Sources that die
+// mid-stream fail the run with their error; like other external runs,
+// these are not checkpointable.
+func RunTimedSourcesCtx(ctx context.Context, cfg Config, run SourceRun, ps PrefSpec, progress Progress, opts ...RunOption) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	if err := run.validate(cfg); err != nil {
+		return Results{}, err
+	}
+	src := ckptSrc{kind: "external"}
+	return runTimed(ctx, cfg, run.Spec, nil, run.Sources, run.Marks, ps, progress, run.PerCore*uint64(cfg.Cores), src, opts)
 }
 
 // runTimed wires and drains the event-driven system over the given
-// per-core generators; marks, when non-nil, request per-phase stat
+// per-core generators — or, when srcs is non-nil, over pre-built frame
+// sources (remote streams); marks, when non-nil, request per-phase stat
 // windows in the Results.
-func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Generator, marks []trace.PhaseMark, ps PrefSpec, progress Progress, totalRecs uint64, src ckptSrc, opts []RunOption) (Results, error) {
+func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Generator, srcs []trace.FrameSource, marks []trace.PhaseMark, ps PrefSpec, progress Progress, totalRecs uint64, src ckptSrc, opts []RunOption) (Results, error) {
 	if ctx == nil {
 		ctx = context.Background() // documented: nil = never cancelled
 	}
@@ -409,7 +429,11 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 		}
 	}()
 	for i := 0; i < cfg.Cores; i++ {
-		s.srcs[i] = trace.AutoFrames(gens[i])
+		if srcs != nil {
+			s.srcs[i] = srcs[i]
+		} else {
+			s.srcs[i] = trace.AutoFrames(gens[i])
+		}
 		s.l1 = append(s.l1, cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1(), Assoc: cfg.L1Assoc}))
 		c := cpu.NewFramed(i, cfg.Core, s.eng, s.srcs[i], s.load)
 		s.cores = append(s.cores, c)
@@ -504,6 +528,15 @@ func runTimed(ctx context.Context, cfg Config, spec trace.Spec, gens []trace.Gen
 		return Results{}, s.ckptErr
 	case s.halted:
 		return Results{}, ErrCheckpointed
+	}
+	// A frame source that ran dry because its producer died (truncated
+	// file, dropped stream) must fail the run — the records are
+	// incomplete, and reporting results over them would silently pass a
+	// short trace off as the real one.
+	for _, fs := range s.srcs {
+		if err := fs.Err(); err != nil {
+			return Results{}, fmt.Errorf("sim: trace source failed mid-run: %w", err)
+		}
 	}
 	return s.results(ps), nil
 }

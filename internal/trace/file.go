@@ -338,16 +338,71 @@ func (tr *tapeReader) sized(what string, lo, hi uint64) int {
 	return int(n)
 }
 
+// tapeChunk bounds how much memory any single declared section length
+// can claim before its bytes actually arrive. Reads allocate in chunks
+// of at most this size, so a tiny crafted file declaring a 16 GiB
+// section costs one chunk and then fails on truncation — never a
+// multi-gigabyte make() from untrusted input.
+const tapeChunk = 1 << 20
+
 func (tr *tapeReader) bytes(n int) []byte {
-	if tr.err != nil {
+	if tr.err != nil || n == 0 {
 		return nil
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(tr.r, b); err != nil {
-		tr.err = err
-		return nil
+	b := make([]byte, 0, min(n, tapeChunk))
+	scratch := make([]byte, min(n, tapeChunk))
+	for len(b) < n {
+		c := min(n-len(b), tapeChunk)
+		if _, err := io.ReadFull(tr.r, scratch[:c]); err != nil {
+			tr.err = err
+			return nil
+		}
+		b = append(b, scratch[:c]...)
 	}
 	return b
+}
+
+// u64s reads n little-endian uint64s with the same chunked-allocation
+// discipline as bytes (and without binary.Read's per-element reflection).
+func (tr *tapeReader) u64s(n int) []uint64 {
+	if tr.err != nil || n == 0 {
+		return nil
+	}
+	const wordsPerChunk = tapeChunk / 8
+	out := make([]uint64, 0, min(n, wordsPerChunk))
+	var buf [8 << 10]byte
+	for len(out) < n {
+		c := min(n-len(out), len(buf)/8)
+		if _, err := io.ReadFull(tr.r, buf[:c*8]); err != nil {
+			tr.err = err
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	}
+	return out
+}
+
+// u32s is u64s for uint32 columns.
+func (tr *tapeReader) u32s(n int) []uint32 {
+	if tr.err != nil || n == 0 {
+		return nil
+	}
+	const wordsPerChunk = tapeChunk / 4
+	out := make([]uint32, 0, min(n, wordsPerChunk))
+	var buf [8 << 10]byte
+	for len(out) < n {
+		c := min(n-len(out), len(buf)/4)
+		if _, err := io.ReadFull(tr.r, buf[:c*4]); err != nil {
+			tr.err = err
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+	}
+	return out
 }
 
 // ReadTape deserializes a columnar tape written by WriteTape.
@@ -365,9 +420,9 @@ func ReadTape(r io.Reader) (*Tape, error) {
 		return nil, fmt.Errorf("trace: unsupported tape version %d (have %d)", version, tapeVersion)
 	}
 	t := &Tape{seed: tr.u64()}
-	cores := tr.length("core count")
+	cores := tr.sized("core count", 0, math.MaxUint16)
 	t.perCore = tr.u64()
-	specJSON := tr.bytes(tr.length("spec"))
+	specJSON := tr.bytes(tr.sized("spec", 0, 1<<24))
 	if tr.err == nil {
 		if err := json.Unmarshal(specJSON, &t.spec); err != nil {
 			return nil, fmt.Errorf("trace: decoding tape spec: %w", err)
@@ -412,19 +467,10 @@ func ReadTape(r io.Reader) (*Tape, error) {
 			tr.err = fmt.Errorf("implausible record count %d", c.n)
 		}
 		c.data = tr.bytes(tr.sized("data", 0, 32*c.n+16))
-		c.pairs = make([]uint64, tr.sized("cost pairs", 0, costEscape))
-		for j := range c.pairs {
-			c.pairs[j] = tr.u64()
-		}
+		c.pairs = tr.u64s(tr.sized("cost pairs", 0, costEscape))
 		depWords := (c.n + 63) / 64
-		c.dep = make([]uint64, tr.sized("dep", depWords, depWords))
-		for j := range c.dep {
-			c.dep[j] = tr.u64()
-		}
-		c.pcDict = make([]uint32, tr.sized("pc dict", 0, 256))
-		if tr.err == nil {
-			tr.err = binary.Read(tr.r, binary.LittleEndian, c.pcDict)
-		}
+		c.dep = tr.u64s(tr.sized("dep", depWords, depWords))
+		c.pcDict = tr.u32s(tr.sized("pc dict", 0, 256))
 		switch mode := tr.u64(); {
 		case tr.err != nil:
 		case mode == 1:
@@ -432,10 +478,7 @@ func ReadTape(r io.Reader) (*Tape, error) {
 			c.pcRaw = nil
 		case mode == 0:
 			c.pcDict = nil
-			c.pcRaw = make([]uint32, tr.sized("pc raw", c.n, c.n))
-			if tr.err == nil {
-				tr.err = binary.Read(tr.r, binary.LittleEndian, c.pcRaw)
-			}
+			c.pcRaw = tr.u32s(tr.sized("pc raw", c.n, c.n))
 		default:
 			tr.err = fmt.Errorf("trace: unknown tape PC column mode %d", mode)
 		}

@@ -1,6 +1,9 @@
 package trace
 
-import "runtime"
+import (
+	"runtime"
+	"sync"
+)
 
 // Block-batched record plumbing: a Frame is a reusable structure-of-arrays
 // batch of records, the unit the simulation drivers consume instead of one
@@ -66,6 +69,16 @@ func (f *Frame) Len() int { return f.n }
 
 // Cap returns the frame's usable capacity.
 func (f *Frame) Cap() int { return f.cap }
+
+// SetLen declares the first n records of the frame valid: the scatter
+// path for decoders (the wire inlet) that fill the columns directly
+// rather than through FillFrame. n must not exceed Cap.
+func (f *Frame) SetLen(n int) {
+	if n < 0 || n > f.cap {
+		panic("trace: frame SetLen outside capacity")
+	}
+	f.n = n
+}
 
 // Record copies record i into r (test and interop helper; the drivers
 // read the columns directly).
@@ -139,10 +152,35 @@ func (s *FrameStats) Add(o FrameStats) {
 // more than once, and required for pipelined sources that were not
 // drained). Stats is consumer-side accounting: identical for the
 // synchronous and pipelined implementations of the same stream.
+//
+// Err distinguishes a clean end of stream from a dead producer: after
+// NextFrame returns nil, a non-nil Err means the stream was cut short
+// (I/O failure, truncated file, dropped connection) and the records are
+// incomplete. Drivers must check it — a source that died mid-stream
+// must fail the run, not quietly present as a short trace.
 type FrameSource interface {
 	NextFrame() *Frame
 	Stats() FrameStats
+	Err() error
 	Close()
+}
+
+// ErrReporter is the optional failure channel of a Generator: sources
+// that can die mid-stream (file readers, network inlets) expose the
+// first error here, and the frame sources propagate it to FrameSource.Err.
+// Generators without it are assumed infallible (synthetic generators,
+// tape cursors).
+type ErrReporter interface {
+	Err() error
+}
+
+// genErr extracts the failure state of a generator, nil for generators
+// that cannot fail.
+func genErr(g Generator) error {
+	if er, ok := g.(ErrReporter); ok {
+		return er.Err()
+	}
+	return nil
 }
 
 // Frames returns a synchronous FrameSource over g with one owned buffer.
@@ -164,6 +202,8 @@ func (it *frameIter) NextFrame() *Frame {
 }
 
 func (it *frameIter) Stats() FrameStats { return it.stats }
+
+func (it *frameIter) Err() error { return genErr(it.g) }
 
 func (it *frameIter) Close() {}
 
@@ -218,11 +258,20 @@ type framePipe struct {
 	cur    *Frame // frame the consumer holds; recycled on the next call
 	stats  FrameStats
 	closed bool
+
+	// err is the producer's terminal failure, if any: captured from the
+	// generator when it runs dry, before filled closes, so a consumer
+	// that drained to nil observes it. The mutex (not the channel
+	// ordering) covers the Close path, where Err may race the producer.
+	errMu sync.Mutex
+	err   error
 }
 
 // fill is the producer loop: recycle a buffer, fill it, hand it over.
 // It exits when the generator runs dry (closing filled) or when Close
-// fires stop.
+// fires stop. A generator that died rather than drained leaves its
+// error behind for Err — end-of-stream and producer death must never
+// look alike to the consumer.
 func (p *framePipe) fill(g Generator) {
 	for {
 		var f *Frame
@@ -232,6 +281,11 @@ func (p *framePipe) fill(g Generator) {
 			return
 		}
 		if FillFrame(g, f) == 0 {
+			if err := genErr(g); err != nil {
+				p.errMu.Lock()
+				p.err = err
+				p.errMu.Unlock()
+			}
 			close(p.filled)
 			return
 		}
@@ -266,6 +320,12 @@ func (p *framePipe) NextFrame() *Frame {
 }
 
 func (p *framePipe) Stats() FrameStats { return p.stats }
+
+func (p *framePipe) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
 
 func (p *framePipe) Close() {
 	if p.closed {

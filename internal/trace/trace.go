@@ -135,6 +135,16 @@ func (l *Limit) ReadFrame(f *Frame) int {
 	return n
 }
 
+// Err forwards the wrapped generator's failure state (ErrReporter), so
+// bounding a fallible source does not hide its death from the frame
+// pipeline's end-of-stream/error distinction.
+func (l *Limit) Err() error {
+	if er, ok := l.Gen.(ErrReporter); ok {
+		return er.Err()
+	}
+	return nil
+}
+
 // Func adapts a function to the Generator interface.
 type Func func(r *Record) bool
 

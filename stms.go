@@ -476,6 +476,26 @@ func RunFunctionalScenarioCtx(ctx context.Context, cfg Config, scn Scenario, ps 
 	return sim.RunFunctionalScenarioCtx(ctx, cfg, scn, ps, nil)
 }
 
+// SourceRun bundles externally supplied per-core frame sources — a live
+// STMSWIRE stream, an imported trace, anything implementing
+// trace.FrameSource — with the already-scaled spec they carry
+// (DESIGN.md §14). Results are bit-identical to the equivalent direct
+// run when the sources deliver the same record stream.
+type SourceRun = sim.SourceRun
+
+// RunTimedSourcesCtx executes the timed simulation over a SourceRun. A
+// source whose producer dies mid-run surfaces that failure as an error,
+// never as a short clean result.
+func RunTimedSourcesCtx(ctx context.Context, cfg Config, run SourceRun, ps PrefSpec) (Results, error) {
+	return sim.RunTimedSourcesCtx(ctx, cfg, run, ps, nil)
+}
+
+// RunFunctionalSourcesCtx is RunTimedSourcesCtx on the zero-latency
+// functional driver (timing fields stay zero).
+func RunFunctionalSourcesCtx(ctx context.Context, cfg Config, run SourceRun, ps PrefSpec) (Results, error) {
+	return sim.RunFunctionalSourcesCtx(ctx, cfg, run, ps, nil)
+}
+
 // Sampling configures a K-window sampled simulation (DESIGN.md §13):
 // the measurement window is split into Windows equal slices, each
 // warmed by a fast meta-data replay of its prefix plus a short
